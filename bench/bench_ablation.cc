@@ -1,0 +1,184 @@
+// Ablations of the design choices DESIGN.md calls out:
+//   1. Avoidance Condition 1 / 2 on/off -> prelim-l extraction cost.
+//   2. The s(v) memoization of Update Top-Path-l -> operation counts.
+//   3. Knapsack DP vs the paper's literal enumeration DP -> runtime growth.
+//   4. Prelim-l vs complete OS input for every algorithm.
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace osum {
+namespace {
+
+using bench::MedianSeconds;
+using bench::PickLargestSubjects;
+
+void AblateAvoidanceConditions(const datasets::Dblp& d,
+                               const gds::Gds& gds,
+                               core::DataGraphBackend* backend,
+                               const std::vector<rel::TupleId>& subjects) {
+  util::PrintHeading(std::cout,
+                     "Ablation 1: avoidance conditions (prelim-10 over 10 "
+                     "author OSs; totals)");
+  util::TablePrinter table({"variant", "select calls", "tuples read",
+                            "|prelim| total", "AC1 skips", "AC2 fetches",
+                            "time (ms)"});
+  struct Variant {
+    const char* name;
+    bool ac1, ac2;
+  };
+  for (Variant v : {Variant{"AC1+AC2 (paper)", true, true},
+                    Variant{"AC1 only", true, false},
+                    Variant{"AC2 only", false, true},
+                    Variant{"none (complete gen)", false, false}}) {
+    core::OsGenOptions options;
+    options.prelim_use_ac1 = v.ac1;
+    options.prelim_use_ac2 = v.ac2;
+    core::PrelimStats stats;
+    size_t total_nodes = 0;
+    backend->ResetStats();
+    util::WallTimer timer;
+    for (rel::TupleId t : subjects) {
+      total_nodes += core::GeneratePrelimOs(d.db, gds, backend, t, 10,
+                                            options, &stats)
+                         .size();
+    }
+    double ms = timer.ElapsedMillis();
+    table.AddRow({v.name, std::to_string(backend->stats().select_calls),
+                  std::to_string(backend->stats().tuples_read),
+                  std::to_string(total_nodes),
+                  std::to_string(stats.ac1_subtree_skips),
+                  std::to_string(stats.ac2_limited_fetches),
+                  util::FormatDouble(ms, 2)});
+  }
+  table.Print(std::cout);
+}
+
+void AblateTopPathMemo(const datasets::Dblp& d, const gds::Gds& gds,
+                       core::DataGraphBackend* backend,
+                       const std::vector<rel::TupleId>& subjects) {
+  util::PrintHeading(std::cout,
+                     "Ablation 2: Update Top-Path-l with/without the s(v) "
+                     "memoization (complete OSs; per-OS averages)");
+  util::TablePrinter table({"l", "plain ops", "memo ops", "plain ms",
+                            "memo ms", "identical results"});
+  for (size_t l : {10u, 30u, 50u}) {
+    uint64_t plain_ops = 0, memo_ops = 0;
+    double plain_ms = 0, memo_ms = 0;
+    bool identical = true;
+    for (rel::TupleId t : subjects) {
+      core::OsTree os = core::GenerateCompleteOs(d.db, gds, backend, t);
+      core::SizeLStats sp, sm;
+      util::WallTimer timer;
+      core::Selection a = core::SizeLTopPath(os, l, &sp);
+      plain_ms += timer.ElapsedMillis();
+      timer.Reset();
+      core::Selection b = core::SizeLTopPathMemo(os, l, &sm);
+      memo_ms += timer.ElapsedMillis();
+      plain_ops += sp.operations;
+      memo_ops += sm.operations;
+      identical &= a.nodes == b.nodes;
+    }
+    double n = static_cast<double>(subjects.size());
+    table.AddRow({std::to_string(l), std::to_string(plain_ops / subjects.size()),
+                  std::to_string(memo_ops / subjects.size()),
+                  util::FormatDouble(plain_ms / n, 2),
+                  util::FormatDouble(memo_ms / n, 2),
+                  identical ? "yes" : "NO"});
+  }
+  table.Print(std::cout);
+}
+
+void AblateDpVariants(const datasets::Dblp& d, const gds::Gds& gds,
+                      core::DataGraphBackend* backend,
+                      rel::TupleId subject) {
+  util::PrintHeading(std::cout,
+                     "Ablation 3: knapsack DP vs literal enumeration DP "
+                     "(one author OS)");
+  core::OsTree os = core::GenerateCompleteOs(d.db, gds, backend, subject);
+  std::printf("|OS| = %zu\n", os.size());
+  util::TablePrinter table({"l", "knapsack ms", "knapsack ops",
+                            "enumeration ms", "enumeration ops", "status"});
+  constexpr uint64_t kBudget = 80'000'000;
+  for (size_t l : {5u, 10u, 15u, 20u, 30u, 50u}) {
+    core::SizeLStats ks, es;
+    double k_ms = MedianSeconds([&] { core::SizeLDp(os, l, &ks); }) * 1e3;
+    util::WallTimer timer;
+    core::Selection e = core::SizeLDpEnumerate(os, l, kBudget, &es);
+    double e_ms = timer.ElapsedMillis();
+    core::Selection k = core::SizeLDp(os, l);
+    std::string status = es.aborted
+                             ? "enumeration exceeded budget"
+                             : (std::abs(e.importance - k.importance) < 1e-6
+                                    ? "same optimum"
+                                    : "MISMATCH");
+    table.AddRow({std::to_string(l), util::FormatDouble(k_ms, 2),
+                  std::to_string(ks.operations),
+                  util::FormatDouble(e_ms, 2), std::to_string(es.operations),
+                  status});
+  }
+  table.Print(std::cout);
+}
+
+void AblatePrelimInput(const datasets::Dblp& d, const gds::Gds& gds,
+                       core::DataGraphBackend* backend,
+                       const std::vector<rel::TupleId>& subjects) {
+  util::PrintHeading(std::cout,
+                     "Ablation 4: prelim-l vs complete OS input "
+                     "(l=20, per-OS averages over 10 author OSs)");
+  util::TablePrinter table({"algorithm", "quality on complete %",
+                            "quality on prelim %", "ms on complete",
+                            "ms on prelim"});
+  const size_t l = 20;
+  struct Algo {
+    const char* name;
+    core::SizeLAlgorithm algo;
+  };
+  for (Algo a : {Algo{"DP (knapsack)", core::SizeLAlgorithm::kDp},
+                 Algo{"Bottom-Up", core::SizeLAlgorithm::kBottomUp},
+                 Algo{"Top-Path-Memo", core::SizeLAlgorithm::kTopPathMemo}}) {
+    double qc = 0, qp = 0, tc = 0, tp = 0;
+    for (rel::TupleId t : subjects) {
+      core::OsTree complete = core::GenerateCompleteOs(d.db, gds, backend, t);
+      core::OsTree prelim =
+          core::GeneratePrelimOs(d.db, gds, backend, t, l);
+      double opt = core::SizeLDp(complete, l).importance;
+      util::WallTimer timer;
+      core::Selection sc = core::RunSizeL(a.algo, complete, l);
+      tc += timer.ElapsedMillis();
+      timer.Reset();
+      core::Selection sp = core::RunSizeL(a.algo, prelim, l);
+      tp += timer.ElapsedMillis();
+      qc += 100.0 * sc.importance / opt;
+      qp += 100.0 * sp.importance / opt;
+    }
+    double n = static_cast<double>(subjects.size());
+    table.AddRow({a.name, util::FormatDouble(qc / n, 2),
+                  util::FormatDouble(qp / n, 2), util::FormatDouble(tc / n, 3),
+                  util::FormatDouble(tp / n, 3)});
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace osum
+
+int main() {
+  using namespace osum;
+  std::cout << "Ablation benches (DESIGN.md section 6)\n";
+
+  datasets::Dblp d = datasets::BuildDblp();
+  datasets::ApplyDblpScores(&d, 1, 0.85);
+  core::DataGraphBackend backend(d.db, d.links, d.data_graph);
+  gds::Gds gds = datasets::DblpAuthorGds(d);
+  std::vector<rel::TupleId> authors =
+      PickLargestSubjects(d.db, gds, &backend, 400, 3, 10);
+
+  AblateAvoidanceConditions(d, gds, &backend, authors);
+  AblateTopPathMemo(d, gds, &backend, authors);
+  AblateDpVariants(d, gds, &backend, authors[0]);
+  AblatePrelimInput(d, gds, &backend, authors);
+  return 0;
+}

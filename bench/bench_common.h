@@ -1,0 +1,116 @@
+// Shared plumbing for the figure-reproduction benches: dataset builders,
+// subject pickers and score utilities.
+#ifndef OSUM_BENCH_BENCH_COMMON_H_
+#define OSUM_BENCH_BENCH_COMMON_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/os_backend.h"
+#include "core/os_generator.h"
+#include "core/os_tree.h"
+#include "core/size_l.h"
+#include "datasets/dblp.h"
+#include "datasets/settings.h"
+#include "datasets/tpch.h"
+#include "eval/evaluator.h"
+#include "util/timer.h"
+
+namespace osum::bench {
+
+/// The paper's l sweep in Figures 9 and 10.
+inline std::vector<size_t> LSweep() { return {5, 10, 15, 20, 25, 30, 35, 40,
+                                              45, 50}; }
+
+/// The paper's l sweep in Figure 8.
+inline std::vector<size_t> LSweepEffectiveness() {
+  return {5, 10, 15, 20, 25, 30};
+}
+
+/// Per-node local importance of an existing OS under the *current* score
+/// annotations (used to re-score a fixed tree after switching settings).
+inline std::vector<double> CurrentScores(const rel::Database& db,
+                                         const gds::Gds& gds,
+                                         const core::OsTree& os) {
+  std::vector<double> scores(os.size());
+  for (size_t i = 0; i < os.size(); ++i) {
+    const core::OsNode& n = os.node(static_cast<core::OsNodeId>(i));
+    scores[i] = db.relation(n.relation).importance(n.tuple) *
+                gds.node(n.gds_node).affinity;
+  }
+  return scores;
+}
+
+/// Picks `count` subjects whose complete OS is largest (the "random OSs"
+/// of Section 6 skew large: Aver|OS| is ~1116 for DBLP authors). Skips the
+/// top `skip` to avoid only-degenerate giants.
+inline std::vector<rel::TupleId> PickLargestSubjects(
+    const rel::Database& db, const gds::Gds& gds, core::OsBackend* backend,
+    size_t candidates, size_t skip, size_t count) {
+  std::vector<std::pair<size_t, rel::TupleId>> sizes;
+  size_t n = std::min<size_t>(candidates,
+                              db.relation(gds.root_relation()).num_tuples());
+  for (rel::TupleId t = 0; t < n; ++t) {
+    core::OsTree os = core::GenerateCompleteOs(db, gds, backend, t);
+    sizes.emplace_back(os.size(), t);
+  }
+  std::sort(sizes.begin(), sizes.end(), std::greater<>());
+  std::vector<rel::TupleId> picked;
+  for (size_t i = skip; i < sizes.size() && picked.size() < count; ++i) {
+    picked.push_back(sizes[i].second);
+  }
+  return picked;
+}
+
+/// Picks the subject whose complete OS size is closest to `target`.
+inline rel::TupleId PickSubjectByOsSize(const rel::Database& db,
+                                        const gds::Gds& gds,
+                                        core::OsBackend* backend,
+                                        size_t candidates, size_t target) {
+  rel::TupleId best = 0;
+  size_t best_delta = static_cast<size_t>(-1);
+  size_t n = std::min<size_t>(candidates,
+                              db.relation(gds.root_relation()).num_tuples());
+  for (rel::TupleId t = 0; t < n; ++t) {
+    size_t size = core::GenerateCompleteOs(db, gds, backend, t).size();
+    size_t delta = size > target ? size - target : target - size;
+    if (delta < best_delta) {
+      best_delta = delta;
+      best = t;
+    }
+  }
+  return best;
+}
+
+/// Mean complete-OS size over a subject set.
+inline double MeanOsSize(const rel::Database& db, const gds::Gds& gds,
+                         core::OsBackend* backend,
+                         const std::vector<rel::TupleId>& subjects) {
+  double sum = 0.0;
+  for (rel::TupleId t : subjects) {
+    sum += static_cast<double>(
+        core::GenerateCompleteOs(db, gds, backend, t).size());
+  }
+  return subjects.empty() ? 0.0 : sum / static_cast<double>(subjects.size());
+}
+
+/// Median wall time of `fn` over `reps` runs, in seconds.
+template <typename Fn>
+double MedianSeconds(Fn&& fn, int reps = 3) {
+  std::vector<double> times;
+  times.reserve(reps);
+  for (int i = 0; i < reps; ++i) {
+    util::WallTimer timer;
+    fn();
+    times.push_back(timer.ElapsedSeconds());
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+}  // namespace osum::bench
+
+#endif  // OSUM_BENCH_BENCH_COMMON_H_

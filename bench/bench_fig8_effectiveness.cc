@@ -1,0 +1,135 @@
+// Figure 8: effectiveness (recall = precision) of the optimal size-l OS
+// against (simulated) human evaluators, for score settings GA1-d1, GA1-d2,
+// GA1-d3 and GA2-d1, on DBLP Author/Paper and TPC-H Customer/Supplier
+// G_DSs, l = 5..30.
+//
+// Paper reference points: on DBLP Author, GA1-d1 ranges from ~40-60% at
+// l=5 to 75-90% at l=10..30 and GA1-d1/GA1-d3 dominate at larger l, while
+// GA1-d2's "papers-first" bias helps at l=5; on TPC-H, GA1 is the safe
+// option (60-78%) and GA2 falls behind on Supplier OSs.
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/table_printer.h"
+
+namespace osum {
+namespace {
+
+using bench::CurrentScores;
+using bench::LSweepEffectiveness;
+
+// Effectiveness of the optimal size-l OS under each setting, averaged over
+// subjects and evaluators. `apply_setting` re-ranks the database in place.
+template <typename ApplyFn>
+void RunFigure(const std::string& title, const rel::Database& db,
+               const gds::Gds& gds, core::OsBackend* backend,
+               const std::vector<rel::TupleId>& subjects,
+               const eval::EvaluatorPanelConfig& panel_config,
+               ApplyFn&& apply_setting) {
+  // 1. Reference OSs and evaluator ideals under the default setting.
+  apply_setting(datasets::kDefaultSetting);
+  std::vector<core::OsTree> oss;
+  std::vector<std::vector<double>> reference;
+  for (rel::TupleId t : subjects) {
+    oss.push_back(core::GenerateCompleteOs(db, gds, backend, t));
+    reference.push_back(eval::NodeScores(oss.back()));
+  }
+  eval::EvaluatorPanel panel(panel_config);
+  // ideals[subject][l-index][evaluator]
+  std::vector<std::vector<std::vector<core::Selection>>> ideals(
+      subjects.size());
+  const std::vector<size_t> ls = LSweepEffectiveness();
+  for (size_t s = 0; s < subjects.size(); ++s) {
+    ideals[s].resize(ls.size());
+    for (size_t li = 0; li < ls.size(); ++li) {
+      for (size_t e = 0; e < panel.size(); ++e) {
+        ideals[s][li].push_back(
+            panel.IdealSizeL(oss[s], gds, reference[s], e, ls[li]));
+      }
+    }
+  }
+
+  // 2. For each setting: re-rank, re-score the fixed trees, measure.
+  util::TablePrinter table({"l", "GA1-d1", "GA1-d2", "GA1-d3", "GA2-d1"});
+  std::vector<std::vector<double>> eff(ls.size());
+  for (const datasets::ScoreSetting& setting : datasets::kScoreSettings) {
+    apply_setting(setting);
+    for (size_t li = 0; li < ls.size(); ++li) {
+      double sum = 0.0;
+      size_t count = 0;
+      for (size_t s = 0; s < subjects.size(); ++s) {
+        core::OsTree rescored =
+            eval::ReweightOs(oss[s], CurrentScores(db, gds, oss[s]));
+        core::Selection ours = core::SizeLDp(rescored, ls[li]);
+        for (size_t e = 0; e < panel.size(); ++e) {
+          sum += eval::Effectiveness(ours, ideals[s][li][e], ls[li]);
+          ++count;
+        }
+      }
+      eff[li].push_back(100.0 * sum / static_cast<double>(count));
+    }
+  }
+  apply_setting(datasets::kDefaultSetting);  // leave db in default state
+
+  util::PrintHeading(std::cout, title);
+  for (size_t li = 0; li < ls.size(); ++li) {
+    table.AddRow(std::to_string(ls[li]), eff[li]);
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace osum
+
+int main() {
+  using namespace osum;
+  std::cout << "Figure 8: effectiveness (%) of the optimal size-l OS vs "
+               "simulated evaluators\n";
+
+  {
+    datasets::Dblp d = datasets::BuildDblp();
+    core::DataGraphBackend backend(d.db, d.links, d.data_graph);
+    auto apply = [&d](const datasets::ScoreSetting& s) {
+      datasets::ApplyDblpScores(&d, s.ga, s.damping);
+    };
+    apply(datasets::kDefaultSetting);
+
+    // 11 DBLP authors "evaluating themselves": the seeded brothers plus a
+    // productivity spread (author id doubles as Zipf productivity rank).
+    std::vector<rel::TupleId> authors{0, 1, 2, 3, 5, 8, 13, 21, 34, 55, 89};
+    gds::Gds author_gds = datasets::DblpAuthorGds(d);
+    RunFigure("Figure 8(a): DBLP Author (optimal size-l OS)", d.db,
+              author_gds, &backend, authors,
+              eval::DblpEvaluatorConfig(11), apply);
+
+    std::vector<rel::TupleId> papers{0, 1, 2, 3, 5, 8, 13, 21, 34, 55};
+    gds::Gds paper_gds = datasets::DblpPaperGds(d);
+    RunFigure("Figure 8(b): DBLP Paper (optimal size-l OS)", d.db, paper_gds,
+              &backend, papers, eval::DblpEvaluatorConfig(11, 4021), apply);
+  }
+
+  {
+    datasets::Tpch t = datasets::BuildTpch();
+    core::DataGraphBackend backend(t.db, t.links, t.data_graph);
+    auto apply = [&t](const datasets::ScoreSetting& s) {
+      datasets::ApplyTpchScores(&t, s.ga, s.damping);
+    };
+    apply(datasets::kDefaultSetting);
+
+    std::vector<rel::TupleId> customers{3, 17, 42, 77, 101, 256, 511, 900};
+    gds::Gds customer_gds = datasets::TpchCustomerGds(t);
+    RunFigure("Figure 8(c): TPC-H Customer (optimal size-l OS)", t.db,
+              customer_gds, &backend, customers,
+              eval::TpchEvaluatorConfig(8), apply);
+
+    std::vector<rel::TupleId> suppliers{1, 5, 11, 23, 37, 53, 61, 72};
+    gds::Gds supplier_gds = datasets::TpchSupplierGds(t);
+    RunFigure("Figure 8(d): TPC-H Supplier (optimal size-l OS)", t.db,
+              supplier_gds, &backend, suppliers,
+              eval::TpchEvaluatorConfig(8, 555), apply);
+  }
+
+  std::cout << "\npaper shape check: GA1-d1/GA1-d3 should dominate at "
+               "larger l; effectiveness should rise with l.\n";
+  return 0;
+}

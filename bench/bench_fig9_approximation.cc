@@ -1,0 +1,161 @@
+// Figure 9: approximation quality of the greedy size-l algorithms — the
+// ratio of achieved importance to the optimal (DP) importance — on
+// complete and prelim-l OSs, for l = 5..50.
+//
+// Sub-figures: (a) DBLP Author (Aver|OS| ~1116), (b) DBLP Paper (~367),
+// (c) TPC-H Customer (~176), (d) TPC-H Supplier (~1341), (e) a small DBLP
+// Author OS (|OS| ~67), (f) DBLP Author across score settings.
+//
+// Paper reference points: Update Top-Path-l always >= Bottom-Up (by up to
+// ~10%); prelim-l costs <= ~4% quality on Top-Path and ~0% on Bottom-Up;
+// Paper OSs give 100% for all methods (monotonicity, Lemma 2); small OSs
+// reach 100% once l is a sizable fraction of |OS|.
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace osum {
+namespace {
+
+using bench::LSweep;
+using bench::MeanOsSize;
+using bench::PickLargestSubjects;
+using bench::PickSubjectByOsSize;
+
+struct QualityRow {
+  double bottom_up_complete = 0.0;
+  double bottom_up_prelim = 0.0;
+  double top_path_complete = 0.0;
+  double top_path_prelim = 0.0;
+};
+
+QualityRow MeasureQuality(const rel::Database& db, const gds::Gds& gds,
+                          core::OsBackend* backend,
+                          const std::vector<rel::TupleId>& subjects,
+                          size_t l) {
+  QualityRow row;
+  size_t count = 0;
+  for (rel::TupleId t : subjects) {
+    core::OsTree complete = core::GenerateCompleteOs(db, gds, backend, t);
+    core::OsTree prelim = core::GeneratePrelimOs(db, gds, backend, t, l);
+    double opt = core::SizeLDp(complete, l).importance;
+    if (opt <= 0.0) continue;
+    row.bottom_up_complete +=
+        core::SizeLBottomUp(complete, l).importance / opt;
+    row.bottom_up_prelim += core::SizeLBottomUp(prelim, l).importance / opt;
+    row.top_path_complete += core::SizeLTopPath(complete, l).importance / opt;
+    row.top_path_prelim += core::SizeLTopPath(prelim, l).importance / opt;
+    ++count;
+  }
+  if (count > 0) {
+    double scale = 100.0 / static_cast<double>(count);
+    row.bottom_up_complete *= scale;
+    row.bottom_up_prelim *= scale;
+    row.top_path_complete *= scale;
+    row.top_path_prelim *= scale;
+  }
+  return row;
+}
+
+void RunSubfigure(const std::string& title, const rel::Database& db,
+                  const gds::Gds& gds, core::OsBackend* backend,
+                  const std::vector<rel::TupleId>& subjects) {
+  util::PrintHeading(
+      std::cout,
+      title + " (Aver|OS|=" +
+          util::FormatDouble(MeanOsSize(db, gds, backend, subjects), 0) +
+          ")");
+  util::TablePrinter table({"l", "Bottom-Up (Complete)", "Bottom-Up (Prelim)",
+                            "Top-Path (Complete)", "Top-Path (Prelim)"});
+  for (size_t l : LSweep()) {
+    QualityRow row = MeasureQuality(db, gds, backend, subjects, l);
+    table.AddRow(std::to_string(l),
+                 {row.bottom_up_complete, row.bottom_up_prelim,
+                  row.top_path_complete, row.top_path_prelim});
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace osum
+
+int main() {
+  using namespace osum;
+  std::cout << "Figure 9: approximation quality (% of optimal importance), "
+               "10 OSs per G_DS\n";
+
+  datasets::Dblp d = datasets::BuildDblp();
+  datasets::ApplyDblpScores(&d, 1, 0.85);
+  core::DataGraphBackend dblp_backend(d.db, d.links, d.data_graph);
+
+  gds::Gds author_gds = datasets::DblpAuthorGds(d);
+  std::vector<rel::TupleId> authors = PickLargestSubjects(
+      d.db, author_gds, &dblp_backend, /*candidates=*/400, /*skip=*/3,
+      /*count=*/10);
+  RunSubfigure("Figure 9(a): DBLP Author", d.db, author_gds, &dblp_backend,
+               authors);
+
+  gds::Gds paper_gds = datasets::DblpPaperGds(d);
+  std::vector<rel::TupleId> papers = PickLargestSubjects(
+      d.db, paper_gds, &dblp_backend, 400, 3, 10);
+  RunSubfigure("Figure 9(b): DBLP Paper", d.db, paper_gds, &dblp_backend,
+               papers);
+
+  datasets::Tpch t = datasets::BuildTpch();
+  datasets::ApplyTpchScores(&t, 1, 0.85);
+  core::DataGraphBackend tpch_backend(t.db, t.links, t.data_graph);
+
+  gds::Gds customer_gds = datasets::TpchCustomerGds(t);
+  std::vector<rel::TupleId> customers = PickLargestSubjects(
+      t.db, customer_gds, &tpch_backend, 300, 5, 10);
+  RunSubfigure("Figure 9(c): TPC-H Customer", t.db, customer_gds,
+               &tpch_backend, customers);
+
+  gds::Gds supplier_gds = datasets::TpchSupplierGds(t);
+  std::vector<rel::TupleId> suppliers = PickLargestSubjects(
+      t.db, supplier_gds, &tpch_backend, 80, 2, 10);
+  RunSubfigure("Figure 9(d): TPC-H Supplier", t.db, supplier_gds,
+               &tpch_backend, suppliers);
+
+  // (e) A small author OS (paper: |OS| = 67; 100% from all methods by
+  // l=25).
+  rel::TupleId small_author =
+      PickSubjectByOsSize(d.db, author_gds, &dblp_backend, 1500, 67);
+  RunSubfigure("Figure 9(e): DBLP Author, small OS", d.db, author_gds,
+               &dblp_backend, {small_author});
+
+  // (f) Average approximation quality across score settings (DBLP Author).
+  {
+    util::PrintHeading(std::cout,
+                       "Figure 9(f): DBLP Author across score settings "
+                       "(average over l=5..50)");
+    util::TablePrinter table({"setting", "Bottom-Up (Complete)",
+                              "Bottom-Up (Prelim)", "Top-Path (Complete)",
+                              "Top-Path (Prelim)"});
+    for (const datasets::ScoreSetting& s : datasets::kScoreSettings) {
+      datasets::ApplyDblpScores(&d, s.ga, s.damping);
+      gds::Gds gds = datasets::DblpAuthorGds(d);
+      QualityRow sum;
+      const auto ls = LSweep();
+      for (size_t l : ls) {
+        QualityRow row = MeasureQuality(d.db, gds, &dblp_backend, authors, l);
+        sum.bottom_up_complete += row.bottom_up_complete;
+        sum.bottom_up_prelim += row.bottom_up_prelim;
+        sum.top_path_complete += row.top_path_complete;
+        sum.top_path_prelim += row.top_path_prelim;
+      }
+      double n = static_cast<double>(ls.size());
+      table.AddRow(s.name,
+                   {sum.bottom_up_complete / n, sum.bottom_up_prelim / n,
+                    sum.top_path_complete / n, sum.top_path_prelim / n});
+    }
+    datasets::ApplyDblpScores(&d, 1, 0.85);
+    table.Print(std::cout);
+  }
+
+  std::cout << "\npaper shape check: Top-Path >= Bottom-Up (gap up to "
+               "~10%); prelim costs <= ~4%; Paper OSs ~100% everywhere.\n";
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Future-work analysis (Section 7): the space of optimal size-l OSs.
+//
+// The paper observes that "optimal size-l OSs for different l could be
+// very different. This prevents the incremental computation of a size-l
+// OS from the optimal size-(l-1) OS" and proposes analyzing that space.
+// This bench does the analysis on both databases: for each OS it computes
+// the optima for every l in [1, 50] from a single DP pass (SizeLDpAll)
+// and reports (i) how often S_l ⊂ S_{l+1} (the incremental property), and
+// (ii) the worst and mean survival ratio |S_l ∩ S_{l+1}| / l.
+//
+// Conclusion to look for: the incremental property holds for *most* but
+// not all steps — confirming the paper's caveat while showing that
+// caching/incremental maintenance would still pay off on average — and a
+// single SizeLDpAll pass costs barely more than one SizeLDp run.
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/multi_l.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace osum {
+namespace {
+
+void Analyze(const std::string& title, const rel::Database& db,
+             const gds::Gds& gds, core::OsBackend* backend,
+             const std::vector<rel::TupleId>& subjects) {
+  util::PrintHeading(std::cout, title);
+  util::TablePrinter table({"subject", "|OS|", "incremental steps %",
+                            "mean survival %", "min survival %",
+                            "all-l DP (ms)", "single DP (ms)"});
+  double incr_sum = 0.0;
+  for (rel::TupleId t : subjects) {
+    core::OsTree os = core::GenerateCompleteOs(db, gds, backend, t);
+    util::WallTimer timer;
+    auto points = core::AnalyzeLStability(os, 50);
+    double all_ms = timer.ElapsedMillis();
+    timer.Reset();
+    core::SizeLDp(os, 50);
+    double single_ms = timer.ElapsedMillis();
+
+    double mean_survival = 0.0, min_survival = 1.0;
+    for (const auto& p : points) {
+      mean_survival += p.overlap_ratio;
+      min_survival = std::min(min_survival, p.overlap_ratio);
+    }
+    if (!points.empty()) {
+      mean_survival /= static_cast<double>(points.size());
+    }
+    double incr = core::IncrementalFraction(points);
+    incr_sum += incr;
+    table.AddRow({std::to_string(t), std::to_string(os.size()),
+                  util::FormatDouble(100.0 * incr, 1),
+                  util::FormatDouble(100.0 * mean_survival, 1),
+                  util::FormatDouble(100.0 * min_survival, 1),
+                  util::FormatDouble(all_ms, 2),
+                  util::FormatDouble(single_ms, 2)});
+  }
+  table.Print(std::cout);
+  std::printf("average incremental fraction: %.1f%%\n",
+              100.0 * incr_sum / static_cast<double>(subjects.size()));
+}
+
+}  // namespace
+}  // namespace osum
+
+int main() {
+  using namespace osum;
+  std::cout << "Section 7 analysis: stability of optimal size-l OSs "
+               "across l (S_l vs S_{l+1}, l = 1..49)\n";
+
+  datasets::Dblp d = datasets::BuildDblp();
+  datasets::ApplyDblpScores(&d, 1, 0.85);
+  core::DataGraphBackend dblp_backend(d.db, d.links, d.data_graph);
+  gds::Gds author_gds = datasets::DblpAuthorGds(d);
+  auto authors = bench::PickLargestSubjects(d.db, author_gds, &dblp_backend,
+                                            400, 3, 8);
+  Analyze("DBLP Author OSs", d.db, author_gds, &dblp_backend, authors);
+
+  datasets::Tpch t = datasets::BuildTpch();
+  datasets::ApplyTpchScores(&t, 1, 0.85);
+  core::DataGraphBackend tpch_backend(t.db, t.links, t.data_graph);
+  gds::Gds customer_gds = datasets::TpchCustomerGds(t);
+  auto customers = bench::PickLargestSubjects(t.db, customer_gds,
+                                              &tpch_backend, 300, 5, 8);
+  Analyze("TPC-H Customer OSs", t.db, customer_gds, &tpch_backend,
+          customers);
+  return 0;
+}

@@ -1,0 +1,141 @@
+// google-benchmark microbenchmarks of the algorithm kernels on synthetic
+// OS trees: scaling of the size-l algorithms with n and l, OS generation,
+// prelim-l generation and ObjectRank iterations.
+#include <benchmark/benchmark.h>
+
+#include "core/os_backend.h"
+#include "core/os_generator.h"
+#include "core/size_l.h"
+#include "datasets/dblp.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace osum;
+
+core::OsTree RandomTree(uint64_t seed, size_t n) {
+  util::Rng rng(seed);
+  core::OsTree os;
+  os.AddRoot(0, 0, 0, rng.NextDouble() * 100);
+  for (size_t i = 1; i < n; ++i) {
+    size_t parent = rng.NextBernoulli(0.7) ? i - 1 - rng.NextU64(std::max<size_t>(1, i / 3))
+                                           : rng.NextU64(i);
+    os.AddChild(static_cast<core::OsNodeId>(parent), 0, 0,
+                static_cast<rel::TupleId>(i), rng.NextDouble() * 100);
+  }
+  return os;
+}
+
+void BM_SizeLDp(benchmark::State& state) {
+  core::OsTree os = RandomTree(1, static_cast<size_t>(state.range(0)));
+  size_t l = static_cast<size_t>(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::SizeLDp(os, l));
+  }
+}
+BENCHMARK(BM_SizeLDp)
+    ->Args({100, 10})
+    ->Args({1000, 10})
+    ->Args({1000, 50})
+    ->Args({10000, 10})
+    ->Args({10000, 50});
+
+void BM_SizeLBottomUp(benchmark::State& state) {
+  core::OsTree os = RandomTree(2, static_cast<size_t>(state.range(0)));
+  size_t l = static_cast<size_t>(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::SizeLBottomUp(os, l));
+  }
+}
+BENCHMARK(BM_SizeLBottomUp)
+    ->Args({1000, 10})
+    ->Args({10000, 10})
+    ->Args({10000, 50})
+    ->Args({100000, 50});
+
+void BM_SizeLTopPath(benchmark::State& state) {
+  core::OsTree os = RandomTree(3, static_cast<size_t>(state.range(0)));
+  size_t l = static_cast<size_t>(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::SizeLTopPath(os, l));
+  }
+}
+BENCHMARK(BM_SizeLTopPath)->Args({1000, 10})->Args({10000, 10})->Args({10000, 50});
+
+void BM_SizeLTopPathMemo(benchmark::State& state) {
+  core::OsTree os = RandomTree(3, static_cast<size_t>(state.range(0)));
+  size_t l = static_cast<size_t>(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::SizeLTopPathMemo(os, l));
+  }
+}
+BENCHMARK(BM_SizeLTopPathMemo)
+    ->Args({1000, 10})
+    ->Args({10000, 10})
+    ->Args({10000, 50})
+    ->Args({100000, 50});
+
+// Shared fixture for database-dependent benchmarks.
+struct DblpFixture {
+  datasets::Dblp d;
+  gds::Gds gds;
+  std::unique_ptr<core::DataGraphBackend> backend;
+
+  DblpFixture() : d(datasets::BuildDblp()) {
+    datasets::ApplyDblpScores(&d, 1, 0.85);
+    gds = datasets::DblpAuthorGds(d);
+    backend =
+        std::make_unique<core::DataGraphBackend>(d.db, d.links, d.data_graph);
+  }
+
+  static DblpFixture& Get() {
+    static DblpFixture fixture;
+    return fixture;
+  }
+};
+
+void BM_GenerateCompleteOs(benchmark::State& state) {
+  DblpFixture& f = DblpFixture::Get();
+  rel::TupleId tds = static_cast<rel::TupleId>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::GenerateCompleteOs(f.d.db, f.gds, f.backend.get(), tds));
+  }
+}
+BENCHMARK(BM_GenerateCompleteOs)->Arg(0)->Arg(50)->Arg(500);
+
+void BM_GeneratePrelimOs(benchmark::State& state) {
+  DblpFixture& f = DblpFixture::Get();
+  rel::TupleId tds = static_cast<rel::TupleId>(state.range(0));
+  size_t l = static_cast<size_t>(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::GeneratePrelimOs(f.d.db, f.gds, f.backend.get(), tds, l));
+  }
+}
+BENCHMARK(BM_GeneratePrelimOs)->Args({0, 10})->Args({0, 50})->Args({50, 10});
+
+void BM_ObjectRank(benchmark::State& state) {
+  DblpFixture& f = DblpFixture::Get();
+  importance::AuthorityGraph ga = datasets::DblpGa1(f.d);
+  importance::ObjectRankOptions options;
+  options.max_iterations = static_cast<int>(state.range(0));
+  options.epsilon = 0.0;  // force exactly max_iterations
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(importance::ComputeObjectRank(
+        f.d.db, f.d.links, f.d.data_graph, ga, options));
+  }
+}
+BENCHMARK(BM_ObjectRank)->Arg(1)->Arg(10);
+
+void BM_DataGraphBuild(benchmark::State& state) {
+  DblpFixture& f = DblpFixture::Get();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::DataGraph::Build(f.d.db, f.d.links));
+  }
+}
+BENCHMARK(BM_DataGraphBuild);
+
+}  // namespace
+
+BENCHMARK_MAIN();

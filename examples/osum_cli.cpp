@@ -1,0 +1,243 @@
+// osum_cli — a batch command processor over the library, the closest thing
+// to "the product" a data controller would run.
+//
+// Commands (from argv, ';'-separated, or one per stdin line):
+//   build dblp|tpch            build + rank the synthetic database
+//   stats                      database and data-graph statistics
+//   gds <relation>             print the annotated G_DS of a data subject
+//   query <keywords> [l]       ranked size-l OSs (Example 5 format)
+//   json <keywords> [l]        same, as JSON (first result only)
+//   budget <keywords> <words>  word-budget summary (Section 7 future work)
+//   save <dir>                 export the database as CSV + catalog
+//   help
+//
+// Example:
+//   ./osum_cli "build dblp; query faloutsos 10; budget faloutsos 40"
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/os_backend.h"
+#include "core/os_export.h"
+#include "core/word_budget.h"
+#include "datasets/dblp.h"
+#include "datasets/tpch.h"
+#include "relational/csv_io.h"
+#include "search/engine.h"
+#include "util/string_util.h"
+
+namespace {
+
+using namespace osum;
+
+// Holds whichever database is currently loaded plus the derived artifacts.
+struct Session {
+  std::optional<datasets::Dblp> dblp;
+  std::optional<datasets::Tpch> tpch;
+  std::unique_ptr<core::DataGraphBackend> backend;
+  std::unique_ptr<search::SizeLSearchEngine> engine;
+
+  const rel::Database* db() const {
+    if (dblp.has_value()) return &dblp->db;
+    if (tpch.has_value()) return &tpch->db;
+    return nullptr;
+  }
+
+  bool BuildDblp() {
+    dblp = datasets::BuildDblp();
+    tpch.reset();
+    datasets::ApplyDblpScores(&*dblp, 1, 0.85);
+    backend = std::make_unique<core::DataGraphBackend>(dblp->db, dblp->links,
+                                                       dblp->data_graph);
+    engine = std::make_unique<search::SizeLSearchEngine>(dblp->db,
+                                                         backend.get());
+    engine->RegisterSubject(dblp->author, datasets::DblpAuthorGds(*dblp));
+    engine->RegisterSubject(dblp->paper, datasets::DblpPaperGds(*dblp));
+    engine->BuildIndex();
+    std::printf("built DBLP: %llu tuples\n",
+                static_cast<unsigned long long>(dblp->db.TotalTuples()));
+    return true;
+  }
+
+  bool BuildTpch() {
+    tpch = datasets::BuildTpch();
+    dblp.reset();
+    datasets::ApplyTpchScores(&*tpch, 1, 0.85);
+    backend = std::make_unique<core::DataGraphBackend>(tpch->db, tpch->links,
+                                                       tpch->data_graph);
+    engine = std::make_unique<search::SizeLSearchEngine>(tpch->db,
+                                                         backend.get());
+    engine->RegisterSubject(tpch->customer,
+                            datasets::TpchCustomerGds(*tpch));
+    engine->RegisterSubject(tpch->supplier,
+                            datasets::TpchSupplierGds(*tpch));
+    engine->BuildIndex();
+    std::printf("built TPC-H: %llu tuples\n",
+                static_cast<unsigned long long>(tpch->db.TotalTuples()));
+    return true;
+  }
+};
+
+void PrintHelp() {
+  std::puts(
+      "commands:\n"
+      "  build dblp|tpch            build + rank a synthetic database\n"
+      "  stats                      database statistics\n"
+      "  gds <relation>             print an annotated G_DS\n"
+      "  query <keywords...> [l]    ranked size-l OSs\n"
+      "  json <keywords...> [l]     first result as JSON\n"
+      "  budget <keywords...> <w>   word-budget summary (~w words)\n"
+      "  save <dir>                 export database as CSV\n"
+      "  help");
+}
+
+bool RequireDb(const Session& s) {
+  if (s.db() == nullptr) {
+    std::puts("error: no database loaded; run 'build dblp' first");
+    return false;
+  }
+  return true;
+}
+
+// Splits trailing integer off a keyword list ("faloutsos 10" -> l=10).
+std::pair<std::string, std::optional<size_t>> SplitTrailingNumber(
+    const std::vector<std::string>& args, size_t from) {
+  std::vector<std::string> words(args.begin() + from, args.end());
+  std::optional<size_t> number;
+  if (!words.empty()) {
+    const std::string& last = words.back();
+    if (!last.empty() &&
+        last.find_first_not_of("0123456789") == std::string::npos) {
+      number = static_cast<size_t>(std::stoull(last));
+      words.pop_back();
+    }
+  }
+  return {util::Join(words, " "), number};
+}
+
+void RunCommand(Session& session, const std::string& line) {
+  std::istringstream ss(line);
+  std::vector<std::string> args;
+  std::string token;
+  while (ss >> token) args.push_back(token);
+  if (args.empty()) return;
+  const std::string& cmd = args[0];
+
+  if (cmd == "help") {
+    PrintHelp();
+    return;
+  }
+  if (cmd == "build") {
+    if (args.size() < 2 || (args[1] != "dblp" && args[1] != "tpch")) {
+      std::puts("usage: build dblp|tpch");
+      return;
+    }
+    if (args[1] == "dblp") session.BuildDblp();
+    else session.BuildTpch();
+    return;
+  }
+  if (!RequireDb(session)) return;
+  const rel::Database& db = *session.db();
+
+  if (cmd == "stats") {
+    std::printf("relations: %zu, foreign keys: %zu, tuples: %llu\n",
+                db.num_relations(), db.num_foreign_keys(),
+                static_cast<unsigned long long>(db.TotalTuples()));
+    for (rel::RelationId r = 0; r < db.num_relations(); ++r) {
+      const rel::Relation& rel = db.relation(r);
+      std::printf("  %-12s %8zu tuples%s\n", rel.name().c_str(),
+                  rel.num_tuples(), rel.is_junction() ? "  (junction)" : "");
+    }
+    return;
+  }
+  if (cmd == "gds") {
+    if (args.size() < 2) {
+      std::puts("usage: gds <relation>");
+      return;
+    }
+    rel::RelationId r = db.GetRelationId(args[1]);
+    std::cout << session.engine->GdsFor(r).ToString(db);
+    return;
+  }
+  if (cmd == "query" || cmd == "json" || cmd == "budget") {
+    auto [keywords, number] = SplitTrailingNumber(args, 1);
+    if (keywords.empty()) {
+      std::printf("usage: %s <keywords...> [number]\n", cmd.c_str());
+      return;
+    }
+    search::QueryOptions options;
+    options.l = cmd == "budget" ? 0 : number.value_or(15);
+    if (cmd == "budget") options.l = 0;  // need the complete OS
+    auto results = session.engine->Query(keywords, options);
+    if (results.empty()) {
+      std::puts("no results");
+      return;
+    }
+    if (cmd == "query") {
+      for (const auto& r : results) {
+        std::printf("[importance %.2f, |OS|=%zu]\n", r.subject_importance,
+                    r.os.size());
+        std::cout << session.engine->Render(r);
+      }
+    } else if (cmd == "json") {
+      const auto& r = results[0];
+      const gds::Gds& gds = session.engine->GdsFor(r.subject.relation);
+      std::cout << core::RenderOsJson(db, gds, r.os, &r.selection.nodes);
+    } else {  // budget
+      uint64_t words = number.value_or(50);
+      const auto& r = results[0];
+      auto budgeted =
+          core::SizeLByBudget(db, r.os, words, core::BudgetUnit::kWords,
+                              core::SizeLAlgorithm::kTopPathMemo);
+      std::printf("budget %llu words -> l=%zu (%llu words)\n",
+                  static_cast<unsigned long long>(words), budgeted.l,
+                  static_cast<unsigned long long>(budgeted.cost));
+      const gds::Gds& gds = session.engine->GdsFor(r.subject.relation);
+      std::cout << r.os.Render(db, gds, &budgeted.selection.nodes);
+    }
+    return;
+  }
+  if (cmd == "save") {
+    if (args.size() < 2) {
+      std::puts("usage: save <dir>");
+      return;
+    }
+    if (rel::SaveDatabaseCsv(db, args[1])) {
+      std::printf("saved to %s\n", args[1].c_str());
+    } else {
+      std::printf("error: could not write %s\n", args[1].c_str());
+    }
+    return;
+  }
+  std::printf("unknown command '%s' (try 'help')\n", cmd.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Session session;
+  if (argc > 1) {
+    // Commands come ';'-separated from argv.
+    std::string joined;
+    for (int i = 1; i < argc; ++i) {
+      if (i > 1) joined += " ";
+      joined += argv[i];
+    }
+    std::istringstream ss(joined);
+    std::string command;
+    while (std::getline(ss, command, ';')) RunCommand(session, command);
+    return 0;
+  }
+  // Demo script when run without arguments.
+  for (const char* cmd :
+       {"build dblp", "stats", "gds Author", "query faloutsos 8",
+        "budget faloutsos 40"}) {
+    std::printf("\n$ %s\n", cmd);
+    RunCommand(session, cmd);
+  }
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Algorithm playground: replays the paper's worked examples (Figures 4-6)
+// and contrasts all size-l algorithms on them and on random trees.
+//
+// Useful for building intuition about when the greedy heuristics diverge
+// from the optimum.
+//
+// Run:  ./size_l_playground
+#include <cstdio>
+#include <vector>
+
+#include "core/size_l.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace osum;
+
+core::OsTree MakeTree(const std::vector<std::pair<int, double>>& spec) {
+  core::OsTree os;
+  for (size_t i = 0; i < spec.size(); ++i) {
+    const auto& [parent, weight] = spec[i];
+    if (parent < 0) {
+      os.AddRoot(0, 0, static_cast<rel::TupleId>(i), weight);
+    } else {
+      os.AddChild(parent, 0, 0, static_cast<rel::TupleId>(i), weight);
+    }
+  }
+  return os;
+}
+
+void Show(const char* label, const core::OsTree& os, size_t l) {
+  std::printf("%s (n=%zu, l=%zu)\n", label, os.size(), l);
+  for (auto algo :
+       {core::SizeLAlgorithm::kDp, core::SizeLAlgorithm::kBottomUp,
+        core::SizeLAlgorithm::kTopPath, core::SizeLAlgorithm::kTopPathMemo}) {
+    core::SizeLStats stats;
+    core::Selection s = core::RunSizeL(algo, os, l, &stats);
+    std::printf("  %-14s Im(S)=%7.2f  ops=%-8llu nodes:",
+                core::AlgorithmName(algo), s.importance,
+                static_cast<unsigned long long>(stats.operations));
+    for (core::OsNodeId id : s.nodes) std::printf(" %d", id + 1);
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  // Figure 4: DP finds S_{1,4} = {1,4,5,6}.
+  core::OsTree fig4 = MakeTree({{-1, 30}, {0, 20}, {0, 11}, {0, 31},
+                                {0, 80}, {0, 35}, {2, 10}, {2, 15},
+                                {2, 5},  {3, 13}, {3, 30}, {5, 12},
+                                {10, 60}, {11, 40}});
+  Show("Figure 4 tree", fig4, 4);
+
+  // Figure 5: Bottom-Up keeps {1,5,6,11,13} (235) vs optimal
+  // {1,5,6,12,14} (240).
+  core::OsTree fig5 = MakeTree({{-1, 30}, {0, 20}, {0, 11}, {0, 31},
+                                {0, 80}, {0, 35}, {1, 10}, {1, 15},
+                                {2, 5},  {3, 13}, {4, 30}, {5, 55},
+                                {10, 60}, {11, 40}});
+  Show("Figure 5 tree", fig5, 5);
+
+  // Figure 6: Update Top-Path-l walkthrough (size 5 and the suboptimal
+  // size-3 case).
+  core::OsTree fig6 = MakeTree({{-1, 30}, {0, 20}, {0, 11}, {0, 31},
+                                {0, 80}, {0, 35}, {1, 10}, {1, 15},
+                                {2, 5},  {3, 13}, {4, 30}, {5, 12},
+                                {10, 60}, {11, 40}});
+  Show("Figure 6 tree", fig6, 5);
+  Show("Figure 6 tree", fig6, 3);
+
+  // A couple of random trees for contrast.
+  util::Rng rng(2024);
+  for (size_t n : {50u, 500u}) {
+    core::OsTree os;
+    os.AddRoot(0, 0, 0, rng.NextDouble() * 100);
+    for (size_t i = 1; i < n; ++i) {
+      os.AddChild(static_cast<core::OsNodeId>(rng.NextU64(i)), 0, 0,
+                  static_cast<rel::TupleId>(i), rng.NextDouble() * 100);
+    }
+    char label[64];
+    std::snprintf(label, sizeof(label), "random tree n=%zu", n);
+    Show(label, os, 15);
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Bottom-Up Pruning (Algorithm 2): iteratively remove the current leaf with
+// the smallest local importance until only l nodes remain.
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "core/size_l.h"
+
+namespace osum::core {
+
+Selection SizeLBottomUp(const OsTree& os, size_t l, SizeLStats* stats) {
+  Selection result;
+  if (os.empty() || l == 0) return result;
+  const int32_t n = static_cast<int32_t>(os.size());
+  uint64_t ops = 0;
+
+  if (static_cast<size_t>(n) <= l) {
+    result.nodes.resize(n);
+    for (int32_t i = 0; i < n; ++i) result.nodes[i] = i;
+    result.importance = os.TotalImportance();
+    if (stats != nullptr) stats->operations = 0;
+    return result;
+  }
+
+  // Min-heap of current leaves by (importance asc, id desc): equal scores
+  // prune the later (deeper in BFS order) node first, deterministically.
+  struct Entry {
+    double importance;
+    OsNodeId id;
+  };
+  struct Cmp {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.importance != b.importance) return a.importance > b.importance;
+      return a.id < b.id;
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, Cmp> pq;
+
+  std::vector<int32_t> live_children(n, 0);
+  for (const OsNode& node : os.nodes()) {
+    if (node.parent != kNoOsNode) ++live_children[node.parent];
+  }
+  for (OsNodeId v = 0; v < n; ++v) {
+    if (live_children[v] == 0 && v != kOsRoot) {
+      pq.push(Entry{os.node(v).local_importance, v});
+    }
+  }
+
+  std::vector<bool> alive(n, true);
+  size_t remaining = static_cast<size_t>(n);
+  while (remaining > l) {
+    Entry top = pq.top();
+    pq.pop();
+    ++ops;
+    alive[top.id] = false;
+    --remaining;
+    OsNodeId p = os.node(top.id).parent;
+    if (--live_children[p] == 0 && p != kOsRoot) {
+      pq.push(Entry{os.node(p).local_importance, p});
+      ++ops;
+    }
+  }
+
+  result.nodes.reserve(l);
+  for (OsNodeId v = 0; v < n; ++v) {
+    if (alive[v]) result.nodes.push_back(v);
+  }
+  result.importance = SelectionImportance(os, result.nodes);
+  if (stats != nullptr) stats->operations = ops;
+  return result;
+}
+
+}  // namespace osum::core

@@ -1,0 +1,272 @@
+// Exact size-l algorithms: tree-knapsack DP and the paper's literal
+// combination-enumeration DP (Algorithm 1).
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <vector>
+
+#include "core/dp_internal.h"
+#include "core/size_l.h"
+
+namespace osum::core {
+
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+// Subtree sizes via reverse BFS-order scan (children have larger indices).
+std::vector<int32_t> SubtreeSizes(const OsTree& os) {
+  std::vector<int32_t> size(os.size(), 1);
+  for (OsNodeId v = static_cast<OsNodeId>(os.size()) - 1; v > 0; --v) {
+    size[os.node(v).parent] += size[v];
+  }
+  return size;
+}
+
+}  // namespace
+
+namespace internal {
+
+DpTables ComputeDpTables(const OsTree& os, size_t l) {
+  DpTables t;
+  const int32_t n = static_cast<int32_t>(os.size());
+  t.L = static_cast<int32_t>(std::min<size_t>(l, os.size()));
+
+  std::vector<int32_t> subtree = SubtreeSizes(os);
+
+  // cap[v]: max nodes selectable from v's subtree in any solution through
+  // v = min(L - depth(v), |subtree(v)|). Nodes at depth >= L can never
+  // appear (the root path alone would exceed L) — the paper's footnote 1.
+  t.cap.assign(n, 0);
+  for (OsNodeId v = 0; v < n; ++v) {
+    t.cap[v] = std::min(t.L - os.node(v).depth, subtree[v]);
+  }
+
+  t.best.resize(n);
+  t.usable_children.resize(n);
+  t.picks.resize(n);
+
+  for (OsNodeId v = n - 1; v >= 0; --v) {
+    if (t.cap[v] <= 0) continue;
+    const OsNode& node = os.node(v);
+    const int32_t budget = t.cap[v] - 1;  // nodes available for children
+
+    for (OsNodeId c : node.children) {
+      if (t.cap[c] >= 1) t.usable_children[v].push_back(c);
+    }
+
+    // Knapsack merge over children: r[m] = best importance using m nodes
+    // from the first t children.
+    std::vector<double> r(budget + 1, kDpNegInf);
+    r[0] = 0.0;
+    t.picks[v].resize(t.usable_children[v].size());
+    int32_t reach = 0;  // nodes reachable from children merged so far
+    for (size_t c_idx = 0; c_idx < t.usable_children[v].size(); ++c_idx) {
+      OsNodeId c = t.usable_children[v][c_idx];
+      reach = std::min(budget, reach + t.cap[c]);
+      std::vector<double> nr(budget + 1, kDpNegInf);
+      std::vector<int32_t>& pick = t.picks[v][c_idx];
+      pick.assign(budget + 1, 0);
+      for (int32_t m = 0; m <= reach; ++m) {
+        // j nodes to child c, m - j to earlier children.
+        int32_t jmax = std::min(m, t.cap[c]);
+        for (int32_t j = 0; j <= jmax; ++j) {
+          ++t.operations;
+          double prev = r[m - j];
+          if (prev <= kDpNegInf) continue;
+          double cand = prev + (j > 0 ? t.best[c][j] : 0.0);
+          if (cand > nr[m]) {
+            nr[m] = cand;
+            pick[m] = j;
+          }
+        }
+      }
+      r.swap(nr);
+    }
+
+    t.best[v].assign(t.cap[v] + 1, kDpNegInf);
+    t.best[v][0] = 0.0;
+    for (int32_t i = 1; i <= t.cap[v]; ++i) {
+      if (r[i - 1] > kDpNegInf) {
+        t.best[v][i] = node.local_importance + r[i - 1];
+      }
+    }
+  }
+  return t;
+}
+
+Selection ReconstructDp(const OsTree& os, const DpTables& tables, size_t l) {
+  Selection result;
+  const int32_t target = static_cast<int32_t>(l);
+  assert(target >= 1 && target <= tables.L);
+  assert(tables.best[kOsRoot][target] > kDpNegInf);
+  std::vector<std::pair<OsNodeId, int32_t>> stack{{kOsRoot, target}};
+  while (!stack.empty()) {
+    auto [v, i] = stack.back();
+    stack.pop_back();
+    result.nodes.push_back(v);
+    int32_t m = i - 1;
+    for (size_t t = tables.usable_children[v].size(); t-- > 0;) {
+      int32_t j = tables.picks[v][t][m];
+      if (j > 0) stack.push_back({tables.usable_children[v][t], j});
+      m -= j;
+    }
+    assert(m == 0);
+  }
+  std::sort(result.nodes.begin(), result.nodes.end());
+  result.importance = SelectionImportance(os, result.nodes);
+  return result;
+}
+
+}  // namespace internal
+
+Selection SizeLDp(const OsTree& os, size_t l, SizeLStats* stats) {
+  Selection result;
+  if (os.empty() || l == 0) return result;
+  internal::DpTables tables =
+      internal::ComputeDpTables(os, std::min(l, os.size()));
+  result = internal::ReconstructDp(os, tables, std::min(l, os.size()));
+  if (stats != nullptr) stats->operations = tables.operations;
+  return result;
+}
+
+namespace {
+
+// State for the literal enumeration DP.
+struct EnumState {
+  const OsTree* os;
+  int32_t L;
+  uint64_t op_budget;
+  uint64_t ops = 0;
+  bool aborted = false;
+  std::vector<int32_t> cap;
+  std::vector<std::vector<OsNodeId>> usable_children;
+  // memo[v][i]: best importance of an i-node subtree rooted at v, or unset.
+  std::vector<std::vector<std::optional<double>>> memo;
+  // memo_choice[v][i]: the per-child node counts of the best combination.
+  std::vector<std::vector<std::vector<int32_t>>> memo_choice;
+
+  double Solve(OsNodeId v, int32_t i);
+  // Enumerates all assignments of `remaining` nodes to children [t..] of v;
+  // returns the best total and fills `counts` (sized to children) with the
+  // best assignment found from this position.
+  double Enumerate(OsNodeId v, size_t t, int32_t remaining,
+                   std::vector<int32_t>* counts,
+                   std::vector<int32_t>* best_counts);
+};
+
+double EnumState::Solve(OsNodeId v, int32_t i) {
+  if (aborted) return kNegInf;
+  if (i <= 0 || i > cap[v]) return kNegInf;
+  auto& cell = memo[v][i];
+  if (cell.has_value()) return *cell;
+  if (++ops > op_budget) {
+    aborted = true;
+    return kNegInf;
+  }
+  double w = os->node(v).local_importance;
+  double value;
+  std::vector<int32_t> best_counts(usable_children[v].size(), 0);
+  if (i == 1) {
+    value = w;
+  } else {
+    std::vector<int32_t> counts(usable_children[v].size(), 0);
+    double sub = Enumerate(v, 0, i - 1, &counts, &best_counts);
+    value = sub == kNegInf ? kNegInf : w + sub;
+  }
+  cell = value;
+  memo_choice[v][i] = std::move(best_counts);
+  return value;
+}
+
+double EnumState::Enumerate(OsNodeId v, size_t t, int32_t remaining,
+                            std::vector<int32_t>* counts,
+                            std::vector<int32_t>* best_counts) {
+  if (aborted) return kNegInf;
+  ++ops;
+  if (ops > op_budget) {
+    aborted = true;
+    return kNegInf;
+  }
+  const auto& children = usable_children[v];
+  if (t == children.size()) {
+    if (remaining != 0) return kNegInf;
+    *best_counts = *counts;
+    return 0.0;
+  }
+  OsNodeId c = children[t];
+  double best_total = kNegInf;
+  std::vector<int32_t> local_best;
+  // The literal "all combinations" loop: every split of `remaining` between
+  // this child and the rest.
+  for (int32_t j = 0; j <= std::min(remaining, cap[c]); ++j) {
+    double childv = j > 0 ? Solve(c, j) : 0.0;
+    if (childv == kNegInf) continue;
+    (*counts)[t] = j;
+    std::vector<int32_t> rest_best;
+    double restv = Enumerate(v, t + 1, remaining - j, counts, &rest_best);
+    (*counts)[t] = 0;
+    if (restv == kNegInf) continue;
+    if (childv + restv > best_total) {
+      best_total = childv + restv;
+      local_best = std::move(rest_best);
+      local_best[t] = j;
+    }
+  }
+  if (best_total != kNegInf) *best_counts = std::move(local_best);
+  return best_total;
+}
+
+}  // namespace
+
+Selection SizeLDpEnumerate(const OsTree& os, size_t l, uint64_t op_budget,
+                           SizeLStats* stats) {
+  Selection result;
+  if (os.empty() || l == 0) return result;
+  const int32_t n = static_cast<int32_t>(os.size());
+  const int32_t L = static_cast<int32_t>(std::min<size_t>(l, os.size()));
+
+  EnumState st;
+  st.os = &os;
+  st.L = L;
+  st.op_budget = op_budget;
+  std::vector<int32_t> subtree = SubtreeSizes(os);
+  st.cap.resize(n);
+  st.usable_children.resize(n);
+  st.memo.resize(n);
+  st.memo_choice.resize(n);
+  for (OsNodeId v = 0; v < n; ++v) {
+    st.cap[v] = std::min(L - os.node(v).depth, subtree[v]);
+    if (st.cap[v] < 0) st.cap[v] = 0;
+    st.memo[v].resize(st.cap[v] + 1);
+    st.memo_choice[v].resize(st.cap[v] + 1);
+    for (OsNodeId c : os.node(v).children) {
+      if (std::min(L - os.node(c).depth, subtree[c]) >= 1) {
+        st.usable_children[v].push_back(c);
+      }
+    }
+  }
+
+  double value = st.Solve(kOsRoot, L);
+  if (stats != nullptr) {
+    stats->operations = st.ops;
+    stats->aborted = st.aborted;
+  }
+  if (st.aborted || value == kNegInf) return result;
+
+  std::vector<std::pair<OsNodeId, int32_t>> stack{{kOsRoot, L}};
+  while (!stack.empty()) {
+    auto [v, i] = stack.back();
+    stack.pop_back();
+    result.nodes.push_back(v);
+    const auto& counts = st.memo_choice[v][i];
+    for (size_t t = 0; t < counts.size(); ++t) {
+      if (counts[t] > 0) stack.push_back({st.usable_children[v][t], counts[t]});
+    }
+  }
+  std::sort(result.nodes.begin(), result.nodes.end());
+  result.importance = SelectionImportance(os, result.nodes);
+  return result;
+}
+
+}  // namespace osum::core

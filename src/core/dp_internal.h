@@ -1,0 +1,42 @@
+// Internal: the tree-knapsack DP tables shared by SizeLDp (single l) and
+// SizeLDpAll (all l from one pass). Not part of the public API.
+#ifndef OSUM_CORE_DP_INTERNAL_H_
+#define OSUM_CORE_DP_INTERNAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/os_tree.h"
+
+namespace osum::core::internal {
+
+inline constexpr double kDpNegInf = -1e300;
+
+/// Bottom-up knapsack tables for budget L.
+struct DpTables {
+  int32_t L = 0;
+  /// cap[v] = min(L - depth(v), |subtree(v)|): max nodes selectable from
+  /// v's subtree in any root-connected solution through v.
+  std::vector<int32_t> cap;
+  /// best[v][i], i in [0, cap[v]]: max importance of an i-node connected
+  /// subtree rooted at v (i >= 1 includes v); best[v][0] = 0.
+  std::vector<std::vector<double>> best;
+  /// Children of v with cap >= 1, in child order (merge order).
+  std::vector<std::vector<OsNodeId>> usable_children;
+  /// picks[v][t][m]: nodes assigned to usable child t of v when m nodes
+  /// total are spread over children [0..t]. Drives reconstruction.
+  std::vector<std::vector<std::vector<int32_t>>> picks;
+  uint64_t operations = 0;
+};
+
+/// Runs the bottom-up merge for budget L = min(l, |os|).
+DpTables ComputeDpTables(const OsTree& os, size_t l);
+
+/// Reconstructs the optimal selection of exactly `l` nodes (l <= L) from
+/// the tables. Requires best[root][l] to be finite, which holds whenever
+/// l <= |os| because the whole tree is one feasible subtree.
+Selection ReconstructDp(const OsTree& os, const DpTables& tables, size_t l);
+
+}  // namespace osum::core::internal
+
+#endif  // OSUM_CORE_DP_INTERNAL_H_

@@ -1,0 +1,76 @@
+#include "core/multi_l.h"
+
+#include <algorithm>
+
+#include "core/dp_internal.h"
+#include "core/size_l.h"
+
+namespace osum::core {
+
+std::vector<Selection> SizeLDpAll(const OsTree& os, size_t max_l) {
+  std::vector<Selection> result;
+  if (os.empty() || max_l == 0) return result;
+  const size_t L = std::min(max_l, os.size());
+  internal::DpTables tables = internal::ComputeDpTables(os, L);
+  result.reserve(L);
+  for (size_t l = 1; l <= L; ++l) {
+    result.push_back(internal::ReconstructDp(os, tables, l));
+  }
+  return result;
+}
+
+std::vector<LStabilityPoint> AnalyzeLStability(const OsTree& os,
+                                               size_t max_l) {
+  std::vector<LStabilityPoint> points;
+  std::vector<Selection> optima = SizeLDpAll(os, max_l);
+  for (size_t i = 0; i + 1 < optima.size(); ++i) {
+    const auto& a = optima[i].nodes;      // size l = i + 1, sorted
+    const auto& b = optima[i + 1].nodes;  // size l + 1, sorted
+    size_t overlap = 0;
+    size_t x = 0, y = 0;
+    while (x < a.size() && y < b.size()) {
+      if (a[x] == b[y]) {
+        ++overlap;
+        ++x;
+        ++y;
+      } else if (a[x] < b[y]) {
+        ++x;
+      } else {
+        ++y;
+      }
+    }
+    LStabilityPoint p;
+    p.l = i + 1;
+    p.overlap = overlap;
+    p.overlap_ratio =
+        static_cast<double>(overlap) / static_cast<double>(p.l);
+    p.is_incremental = overlap == p.l;
+    points.push_back(p);
+  }
+  return points;
+}
+
+size_t ChooseLByMarginalGain(const OsTree& os, size_t max_l,
+                             double drop_ratio) {
+  std::vector<Selection> optima = SizeLDpAll(os, max_l);
+  if (optima.empty()) return 0;
+  size_t l = 1;
+  while (l < optima.size()) {
+    double current = optima[l - 1].importance;
+    double gain = optima[l].importance - current;
+    double average = current / static_cast<double>(l);
+    if (gain < drop_ratio * average) break;
+    ++l;
+  }
+  return l;
+}
+
+double IncrementalFraction(const std::vector<LStabilityPoint>& points) {
+  if (points.empty()) return 0.0;
+  size_t incremental = 0;
+  for (const LStabilityPoint& p : points) incremental += p.is_incremental;
+  return static_cast<double>(incremental) /
+         static_cast<double>(points.size());
+}
+
+}  // namespace osum::core

@@ -1,0 +1,57 @@
+// Multi-l computation and the size-l solution-space analysis the paper
+// lists as future work (Section 7):
+//
+//   "it is observed that, in the general case, optimal size-l OSs for
+//    different l could be very different. This prevents the incremental
+//    computation of a size-l OS from the optimal size-(l-1) OS ... In the
+//    future, we plan to experimentally analyze the space of optimal
+//    size-l OSs and identify potential similarities among them."
+//
+// SizeLDpAll amortizes that analysis: one bottom-up knapsack pass already
+// holds the optimal value for *every* budget at every node, so the optima
+// for all l in [1, max_l] are reconstructed from a single DP table —
+// far cheaper than max_l independent runs. AnalyzeLStability quantifies
+// the (non-)incrementality: for each l, how much of the optimal size-l OS
+// survives in the optimal size-(l+1) OS.
+#ifndef OSUM_CORE_MULTI_L_H_
+#define OSUM_CORE_MULTI_L_H_
+
+#include <vector>
+
+#include "core/os_tree.h"
+
+namespace osum::core {
+
+/// Optimal size-l OSs for every l in [1, min(max_l, |OS|)], from one DP
+/// pass. result[i] is the optimum for l = i + 1; each equals SizeLDp(os,
+/// i + 1) in importance (tie-broken identically).
+std::vector<Selection> SizeLDpAll(const OsTree& os, size_t max_l);
+
+/// One point of the solution-space analysis.
+struct LStabilityPoint {
+  size_t l = 0;              // compares optimal size-l vs size-(l+1)
+  size_t overlap = 0;        // |S_l ∩ S_{l+1}|
+  double overlap_ratio = 0;  // overlap / l
+  bool is_incremental = false;  // S_l ⊂ S_{l+1} (overlap == l)
+};
+
+/// Compares consecutive optima for l = 1 .. max_l-1.
+std::vector<LStabilityPoint> AnalyzeLStability(const OsTree& os,
+                                               size_t max_l);
+
+/// Fraction of consecutive steps that were incremental (S_l ⊂ S_{l+1}).
+double IncrementalFraction(const std::vector<LStabilityPoint>& points);
+
+/// Automatic l selection by diminishing returns (a second reading of the
+/// Section 7 "selection of an appropriate value for l" direction, next to
+/// word budgets): grow l while each added tuple still contributes at
+/// least `drop_ratio` of the current average importance per tuple, i.e.
+/// pick the largest l <= max_l with
+///   Im(S_l) - Im(S_{l-1}) >= drop_ratio * Im(S_{l-1}) / (l-1).
+/// Computed from one SizeLDpAll pass. Returns at least 1.
+size_t ChooseLByMarginalGain(const OsTree& os, size_t max_l,
+                             double drop_ratio = 0.25);
+
+}  // namespace osum::core
+
+#endif  // OSUM_CORE_MULTI_L_H_

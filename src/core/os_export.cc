@@ -1,0 +1,150 @@
+#include "core/os_export.h"
+
+#include <cstdio>
+#include <unordered_set>
+
+#include "util/string_util.h"
+
+namespace osum::core {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void AppendValueJson(const rel::Value& v, std::string* out) {
+  switch (rel::TypeOf(v)) {
+    case rel::ValueType::kNull:
+      *out += "null";
+      break;
+    case rel::ValueType::kInt:
+      *out += std::to_string(std::get<int64_t>(v));
+      break;
+    case rel::ValueType::kDouble:
+      *out += util::FormatDouble(std::get<double>(v), 6);
+      break;
+    case rel::ValueType::kString:
+      *out += "\"" + JsonEscape(std::get<std::string>(v)) + "\"";
+      break;
+  }
+}
+
+struct JsonWriter {
+  const rel::Database& db;
+  const gds::Gds& gds;
+  const OsTree& os;
+  const std::unordered_set<OsNodeId>* keep;
+  bool pretty;
+  std::string out;
+
+  bool Selected(OsNodeId id) const {
+    return keep == nullptr || keep->count(id) > 0;
+  }
+
+  void Indent(int depth) {
+    if (pretty) out.append(static_cast<size_t>(depth) * 2, ' ');
+  }
+
+  void Newline() {
+    if (pretty) out += "\n";
+  }
+
+  void Emit(OsNodeId id, int depth) {
+    const OsNode& n = os.node(id);
+    const rel::Relation& rel = db.relation(n.relation);
+
+    Indent(depth);
+    out += "{";
+    Newline();
+    Indent(depth + 1);
+    out += "\"label\": \"" + JsonEscape(gds.node(n.gds_node).label) + "\",";
+    Newline();
+    Indent(depth + 1);
+    out += "\"relation\": \"" + JsonEscape(rel.name()) + "\",";
+    Newline();
+    Indent(depth + 1);
+    out += "\"importance\": " + util::FormatDouble(n.local_importance, 6) +
+           ",";
+    Newline();
+    Indent(depth + 1);
+    out += "\"values\": {";
+    bool first = true;
+    const rel::Schema& schema = rel.schema();
+    for (rel::ColumnId c = 0; c < schema.num_columns(); ++c) {
+      if (!schema.column(c).display) continue;
+      if (!first) out += ", ";
+      first = false;
+      out += "\"" + JsonEscape(schema.column(c).name) + "\": ";
+      AppendValueJson(rel.value(n.tuple, c), &out);
+    }
+    out += "},";
+    Newline();
+    Indent(depth + 1);
+    out += "\"children\": [";
+    bool first_child = true;
+    for (OsNodeId c : n.children) {
+      if (!Selected(c)) continue;
+      if (!first_child) out += ",";
+      first_child = false;
+      Newline();
+      Emit(c, depth + 2);
+    }
+    if (!first_child) {
+      Newline();
+      Indent(depth + 1);
+    }
+    out += "]";
+    Newline();
+    Indent(depth);
+    out += "}";
+  }
+};
+
+}  // namespace
+
+std::string RenderOsJson(const rel::Database& db, const gds::Gds& gds,
+                         const OsTree& os,
+                         const std::vector<OsNodeId>* selection,
+                         bool pretty) {
+  if (os.empty()) return "null";
+  std::unordered_set<OsNodeId> keep;
+  if (selection != nullptr) keep.insert(selection->begin(), selection->end());
+  JsonWriter writer{db, gds, os,
+                    selection == nullptr ? nullptr : &keep, pretty, {}};
+  if (selection != nullptr && keep.count(kOsRoot) == 0) return "null";
+  writer.Emit(kOsRoot, 0);
+  if (pretty) writer.out += "\n";
+  return std::move(writer.out);
+}
+
+}  // namespace osum::core

@@ -1,0 +1,36 @@
+// OS export: JSON rendering of (partial) Object Summaries for downstream
+// tooling (UIs, the DPA-report use case of the paper's introduction).
+#ifndef OSUM_CORE_OS_EXPORT_H_
+#define OSUM_CORE_OS_EXPORT_H_
+
+#include <string>
+
+#include "core/os_tree.h"
+#include "gds/gds.h"
+
+namespace osum::core {
+
+/// Renders the OS (or, if `selection` is non-null, the selected subtree)
+/// as a JSON document:
+///
+/// {
+///   "label": "Author",
+///   "relation": "Author",
+///   "importance": 58.0,
+///   "values": {"name": "Christos Faloutsos"},
+///   "children": [ ... ]
+/// }
+///
+/// Attribute values come from display columns only, matching the rendered
+/// text format. Strings are JSON-escaped; NULLs become null.
+std::string RenderOsJson(const rel::Database& db, const gds::Gds& gds,
+                         const OsTree& os,
+                         const std::vector<OsNodeId>* selection = nullptr,
+                         bool pretty = true);
+
+/// Escapes a string for inclusion in a JSON document (exposed for tests).
+std::string JsonEscape(const std::string& s);
+
+}  // namespace osum::core
+
+#endif  // OSUM_CORE_OS_EXPORT_H_

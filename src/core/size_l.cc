@@ -1,0 +1,42 @@
+#include "core/size_l.h"
+
+namespace osum::core {
+
+const char* AlgorithmName(SizeLAlgorithm a) {
+  switch (a) {
+    case SizeLAlgorithm::kDp:
+      return "DP";
+    case SizeLAlgorithm::kDpEnumerate:
+      return "DP-Enumerate";
+    case SizeLAlgorithm::kBottomUp:
+      return "Bottom-Up";
+    case SizeLAlgorithm::kTopPath:
+      return "Top-Path";
+    case SizeLAlgorithm::kTopPathMemo:
+      return "Top-Path-Memo";
+    case SizeLAlgorithm::kBruteForce:
+      return "Brute-Force";
+  }
+  return "?";
+}
+
+Selection RunSizeL(SizeLAlgorithm a, const OsTree& os, size_t l,
+                   SizeLStats* stats) {
+  switch (a) {
+    case SizeLAlgorithm::kDp:
+      return SizeLDp(os, l, stats);
+    case SizeLAlgorithm::kDpEnumerate:
+      return SizeLDpEnumerate(os, l, /*op_budget=*/200'000'000, stats);
+    case SizeLAlgorithm::kBottomUp:
+      return SizeLBottomUp(os, l, stats);
+    case SizeLAlgorithm::kTopPath:
+      return SizeLTopPath(os, l, stats);
+    case SizeLAlgorithm::kTopPathMemo:
+      return SizeLTopPathMemo(os, l, stats);
+    case SizeLAlgorithm::kBruteForce:
+      return SizeLBruteForce(os, l, stats);
+  }
+  return {};
+}
+
+}  // namespace osum::core

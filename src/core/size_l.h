@@ -1,0 +1,89 @@
+// The size-l OS algorithms (Problem 1: find a connected, root-containing
+// l-node subtree of an OS with maximum total local importance).
+//
+//  * SizeLDp          — exact optimum via bottom-up tree-knapsack merging
+//                       (Algorithm 1's recurrence; polynomial realization).
+//  * SizeLDpEnumerate — the paper's literal DP: at every node, enumerate
+//                       *all combinations* of children and node counts
+//                       (exponential in l; kept for fidelity + ablation).
+//  * SizeLBottomUp    — Algorithm 2: iteratively prune the cheapest leaf
+//                       (O(n log n); optimal under monotonicity, Lemma 2).
+//  * SizeLTopPath     — Algorithm 3: repeatedly graft the path with the
+//                       highest average importance per tuple AI(p_i).
+//  * SizeLTopPathMemo — Algorithm 3 with the paper's s(v) optimization
+//                       (per-subtree best candidates kept in a heap);
+//                       returns identical selections, faster updates.
+//  * SizeLBruteForce  — exhaustive connected-subtree enumeration (oracle
+//                       for property tests; only viable for tiny OSs).
+//
+// All functions return selections that satisfy Definition 1 and pick
+// min(l, |OS|) nodes. Results are deterministic: ties are broken on node
+// ids.
+#ifndef OSUM_CORE_SIZE_L_H_
+#define OSUM_CORE_SIZE_L_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "core/os_tree.h"
+
+namespace osum::core {
+
+/// Operation counters reported by the algorithms (used by the efficiency
+/// benches to explain scaling behaviour).
+struct SizeLStats {
+  /// Algorithm-specific unit of work: DP cell merges, heap operations,
+  /// path-update node touches, or enumeration steps.
+  uint64_t operations = 0;
+  /// True if the run aborted because it exceeded an operation budget
+  /// (only SizeLDpEnumerate does this; mirrors the paper stopping DP runs
+  /// after 30 minutes).
+  bool aborted = false;
+};
+
+/// Exact optimum (Algorithm 1 semantics). O(n * l^2) worst case.
+Selection SizeLDp(const OsTree& os, size_t l, SizeLStats* stats = nullptr);
+
+/// The paper's literal combination-enumeration DP. Aborts (returns an
+/// empty selection with stats->aborted = true) once `op_budget` elementary
+/// steps are exceeded.
+Selection SizeLDpEnumerate(const OsTree& os, size_t l, uint64_t op_budget,
+                           SizeLStats* stats = nullptr);
+
+/// Greedy Bottom-Up Pruning (Algorithm 2). O(n log n).
+Selection SizeLBottomUp(const OsTree& os, size_t l,
+                        SizeLStats* stats = nullptr);
+
+/// Greedy Update Top-Path-l (Algorithm 3), plain O(n*l) variant.
+Selection SizeLTopPath(const OsTree& os, size_t l,
+                       SizeLStats* stats = nullptr);
+
+/// Algorithm 3 with the s(v) subtree-best optimization (Section 5.2).
+/// Produces the same selection as SizeLTopPath.
+Selection SizeLTopPathMemo(const OsTree& os, size_t l,
+                           SizeLStats* stats = nullptr);
+
+/// Exhaustive oracle; enumerates every candidate size-l OS. Exponential —
+/// use only with tiny trees (tests cap |OS| around 25).
+Selection SizeLBruteForce(const OsTree& os, size_t l,
+                          SizeLStats* stats = nullptr);
+
+/// Identifier for benchmarking / dispatch.
+enum class SizeLAlgorithm {
+  kDp,
+  kDpEnumerate,
+  kBottomUp,
+  kTopPath,
+  kTopPathMemo,
+  kBruteForce,
+};
+
+const char* AlgorithmName(SizeLAlgorithm a);
+
+/// Uniform dispatch (enumerate uses a default budget of 200M steps).
+Selection RunSizeL(SizeLAlgorithm a, const OsTree& os, size_t l,
+                   SizeLStats* stats = nullptr);
+
+}  // namespace osum::core
+
+#endif  // OSUM_CORE_SIZE_L_H_

@@ -1,0 +1,211 @@
+// Update Top-Path-l (Algorithm 3): repeatedly select the path with the
+// largest average importance per tuple AI(p_i), add it to the size-l OS,
+// and re-root the children of selected nodes.
+//
+// Two variants share the selection semantics:
+//  * SizeLTopPath     — plain: after each selection the affected subtrees
+//    are re-scanned and the global argmax is found by a full O(n) sweep.
+//  * SizeLTopPathMemo — the Section 5.2 optimization: each forest root
+//    caches its best descendant s(v); roots live in a max-heap, and a path
+//    selection only recomputes the subtrees that were actually re-rooted.
+// Both produce identical selections (ties broken on smaller node id).
+#include <algorithm>
+#include <cassert>
+#include <queue>
+#include <vector>
+
+#include "core/size_l.h"
+
+namespace osum::core {
+
+namespace {
+
+// Returns the node ids of the path from the root of `x`'s current tree down
+// to `x` (top-first). A node's current tree root is its highest unselected
+// ancestor — selections always consume root-paths, so unselected ancestors
+// of an unselected node are exactly its current tree.
+std::vector<OsNodeId> CurrentPath(const OsTree& os,
+                                  const std::vector<bool>& selected,
+                                  OsNodeId x) {
+  std::vector<OsNodeId> path;
+  for (OsNodeId v = x; v != kNoOsNode && !selected[v]; v = os.node(v).parent) {
+    path.push_back(v);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace
+
+Selection SizeLTopPath(const OsTree& os, size_t l, SizeLStats* stats) {
+  Selection result;
+  if (os.empty() || l == 0) return result;
+  const int32_t n = static_cast<int32_t>(os.size());
+  const size_t L = std::min<size_t>(l, os.size());
+  uint64_t ops = 0;
+
+  // path_sum/path_len: sum of local importance and node count of the path
+  // from the node's *current tree root* to the node, inclusive.
+  std::vector<double> path_sum(n);
+  std::vector<int32_t> path_len(n);
+  for (OsNodeId v = 0; v < n; ++v) {  // BFS order: parent precedes child
+    const OsNode& node = os.node(v);
+    if (node.parent == kNoOsNode) {
+      path_sum[v] = node.local_importance;
+      path_len[v] = 1;
+    } else {
+      path_sum[v] = path_sum[node.parent] + node.local_importance;
+      path_len[v] = path_len[node.parent] + 1;
+    }
+  }
+
+  std::vector<bool> selected(n, false);
+  size_t selected_count = 0;
+
+  while (selected_count < L) {
+    // Global argmax of AI among unselected nodes; smaller id wins ties.
+    OsNodeId best = kNoOsNode;
+    double best_ai = -1.0;
+    for (OsNodeId v = 0; v < n; ++v) {
+      if (selected[v]) continue;
+      ++ops;
+      double ai = path_sum[v] / static_cast<double>(path_len[v]);
+      if (ai > best_ai) {
+        best_ai = ai;
+        best = v;
+      }
+    }
+    assert(best != kNoOsNode);
+
+    std::vector<OsNodeId> path = CurrentPath(os, selected, best);
+    size_t take = std::min(path.size(), L - selected_count);
+    // Only the first `take` nodes (the top of the path) stay connected to
+    // the already-selected part.
+    for (size_t i = 0; i < take; ++i) {
+      selected[path[i]] = true;
+      ++selected_count;
+    }
+
+    // Re-root: every unselected child of a newly selected node becomes the
+    // root of its own tree; recompute path aggregates in its subtree.
+    for (size_t i = 0; i < take; ++i) {
+      for (OsNodeId c : os.node(path[i]).children) {
+        if (selected[c]) continue;
+        // BFS from c with c as path start.
+        std::vector<OsNodeId> stack{c};
+        path_sum[c] = os.node(c).local_importance;
+        path_len[c] = 1;
+        while (!stack.empty()) {
+          OsNodeId u = stack.back();
+          stack.pop_back();
+          ++ops;
+          for (OsNodeId w : os.node(u).children) {
+            if (selected[w]) continue;
+            path_sum[w] = path_sum[u] + os.node(w).local_importance;
+            path_len[w] = path_len[u] + 1;
+            stack.push_back(w);
+          }
+        }
+      }
+    }
+  }
+
+  for (OsNodeId v = 0; v < n; ++v) {
+    if (selected[v]) result.nodes.push_back(v);
+  }
+  result.importance = SelectionImportance(os, result.nodes);
+  if (stats != nullptr) stats->operations = ops;
+  return result;
+}
+
+Selection SizeLTopPathMemo(const OsTree& os, size_t l, SizeLStats* stats) {
+  Selection result;
+  if (os.empty() || l == 0) return result;
+  const int32_t n = static_cast<int32_t>(os.size());
+  const size_t L = std::min<size_t>(l, os.size());
+  uint64_t ops = 0;
+
+  std::vector<double> path_sum(n);
+  std::vector<int32_t> path_len(n);
+  std::vector<bool> selected(n, false);
+
+  // Heap of forest roots keyed by the AI of their best descendant s(v).
+  // Entries are invalidated lazily via `root_version`.
+  struct Entry {
+    double ai;
+    OsNodeId best;   // s(v): best descendant in the root's subtree
+    OsNodeId root;
+    uint64_t version;
+  };
+  struct Cmp {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.ai != b.ai) return a.ai < b.ai;          // max-heap on AI
+      return a.best > b.best;                        // smaller id wins
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, Cmp> heap;
+  std::vector<uint64_t> root_version(n, 0);
+  uint64_t version_counter = 0;
+
+  // (Re)computes path aggregates in the subtree rooted at r (r is a tree
+  // root: its path starts at itself) and pushes its best candidate.
+  auto root_subtree = [&](OsNodeId r) {
+    path_sum[r] = os.node(r).local_importance;
+    path_len[r] = 1;
+    OsNodeId best = r;
+    double best_ai = path_sum[r];
+    std::vector<OsNodeId> stack{r};
+    while (!stack.empty()) {
+      OsNodeId u = stack.back();
+      stack.pop_back();
+      ++ops;
+      for (OsNodeId w : os.node(u).children) {
+        if (selected[w]) continue;
+        path_sum[w] = path_sum[u] + os.node(w).local_importance;
+        path_len[w] = path_len[u] + 1;
+        double ai = path_sum[w] / static_cast<double>(path_len[w]);
+        double cur_best = best_ai;
+        if (ai > cur_best || (ai == cur_best && w < best)) {
+          best_ai = ai;
+          best = w;
+        }
+        stack.push_back(w);
+      }
+    }
+    root_version[r] = ++version_counter;
+    heap.push(Entry{best_ai, best, r, root_version[r]});
+  };
+
+  root_subtree(kOsRoot);
+  size_t selected_count = 0;
+
+  while (selected_count < L) {
+    assert(!heap.empty());
+    Entry top = heap.top();
+    heap.pop();
+    if (selected[top.root] || root_version[top.root] != top.version) {
+      continue;  // stale
+    }
+    std::vector<OsNodeId> path = CurrentPath(os, selected, top.best);
+    assert(path.front() == top.root);
+    size_t take = std::min(path.size(), L - selected_count);
+    for (size_t i = 0; i < take; ++i) {
+      selected[path[i]] = true;
+      ++selected_count;
+    }
+    for (size_t i = 0; i < take; ++i) {
+      for (OsNodeId c : os.node(path[i]).children) {
+        if (!selected[c]) root_subtree(c);
+      }
+    }
+  }
+
+  for (OsNodeId v = 0; v < n; ++v) {
+    if (selected[v]) result.nodes.push_back(v);
+  }
+  result.importance = SelectionImportance(os, result.nodes);
+  if (stats != nullptr) stats->operations = ops;
+  return result;
+}
+
+}  // namespace osum::core

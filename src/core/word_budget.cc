@@ -1,0 +1,102 @@
+#include "core/word_budget.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace osum::core {
+
+namespace {
+
+uint64_t SelectionCost(const std::vector<uint32_t>& costs,
+                       const Selection& sel) {
+  uint64_t total = 0;
+  for (OsNodeId id : sel.nodes) total += costs[id];
+  return total;
+}
+
+}  // namespace
+
+std::vector<uint32_t> NodeBudgetCosts(const rel::Database& db,
+                                      const OsTree& os, BudgetUnit unit) {
+  std::vector<uint32_t> costs(os.size(), 0);
+  for (size_t i = 0; i < os.size(); ++i) {
+    const OsNode& n = os.node(static_cast<OsNodeId>(i));
+    const rel::Relation& r = db.relation(n.relation);
+    if (unit == BudgetUnit::kAttributes) {
+      uint32_t attrs = 0;
+      for (const rel::Column& c : r.schema().columns()) attrs += c.display;
+      costs[i] = attrs;
+    } else {
+      costs[i] = static_cast<uint32_t>(
+          util::TokenizeWords(r.RenderValues(n.tuple)).size());
+    }
+  }
+  return costs;
+}
+
+BudgetedSelection SizeLByBudget(const rel::Database& db, const OsTree& os,
+                                uint64_t budget, BudgetUnit unit,
+                                SizeLAlgorithm algorithm) {
+  BudgetedSelection result;
+  if (os.empty()) return result;
+  std::vector<uint32_t> costs = NodeBudgetCosts(db, os, unit);
+
+  // Exponential probe upward to bracket the budget, then binary search for
+  // the largest fitting l; a final downward walk guards against the mild
+  // non-monotonicity of cost in l.
+  const size_t n = os.size();
+  auto cost_at = [&](size_t l, Selection* out) {
+    *out = RunSizeL(algorithm, os, l);
+    return SelectionCost(costs, *out);
+  };
+
+  Selection sel;
+  size_t lo = 1;
+  uint64_t lo_cost = cost_at(1, &sel);
+  if (lo_cost > budget) {
+    // Even the root alone overshoots: return it (never empty).
+    result.selection = std::move(sel);
+    result.l = 1;
+    result.cost = lo_cost;
+    return result;
+  }
+  Selection lo_sel = sel;
+
+  size_t hi = 1;
+  while (hi < n) {
+    hi = std::min(n, hi * 2);
+    uint64_t c = cost_at(hi, &sel);
+    if (c > budget) break;
+    lo = hi;
+    lo_cost = c;
+    lo_sel = sel;
+    if (hi == n) {
+      result.selection = std::move(lo_sel);
+      result.l = lo;
+      result.cost = lo_cost;
+      return result;  // whole OS fits
+    }
+  }
+
+  // Binary search in (lo, hi): lo fits, hi overshoots.
+  size_t bad = hi;
+  while (lo + 1 < bad) {
+    size_t mid = lo + (bad - lo) / 2;
+    uint64_t c = cost_at(mid, &sel);
+    if (c <= budget) {
+      lo = mid;
+      lo_cost = c;
+      lo_sel = sel;
+    } else {
+      bad = mid;
+    }
+  }
+
+  result.selection = std::move(lo_sel);
+  result.l = lo;
+  result.cost = lo_cost;
+  return result;
+}
+
+}  // namespace osum::core

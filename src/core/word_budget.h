@@ -1,0 +1,52 @@
+// Budget-driven selection of l — the paper's Section 7 future work:
+//
+//   "the selection of an appropriate value for l is an interesting
+//    problem; a natural approach is to select l based on the amount of
+//    attributes or words it will result, e.g. 20 attributes or 50 words."
+//
+// A size-l OS's rendered footprint depends on *which* tuples are picked
+// (papers have long titles, years are one token), so the problem is not
+// just inverting a formula: we search over l, running the chosen size-l
+// algorithm per probe, for the largest synopsis whose rendered cost fits
+// the budget. Costs are monotone in l for a fixed algorithm only
+// approximately (different l can select different tuples), so the search
+// walks down from the first overshoot to guarantee a fitting result.
+#ifndef OSUM_CORE_WORD_BUDGET_H_
+#define OSUM_CORE_WORD_BUDGET_H_
+
+#include <cstdint>
+
+#include "core/os_tree.h"
+#include "core/size_l.h"
+#include "gds/gds.h"
+
+namespace osum::core {
+
+/// What to count against the budget.
+enum class BudgetUnit {
+  kWords,       // whitespace-delimited tokens of the rendered values
+  kAttributes,  // displayed attribute values
+};
+
+/// Per-node rendered cost of `os` under `unit`.
+std::vector<uint32_t> NodeBudgetCosts(const rel::Database& db,
+                                      const OsTree& os, BudgetUnit unit);
+
+/// Result of a budgeted selection.
+struct BudgetedSelection {
+  Selection selection;
+  size_t l = 0;        // the l that was chosen
+  uint64_t cost = 0;   // rendered cost of the selection
+};
+
+/// Finds the largest l whose size-l OS (computed by `algorithm`) fits
+/// within `budget` units, and returns that selection. If even l=1 (the
+/// root alone) exceeds the budget, returns the root anyway — a synopsis
+/// is never empty (`cost` then reports the overshoot).
+BudgetedSelection SizeLByBudget(const rel::Database& db, const OsTree& os,
+                                uint64_t budget, BudgetUnit unit,
+                                SizeLAlgorithm algorithm);
+
+}  // namespace osum::core
+
+#endif  // OSUM_CORE_WORD_BUDGET_H_

@@ -1,0 +1,354 @@
+#include "datasets/dblp.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace osum::datasets {
+
+namespace {
+
+using rel::Column;
+using rel::Schema;
+using rel::Value;
+using rel::ValueType;
+
+const char* kFirstNames[] = {
+    "Alice",  "Bruno",   "Carla",  "Daniel", "Elena",  "Felix",  "Georgia",
+    "Hiro",   "Ingrid",  "Jorge",  "Katja",  "Liang",  "Maria",  "Nikos",
+    "Olga",   "Pavel",   "Qing",   "Rashid", "Sofia",  "Tomas",  "Uma",
+    "Victor", "Wei",     "Xenia",  "Yannis", "Zoe",    "Amir",   "Beatriz",
+    "Chen",   "Dimitra", "Emil",   "Fatima", "Gustav", "Helena", "Ivan",
+    "Jana",   "Kostas",  "Lucia",  "Marco",  "Nadia",
+};
+
+const char* kLastNames[] = {
+    "Papadias",   "Agrawal",   "Roussel",   "Sellinger", "Metaxas",
+    "Bhagwat",    "Tanaka",    "Kimura",    "Novak",     "Kowalski",
+    "Fernandez",  "Garcia",    "Mueller",   "Schmidt",   "Johansson",
+    "Lindqvist",  "Ivanov",    "Petrov",    "Rossi",     "Bianchi",
+    "Nguyen",     "Tran",      "Kim",       "Park",      "Chen",
+    "Wang",       "Li",        "Zhang",     "Gupta",     "Sharma",
+    "Haddad",     "Nasser",    "Okafor",    "Mensah",    "Silva",
+    "Santos",     "Dimitriou", "Economou",  "Vlachos",   "Stamatakis",
+};
+
+const char* kTitleTopics[] = {
+    "Power-law Relationships",  "Similarity Search",
+    "Keyword Search",           "Object Summaries",
+    "Query Optimization",       "Spatial Indexing",
+    "Stream Processing",        "Graph Mining",
+    "Declustering",             "Multicast Protocols",
+    "Image Databases",          "Top-k Aggregation",
+    "Authority Ranking",        "Schema Extraction",
+    "View Maintenance",         "Data Cleaning",
+    "Caching Strategies",       "Transaction Scheduling",
+    "Histogram Estimation",     "Join Processing",
+    "Recommendation Models",    "Sensor Fusion",
+    "Character Animation",      "Network Topology",
+};
+
+const char* kTitleDomains[] = {
+    "the Internet",          "Sequence Databases",  "Relational Databases",
+    "XML Repositories",      "Multimedia Archives", "Road Networks",
+    "Social Graphs",         "Sensor Networks",     "Data Warehouses",
+    "Peer-to-Peer Systems",  "Scientific Workflows", "Time Series",
+    "Moving Objects",        "Trading Systems",     "Web Archives",
+    "Digital Libraries",
+};
+
+const char* kTitlePrefixes[] = {
+    "On",           "Efficient",     "Effective", "Scalable",
+    "Incremental",  "Distributed",   "Adaptive",  "Robust",
+    "Approximate",  "Parallel",      "Fast",      "Optimal",
+};
+
+const char* kConferenceNames[] = {
+    "SIGMOD", "VLDB",     "ICDE",     "PODS",    "KDD",     "SIGCOMM",
+    "SIGIR",  "WWW",      "CIKM",     "EDBT",    "ICDT",    "SSTD",
+    "DASFAA", "SIGGRAPH", "INFOCOM",  "SODA",    "STOC",    "FOCS",
+    "PDIS",   "NGC",
+};
+
+// Draws a small positive count with the given mean: 1 + Binomial-ish tail,
+// implemented as repeated Bernoulli halving for determinism and a long-ish
+// tail. Capped at `cap`.
+size_t SampleCount(util::Rng* rng, double mean, size_t cap) {
+  assert(mean >= 1.0);
+  // Geometric-like: each extra unit appears with probability p such that
+  // the expectation matches approximately: E = 1 + p/(1-p) => p = (m-1)/m.
+  double p = (mean - 1.0) / mean;
+  size_t count = 1;
+  while (count < cap && rng->NextBernoulli(p)) ++count;
+  return count;
+}
+
+}  // namespace
+
+Dblp BuildDblp(const DblpConfig& config) {
+  Dblp d;
+  util::Rng rng(config.seed);
+
+  const size_t num_authors =
+      std::max<size_t>(4, static_cast<size_t>(
+                              static_cast<double>(config.num_authors) *
+                              config.scale));
+  const size_t num_papers =
+      std::max<size_t>(8, static_cast<size_t>(
+                              static_cast<double>(config.num_papers) *
+                              config.scale));
+  const size_t num_conferences = std::max<size_t>(2, config.num_conferences);
+
+  // ---- Schema (Figure 1). FK columns are hidden from rendering.
+  Schema author_schema({{"name", ValueType::kString, true}});
+  Schema conf_schema({{"name", ValueType::kString, true}});
+  Schema year_schema({{"year", ValueType::kInt, true},
+                      {"conference_id", ValueType::kInt, false}});
+  Schema paper_schema({{"title", ValueType::kString, true},
+                       {"year_id", ValueType::kInt, false}});
+  Schema writes_schema({{"author_id", ValueType::kInt, false},
+                        {"paper_id", ValueType::kInt, false}});
+  Schema cites_schema({{"citing_id", ValueType::kInt, false},
+                       {"cited_id", ValueType::kInt, false}});
+
+  d.author = d.db.AddRelation("Author", author_schema);
+  d.paper = d.db.AddRelation("Paper", paper_schema);
+  d.year = d.db.AddRelation("Year", year_schema);
+  d.conference = d.db.AddRelation("Conference", conf_schema);
+  d.writes = d.db.AddRelation("Writes", writes_schema, /*is_junction=*/true);
+  d.cites = d.db.AddRelation("Cites", cites_schema, /*is_junction=*/true);
+
+  rel::ForeignKeyId fk_paper_year = d.db.AddForeignKey(
+      "paper_year", d.paper, paper_schema.GetColumn("year_id"), d.year);
+  rel::ForeignKeyId fk_year_conf = d.db.AddForeignKey(
+      "year_conference", d.year, year_schema.GetColumn("conference_id"),
+      d.conference);
+  // Junction FK order defines link orientation: Writes = (Author, Paper),
+  // Cites = (citing Paper, cited Paper).
+  d.db.AddForeignKey("writes_author", d.writes,
+                     writes_schema.GetColumn("author_id"), d.author);
+  d.db.AddForeignKey("writes_paper", d.writes,
+                     writes_schema.GetColumn("paper_id"), d.paper);
+  d.db.AddForeignKey("cites_citing", d.cites,
+                     cites_schema.GetColumn("citing_id"), d.paper);
+  d.db.AddForeignKey("cites_cited", d.cites,
+                     cites_schema.GetColumn("cited_id"), d.paper);
+  (void)fk_paper_year;
+  (void)fk_year_conf;
+
+  rel::Relation& authors = d.db.relation(d.author);
+  rel::Relation& papers = d.db.relation(d.paper);
+  rel::Relation& years = d.db.relation(d.year);
+  rel::Relation& conferences = d.db.relation(d.conference);
+  rel::Relation& writes = d.db.relation(d.writes);
+  rel::Relation& cites = d.db.relation(d.cites);
+
+  // ---- Authors. The first three are the paper's running example; author
+  // rank doubles as productivity rank (Zipf), so Christos is automatically
+  // the most prolific — his OS is the paper's 1,309-tuple example.
+  authors.Append({Value{std::string("Christos Faloutsos")}});
+  authors.Append({Value{std::string("Michalis Faloutsos")}});
+  authors.Append({Value{std::string("Petros Faloutsos")}});
+  const size_t nf = std::size(kFirstNames);
+  const size_t nl = std::size(kLastNames);
+  for (size_t i = 3; i < num_authors; ++i) {
+    std::string name = kFirstNames[rng.NextU64(nf)];
+    name += " ";
+    name += kLastNames[rng.NextU64(nl)];
+    if (i >= nf * nl / 4) {  // keep some natural duplicates, then uniquify
+      name += " " + std::to_string(i);
+    }
+    authors.Append({Value{std::move(name)}});
+  }
+
+  // ---- Conferences and Years (one Year tuple per conference x year).
+  for (size_t c = 0; c < num_conferences; ++c) {
+    std::string name = c < std::size(kConferenceNames)
+                           ? kConferenceNames[c]
+                           : "Conf-" + std::to_string(c);
+    conferences.Append({Value{std::move(name)}});
+  }
+  std::vector<std::vector<rel::TupleId>> years_of_conf(num_conferences);
+  for (size_t c = 0; c < num_conferences; ++c) {
+    int first =
+        static_cast<int>(rng.NextInt(config.min_year, config.min_year + 10));
+    for (int y = first; y <= config.max_year; ++y) {
+      rel::TupleId t = years.Append(
+          {Value{static_cast<int64_t>(y)},
+           Value{static_cast<int64_t>(c)}});
+      years_of_conf[c].push_back(t);
+    }
+  }
+
+  // ---- Papers: Zipf over conferences; uniform year within the venue.
+  util::ZipfSampler conf_sampler(num_conferences, config.conference_zipf);
+  const size_t ntp = std::size(kTitleTopics);
+  const size_t ntd = std::size(kTitleDomains);
+  const size_t npr = std::size(kTitlePrefixes);
+  for (size_t p = 0; p < num_papers; ++p) {
+    size_t c = conf_sampler.Sample(&rng);
+    const auto& ys = years_of_conf[c];
+    rel::TupleId year_id = ys[rng.NextU64(ys.size())];
+    std::string title = kTitlePrefixes[rng.NextU64(npr)];
+    title += " ";
+    title += kTitleTopics[rng.NextU64(ntp)];
+    title += " in ";
+    title += kTitleDomains[rng.NextU64(ntd)];
+    title += " (" + std::to_string(p) + ")";
+    papers.Append({Value{std::move(title)},
+                   Value{static_cast<int64_t>(year_id)}});
+  }
+
+  // ---- Authorship: Zipf over authors (rank = author id).
+  util::ZipfSampler author_sampler(num_authors, config.author_zipf);
+  for (size_t p = 0; p < num_papers; ++p) {
+    size_t k = SampleCount(&rng, config.mean_authors_per_paper, 8);
+    std::unordered_set<uint64_t> picked;
+    while (picked.size() < k) {
+      picked.insert(author_sampler.Sample(&rng));
+      if (picked.size() >= num_authors) break;
+    }
+    for (uint64_t a : picked) {
+      writes.Append({Value{static_cast<int64_t>(a)},
+                     Value{static_cast<int64_t>(p)}});
+    }
+  }
+
+  // ---- Citations: preferential attachment via Zipf over paper rank; only
+  // earlier papers can be cited (ids double as publication order), so the
+  // citation graph is acyclic like the real one.
+  util::ZipfSampler cite_sampler(num_papers, config.citation_zipf);
+  for (size_t p = 1; p < num_papers; ++p) {
+    size_t k = SampleCount(&rng, config.mean_citations_per_paper, 40) - 1;
+    std::unordered_set<uint64_t> picked;
+    for (size_t attempt = 0; attempt < 4 * k && picked.size() < k;
+         ++attempt) {
+      uint64_t target = cite_sampler.Sample(&rng) % p;  // strictly earlier
+      picked.insert(target);
+    }
+    for (uint64_t target : picked) {
+      cites.Append({Value{static_cast<int64_t>(p)},
+                    Value{static_cast<int64_t>(target)}});
+    }
+  }
+
+  d.db.BuildIndexes();
+  d.links = graph::LinkSchema::Build(d.db);
+  d.link_writes = d.links.GetLink("Writes");
+  d.link_cites = d.links.GetLink("Cites");
+  d.link_paper_year = d.links.GetLink("paper_year");
+  d.link_year_conf = d.links.GetLink("year_conference");
+  d.data_graph = graph::DataGraph::Build(d.db, d.links);
+  return d;
+}
+
+importance::AuthorityGraph DblpGa1(const Dblp& dblp) {
+  using rel::FkDirection;
+  importance::AuthorityGraph ga(dblp.links.num_links());
+  // Citations: being cited confers authority (0.7 towards the cited paper,
+  // nothing back). Link orientation: forward = citing -> cited.
+  ga.SetRate(dblp.link_cites, FkDirection::kForward, {0.7, std::nullopt});
+  ga.SetRate(dblp.link_cites, FkDirection::kBackward, {0.0, std::nullopt});
+  // Paper -> Author 0.3 (authors gain from their papers); Author -> Paper
+  // 0.1. Writes orientation: forward = Author -> Paper.
+  ga.SetRate(dblp.link_writes, FkDirection::kForward, {0.1, std::nullopt});
+  ga.SetRate(dblp.link_writes, FkDirection::kBackward, {0.3, std::nullopt});
+  // paper_year: a = Year, b = Paper. Paper -> Year 0.3, Year -> Paper 0.2.
+  ga.SetRate(dblp.link_paper_year, FkDirection::kForward, {0.2, std::nullopt});
+  ga.SetRate(dblp.link_paper_year, FkDirection::kBackward,
+             {0.3, std::nullopt});
+  // year_conference: a = Conference, b = Year. Year -> Conference 0.3,
+  // Conference -> Year 0.2.
+  ga.SetRate(dblp.link_year_conf, FkDirection::kForward, {0.2, std::nullopt});
+  ga.SetRate(dblp.link_year_conf, FkDirection::kBackward,
+             {0.3, std::nullopt});
+  return ga;
+}
+
+importance::AuthorityGraph DblpGa2(const Dblp& dblp) {
+  using rel::FkDirection;
+  importance::AuthorityGraph ga(dblp.links.num_links());
+  for (const graph::LinkType& lt : dblp.links.links()) {
+    ga.SetRate(lt.id, FkDirection::kForward, {0.3, std::nullopt});
+    ga.SetRate(lt.id, FkDirection::kBackward, {0.3, std::nullopt});
+  }
+  return ga;
+}
+
+importance::ObjectRankResult ApplyDblpScores(Dblp* dblp, int ga,
+                                             double damping) {
+  importance::AuthorityGraph authority =
+      ga == 1 ? DblpGa1(*dblp) : DblpGa2(*dblp);
+  importance::ObjectRankOptions options;
+  options.damping = damping;
+  return importance::RankAndAnnotate(&dblp->db, dblp->links,
+                                     &dblp->data_graph, authority, options);
+}
+
+gds::Gds DblpAuthorGds(const Dblp& dblp, double theta) {
+  using rel::FkDirection;
+  gds::GdsBuilder b(dblp.db, dblp.links, dblp.author, "Author");
+  // Affinities as annotated on Figure 2.
+  if (0.92 >= theta) {
+    auto paper = b.AddChild(gds::kGdsRoot, "Paper", dblp.link_writes,
+                            FkDirection::kForward, 0.92);
+    if (0.82 >= theta) {
+      b.AddChild(paper, "Co-Author", dblp.link_writes, FkDirection::kBackward,
+                 0.82);
+    }
+    if (0.83 >= theta) {
+      auto year = b.AddChild(paper, "Year", dblp.link_paper_year,
+                             FkDirection::kBackward, 0.83);
+      if (0.78 >= theta) {
+        b.AddChild(year, "Conference", dblp.link_year_conf,
+                   FkDirection::kBackward, 0.78);
+      }
+    }
+    if (0.77 >= theta) {
+      b.AddChild(paper, "PaperCites", dblp.link_cites, FkDirection::kForward,
+                 0.77);
+      b.AddChild(paper, "PaperCitedBy", dblp.link_cites,
+                 FkDirection::kBackward, 0.77);
+    }
+  }
+  gds::Gds gds = b.Build();
+  if (dblp.db.relation(dblp.author).has_importance()) {
+    gds.AnnotateStatistics(dblp.db);
+  }
+  return gds;
+}
+
+gds::Gds DblpPaperGds(const Dblp& dblp, double theta) {
+  using rel::FkDirection;
+  gds::GdsBuilder b(dblp.db, dblp.links, dblp.paper, "Paper");
+  // Section 6.2: Paper -> (Author, PaperCitedBy, PaperCites,
+  // Year -> Conference). Affinities follow the Figure 2 style.
+  if (0.90 >= theta) {
+    b.AddChild(gds::kGdsRoot, "Author", dblp.link_writes,
+               FkDirection::kBackward, 0.90);
+  }
+  if (0.77 >= theta) {
+    b.AddChild(gds::kGdsRoot, "PaperCites", dblp.link_cites,
+               FkDirection::kForward, 0.77);
+    b.AddChild(gds::kGdsRoot, "PaperCitedBy", dblp.link_cites,
+               FkDirection::kBackward, 0.77);
+  }
+  if (0.83 >= theta) {
+    auto year = b.AddChild(gds::kGdsRoot, "Year", dblp.link_paper_year,
+                           FkDirection::kBackward, 0.83);
+    if (0.78 >= theta) {
+      b.AddChild(year, "Conference", dblp.link_year_conf,
+                 FkDirection::kBackward, 0.78);
+    }
+  }
+  gds::Gds gds = b.Build();
+  if (dblp.db.relation(dblp.paper).has_importance()) {
+    gds.AnnotateStatistics(dblp.db);
+  }
+  return gds;
+}
+
+}  // namespace osum::datasets

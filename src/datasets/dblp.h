@@ -1,0 +1,99 @@
+// Synthetic DBLP-shaped bibliographic database (Figure 1 schema).
+//
+// The paper evaluates on a real DBLP snapshot (2,959,511 tuples). We
+// generate a statistically similar database from scratch (see DESIGN.md,
+// "Substitutions"): identical schema — Author, Paper, Year (one tuple per
+// conference+year), Conference, plus Writes and Cites junction relations —
+// with power-law co-authorship and citation skew, so a handful of prolific
+// authors have OSs of 1,000+ tuples (the paper's Christos Faloutsos OS has
+// 1,309) while the median OS stays small. The three Faloutsos brothers of
+// the paper's running example are seeded as the most prolific authors so
+// every example in the paper can be replayed verbatim.
+#ifndef OSUM_DATASETS_DBLP_H_
+#define OSUM_DATASETS_DBLP_H_
+
+#include <cstdint>
+#include <string>
+
+#include "gds/gds.h"
+#include "graph/data_graph.h"
+#include "graph/link_types.h"
+#include "importance/authority_graph.h"
+#include "importance/object_rank.h"
+#include "relational/database.h"
+
+namespace osum::datasets {
+
+/// Generator knobs. Defaults build a ~120k-tuple database in well under a
+/// second; `scale` multiplies the entity counts for paper-scale runs.
+struct DblpConfig {
+  uint64_t seed = 42;
+  size_t num_authors = 2000;
+  size_t num_papers = 8000;
+  size_t num_conferences = 40;
+  int min_year = 1980;
+  int max_year = 2011;
+  /// Zipf skew of author productivity (paper slots assigned by rank).
+  double author_zipf = 0.5;
+  /// Zipf skew of conference popularity.
+  double conference_zipf = 0.6;
+  /// Zipf skew of citation targets (preferential attachment).
+  double citation_zipf = 0.7;
+  /// Mean authors per paper (>= 1; capped at 8).
+  double mean_authors_per_paper = 2.5;
+  /// Mean outgoing citations per paper.
+  double mean_citations_per_paper = 6.0;
+  /// Uniform multiplier on num_authors / num_papers.
+  double scale = 1.0;
+};
+
+/// A generated DBLP instance plus the derived graph artifacts and handy
+/// relation ids. Move-only (owns the database).
+struct Dblp {
+  rel::Database db;
+  graph::LinkSchema links;
+  graph::DataGraph data_graph;
+
+  rel::RelationId author = 0;
+  rel::RelationId paper = 0;
+  rel::RelationId year = 0;
+  rel::RelationId conference = 0;
+  rel::RelationId writes = 0;  // junction Author-Paper
+  rel::RelationId cites = 0;   // junction Paper-Paper (fk_a = citing side)
+
+  graph::LinkTypeId link_writes = 0;
+  graph::LinkTypeId link_cites = 0;
+  graph::LinkTypeId link_paper_year = 0;  // a = Year, b = Paper
+  graph::LinkTypeId link_year_conf = 0;   // a = Conference, b = Year
+};
+
+/// Generates the database, foreign keys, link schema and data graph.
+/// Importance is NOT annotated yet — apply a score setting first.
+Dblp BuildDblp(const DblpConfig& config = {});
+
+/// The paper's tuned DBLP authority transfer graph (Figure 13a): citations
+/// transfer 0.7 forward and 0 backward, Paper->Author 0.3, Author->Paper
+/// 0.1, Paper<->Year 0.3/0.2, Year<->Conference 0.3/0.2.
+importance::AuthorityGraph DblpGa1(const Dblp& dblp);
+
+/// The degenerate G_A2: a common transfer rate of 0.3 on every edge.
+importance::AuthorityGraph DblpGa2(const Dblp& dblp);
+
+/// Runs global ObjectRank with (ga, damping) and annotates all relations
+/// and access paths. Returns iteration metadata.
+importance::ObjectRankResult ApplyDblpScores(Dblp* dblp, int ga,
+                                             double damping);
+
+/// The Author G_DS of Figure 2, with the paper's published affinities
+/// (Paper 0.92, Co-Author 0.82, Year 0.83, Conference 0.78,
+/// PaperCites/PaperCitedBy 0.77). Nodes with affinity below `theta` are
+/// omitted. Statistics (max/mmax) are annotated iff importance is present.
+gds::Gds DblpAuthorGds(const Dblp& dblp, double theta = 0.7);
+
+/// The Paper G_DS of Section 6.2: Paper -> (Author, PaperCitedBy,
+/// PaperCites, Year -> Conference).
+gds::Gds DblpPaperGds(const Dblp& dblp, double theta = 0.7);
+
+}  // namespace osum::datasets
+
+#endif  // OSUM_DATASETS_DBLP_H_

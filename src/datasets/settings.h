@@ -1,0 +1,34 @@
+// The global-importance score settings evaluated in Section 6: two
+// authority transfer graphs (G_A1 = the tuned rates of Figure 13, G_A2 =
+// the degenerate variant) crossed with three damping factors d1=0.85,
+// d2=0.10, d3=0.99.
+#ifndef OSUM_DATASETS_SETTINGS_H_
+#define OSUM_DATASETS_SETTINGS_H_
+
+#include <array>
+#include <string>
+
+namespace osum::datasets {
+
+/// One (G_A, d) combination.
+struct ScoreSetting {
+  const char* name;
+  int ga;          // 1 or 2
+  double damping;  // d
+};
+
+/// The four settings plotted in Figures 8 and 9(f): GA1-d1 (default),
+/// GA1-d2, GA1-d3, GA2-d1.
+inline constexpr std::array<ScoreSetting, 4> kScoreSettings = {{
+    {"GA1-d1", 1, 0.85},
+    {"GA1-d2", 1, 0.10},
+    {"GA1-d3", 1, 0.99},
+    {"GA2-d1", 2, 0.85},
+}};
+
+/// The paper's default setting (G_A1, d=0.85).
+inline constexpr ScoreSetting kDefaultSetting = kScoreSettings[0];
+
+}  // namespace osum::datasets
+
+#endif  // OSUM_DATASETS_SETTINGS_H_

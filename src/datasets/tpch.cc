@@ -1,0 +1,357 @@
+#include "datasets/tpch.h"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace osum::datasets {
+
+namespace {
+
+using rel::Column;
+using rel::Schema;
+using rel::Value;
+using rel::ValueType;
+
+const char* kRegions[] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                          "MIDDLE EAST"};
+
+const char* kNations[] = {
+    "ALGERIA", "ARGENTINA", "BRAZIL",  "CANADA",       "EGYPT",
+    "ETHIOPIA", "FRANCE",   "GERMANY", "INDIA",        "INDONESIA",
+    "IRAN",     "IRAQ",     "JAPAN",   "JORDAN",       "KENYA",
+    "MOROCCO",  "MOZAMBIQUE", "PERU",  "CHINA",        "ROMANIA",
+    "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+    "UNITED STATES"};
+
+// dbgen assigns nations to regions in this fixed pattern (nation i ->
+// region i % 5 is not the real mapping; we use the real TPC-H one).
+const int kNationRegion[] = {0, 1, 1, 1, 4, 0, 3, 3, 2, 2, 4, 4, 2,
+                             4, 0, 0, 0, 1, 2, 3, 4, 2, 3, 3, 1};
+
+const char* kSegments[] = {"AUTOMOBILE", "BUILDING", "FURNITURE",
+                           "HOUSEHOLD", "MACHINERY"};
+
+const char* kPartAdjectives[] = {"small", "large", "polished", "burnished",
+                                 "anodized", "plated", "brushed", "floral"};
+const char* kPartMaterials[] = {"tin", "nickel", "brass", "steel", "copper"};
+const char* kPartShapes[] = {"widget", "sprocket", "gear", "valve", "casing",
+                             "fitting", "bracket", "spindle"};
+
+size_t SampleCount(util::Rng* rng, double mean, size_t cap) {
+  assert(mean >= 1.0);
+  double p = (mean - 1.0) / mean;
+  size_t count = 1;
+  while (count < cap && rng->NextBernoulli(p)) ++count;
+  return count;
+}
+
+}  // namespace
+
+Tpch BuildTpch(const TpchConfig& config) {
+  Tpch t;
+  util::Rng rng(config.seed);
+
+  const size_t num_customers = std::max<size_t>(
+      8, static_cast<size_t>(static_cast<double>(config.num_customers) *
+                             config.scale));
+  const size_t num_suppliers = std::max<size_t>(
+      4, static_cast<size_t>(static_cast<double>(config.num_suppliers) *
+                             config.scale));
+  const size_t num_parts = std::max<size_t>(
+      8, static_cast<size_t>(static_cast<double>(config.num_parts) *
+                             config.scale));
+
+  // ---- Schema (Figure 11).
+  Schema region_schema({{"name", ValueType::kString, true}});
+  Schema nation_schema({{"name", ValueType::kString, true},
+                        {"region_id", ValueType::kInt, false}});
+  Schema customer_schema({{"name", ValueType::kString, true},
+                          {"mktsegment", ValueType::kString, true},
+                          {"acctbal", ValueType::kDouble, true},
+                          {"nation_id", ValueType::kInt, false}});
+  Schema supplier_schema({{"name", ValueType::kString, true},
+                          {"acctbal", ValueType::kDouble, true},
+                          {"nation_id", ValueType::kInt, false}});
+  Schema part_schema({{"name", ValueType::kString, true},
+                      {"retailprice", ValueType::kDouble, true}});
+  Schema partsupp_schema({{"part_id", ValueType::kInt, false},
+                          {"supplier_id", ValueType::kInt, false},
+                          {"availqty", ValueType::kInt, true},
+                          {"supplycost", ValueType::kDouble, true}});
+  Schema orders_schema({{"customer_id", ValueType::kInt, false},
+                        {"orderyear", ValueType::kInt, true},
+                        {"totalprice", ValueType::kDouble, true}});
+  Schema lineitem_schema({{"order_id", ValueType::kInt, false},
+                          {"partsupp_id", ValueType::kInt, false},
+                          {"quantity", ValueType::kInt, true},
+                          {"extendedprice", ValueType::kDouble, true}});
+
+  t.region = t.db.AddRelation("Region", region_schema);
+  t.nation = t.db.AddRelation("Nation", nation_schema);
+  t.customer = t.db.AddRelation("Customer", customer_schema);
+  t.supplier = t.db.AddRelation("Supplier", supplier_schema);
+  t.part = t.db.AddRelation("Parts", part_schema);
+  t.partsupp = t.db.AddRelation("Partsupp", partsupp_schema);
+  t.orders = t.db.AddRelation("Order", orders_schema);
+  t.lineitem = t.db.AddRelation("Lineitem", lineitem_schema);
+
+  t.db.AddForeignKey("nation_region", t.nation,
+                     nation_schema.GetColumn("region_id"), t.region);
+  t.db.AddForeignKey("customer_nation", t.customer,
+                     customer_schema.GetColumn("nation_id"), t.nation);
+  t.db.AddForeignKey("supplier_nation", t.supplier,
+                     supplier_schema.GetColumn("nation_id"), t.nation);
+  t.db.AddForeignKey("partsupp_part", t.partsupp,
+                     partsupp_schema.GetColumn("part_id"), t.part);
+  t.db.AddForeignKey("partsupp_supplier", t.partsupp,
+                     partsupp_schema.GetColumn("supplier_id"), t.supplier);
+  t.db.AddForeignKey("order_customer", t.orders,
+                     orders_schema.GetColumn("customer_id"), t.customer);
+  t.db.AddForeignKey("lineitem_order", t.lineitem,
+                     lineitem_schema.GetColumn("order_id"), t.orders);
+  t.db.AddForeignKey("lineitem_partsupp", t.lineitem,
+                     lineitem_schema.GetColumn("partsupp_id"), t.partsupp);
+
+  t.col_order_totalprice = orders_schema.GetColumn("totalprice");
+  t.col_li_extendedprice = lineitem_schema.GetColumn("extendedprice");
+  t.col_ps_supplycost = partsupp_schema.GetColumn("supplycost");
+  t.col_part_retailprice = part_schema.GetColumn("retailprice");
+
+  rel::Relation& regions = t.db.relation(t.region);
+  rel::Relation& nations = t.db.relation(t.nation);
+  rel::Relation& customers = t.db.relation(t.customer);
+  rel::Relation& suppliers = t.db.relation(t.supplier);
+  rel::Relation& parts = t.db.relation(t.part);
+  rel::Relation& partsupps = t.db.relation(t.partsupp);
+  rel::Relation& orders = t.db.relation(t.orders);
+  rel::Relation& lineitems = t.db.relation(t.lineitem);
+
+  // ---- Reference data.
+  for (const char* r : kRegions) regions.Append({Value{std::string(r)}});
+  for (size_t n = 0; n < std::size(kNations); ++n) {
+    nations.Append({Value{std::string(kNations[n])},
+                    Value{static_cast<int64_t>(kNationRegion[n])}});
+  }
+
+  // ---- Customers / Suppliers.
+  for (size_t c = 0; c < num_customers; ++c) {
+    customers.Append({Value{"Customer#" + std::to_string(c)},
+                      Value{std::string(kSegments[rng.NextU64(5)])},
+                      Value{rng.NextDouble(-999.99, 9999.99)},
+                      Value{static_cast<int64_t>(
+                          rng.NextU64(std::size(kNations)))}});
+  }
+  for (size_t s = 0; s < num_suppliers; ++s) {
+    suppliers.Append({Value{"Supplier#" + std::to_string(s)},
+                      Value{rng.NextDouble(-999.99, 9999.99)},
+                      Value{static_cast<int64_t>(
+                          rng.NextU64(std::size(kNations)))}});
+  }
+
+  // ---- Parts and Partsupp (each part supplied by `partsupp_per_part`
+  // distinct suppliers, as in dbgen).
+  for (size_t p = 0; p < num_parts; ++p) {
+    std::string name = kPartAdjectives[rng.NextU64(std::size(kPartAdjectives))];
+    name += " ";
+    name += kPartMaterials[rng.NextU64(std::size(kPartMaterials))];
+    name += " ";
+    name += kPartShapes[rng.NextU64(std::size(kPartShapes))];
+    name += " #" + std::to_string(p);
+    parts.Append({Value{std::move(name)},
+                  Value{rng.NextDouble(900.0, 2100.0)}});
+  }
+  for (size_t p = 0; p < num_parts; ++p) {
+    size_t k = std::min(config.partsupp_per_part, num_suppliers);
+    size_t start = rng.NextU64(num_suppliers);
+    size_t stride = std::max<size_t>(1, num_suppliers / k);  // k*stride <= n
+    for (size_t i = 0; i < k; ++i) {
+      size_t s = (start + i * stride) % num_suppliers;
+      partsupps.Append({Value{static_cast<int64_t>(p)},
+                        Value{static_cast<int64_t>(s)},
+                        Value{static_cast<int64_t>(rng.NextInt(1, 9999))},
+                        Value{rng.NextDouble(1.0, 1000.0)}});
+    }
+  }
+
+  // ---- Orders and Lineitems; monetary values log-normal so ValueRank has
+  // real skew to exploit.
+  for (size_t c = 0; c < num_customers; ++c) {
+    size_t norders = SampleCount(&rng, config.mean_orders_per_customer, 60);
+    for (size_t o = 0; o < norders; ++o) {
+      rel::TupleId oid = orders.Append(
+          {Value{static_cast<int64_t>(c)},
+           Value{static_cast<int64_t>(rng.NextInt(1992, 1998))},
+           Value{0.0}});  // patched below from lineitem sum
+      size_t nli = SampleCount(&rng, config.mean_lineitems_per_order, 7);
+      double total = 0.0;
+      for (size_t i = 0; i < nli; ++i) {
+        int64_t qty = rng.NextInt(1, 50);
+        double price = rng.NextLogNormal(/*mu=*/7.0, /*sigma=*/0.8);
+        total += price;
+        lineitems.Append({Value{static_cast<int64_t>(oid)},
+                          Value{static_cast<int64_t>(
+                              rng.NextU64(partsupps.num_tuples()))},
+                          Value{qty}, Value{price}});
+      }
+      // Backfill totalprice now that the lineitems are known.
+      orders.SetValue(oid, t.col_order_totalprice, Value{total});
+    }
+  }
+
+  t.db.BuildIndexes();
+  t.links = graph::LinkSchema::Build(t.db);
+  t.link_nation_region = t.links.GetLink("nation_region");
+  t.link_cust_nation = t.links.GetLink("customer_nation");
+  t.link_supp_nation = t.links.GetLink("supplier_nation");
+  t.link_ps_part = t.links.GetLink("partsupp_part");
+  t.link_ps_supp = t.links.GetLink("partsupp_supplier");
+  t.link_order_cust = t.links.GetLink("order_customer");
+  t.link_li_order = t.links.GetLink("lineitem_order");
+  t.link_li_ps = t.links.GetLink("lineitem_partsupp");
+  t.data_graph = graph::DataGraph::Build(t.db, t.links);
+  return t;
+}
+
+importance::AuthorityGraph TpchGa1(const Tpch& t) {
+  using rel::FkDirection;
+  importance::AuthorityGraph ga(t.links.num_links());
+  // Edge rates follow Figure 13b: small 0.1-0.3 rates, with the
+  // high-signal edges value-scaled (0.5*f(TotalPrice) etc.). The value
+  // column always belongs to the *target* relation of the directed edge.
+  ga.SetRate(t.link_order_cust, FkDirection::kForward,
+             {0.5, t.col_order_totalprice});             // Customer->Orders
+  ga.SetRate(t.link_order_cust, FkDirection::kBackward, {0.3, std::nullopt});
+  ga.SetRate(t.link_li_order, FkDirection::kForward,
+             {0.1, t.col_li_extendedprice});             // Orders->Lineitem
+  ga.SetRate(t.link_li_order, FkDirection::kBackward, {0.2, std::nullopt});
+  ga.SetRate(t.link_li_ps, FkDirection::kForward, {0.1, std::nullopt});
+  ga.SetRate(t.link_li_ps, FkDirection::kBackward, {0.1, std::nullopt});
+  ga.SetRate(t.link_ps_part, FkDirection::kForward,
+             {0.5, t.col_ps_supplycost});                // Part->Partsupp
+  ga.SetRate(t.link_ps_part, FkDirection::kBackward, {0.1, std::nullopt});
+  ga.SetRate(t.link_ps_supp, FkDirection::kForward,
+             {0.5, t.col_ps_supplycost});                // Supplier->Partsupp
+  ga.SetRate(t.link_ps_supp, FkDirection::kBackward, {0.1, std::nullopt});
+  ga.SetRate(t.link_cust_nation, FkDirection::kForward, {0.1, std::nullopt});
+  ga.SetRate(t.link_cust_nation, FkDirection::kBackward, {0.2, std::nullopt});
+  ga.SetRate(t.link_supp_nation, FkDirection::kForward, {0.1, std::nullopt});
+  ga.SetRate(t.link_supp_nation, FkDirection::kBackward, {0.2, std::nullopt});
+  ga.SetRate(t.link_nation_region, FkDirection::kForward,
+             {0.1, std::nullopt});
+  ga.SetRate(t.link_nation_region, FkDirection::kBackward,
+             {0.3, std::nullopt});
+  // Node value sources (the S_i annotations of Figure 13b).
+  ga.SetBaseValueBias(t.orders, t.col_order_totalprice, 0.5);
+  ga.SetBaseValueBias(t.lineitem, t.col_li_extendedprice, 0.1);
+  ga.SetBaseValueBias(t.partsupp, t.col_ps_supplycost, 0.2);
+  ga.SetBaseValueBias(t.part, t.col_part_retailprice, 0.1);
+  return ga;
+}
+
+importance::AuthorityGraph TpchGa2(const Tpch& t) {
+  using rel::FkDirection;
+  importance::AuthorityGraph ga(t.links.num_links());
+  auto plain = [&](graph::LinkTypeId lt, double fwd, double bwd) {
+    ga.SetRate(lt, FkDirection::kForward, {fwd, std::nullopt});
+    ga.SetRate(lt, FkDirection::kBackward, {bwd, std::nullopt});
+  };
+  plain(t.link_order_cust, 0.5, 0.3);
+  plain(t.link_li_order, 0.1, 0.2);
+  plain(t.link_li_ps, 0.1, 0.1);
+  plain(t.link_ps_part, 0.5, 0.1);
+  plain(t.link_ps_supp, 0.5, 0.1);
+  plain(t.link_cust_nation, 0.1, 0.2);
+  plain(t.link_supp_nation, 0.1, 0.2);
+  plain(t.link_nation_region, 0.1, 0.3);
+  return ga;
+}
+
+importance::ObjectRankResult ApplyTpchScores(Tpch* tpch, int ga,
+                                             double damping) {
+  importance::AuthorityGraph authority =
+      ga == 1 ? TpchGa1(*tpch) : TpchGa2(*tpch);
+  importance::ObjectRankOptions options;
+  options.damping = damping;
+  return importance::RankAndAnnotate(&tpch->db, tpch->links,
+                                     &tpch->data_graph, authority, options);
+}
+
+gds::Gds TpchCustomerGds(const Tpch& t, double theta) {
+  using rel::FkDirection;
+  gds::GdsBuilder b(t.db, t.links, t.customer, "Customer");
+  // Figure 12 affinities.
+  if (0.97 >= theta) {
+    auto nation = b.AddChild(gds::kGdsRoot, "Nation", t.link_cust_nation,
+                             FkDirection::kBackward, 0.97);
+    if (0.91 >= theta) {
+      b.AddChild(nation, "Region", t.link_nation_region,
+                 FkDirection::kBackward, 0.91);
+    }
+    if (0.52 >= theta) {
+      b.AddChild(nation, "Supplier", t.link_supp_nation,
+                 FkDirection::kForward, 0.52);
+    }
+  }
+  if (0.95 >= theta) {
+    auto order = b.AddChild(gds::kGdsRoot, "Order", t.link_order_cust,
+                            FkDirection::kForward, 0.95);
+    if (0.87 >= theta) {
+      auto li = b.AddChild(order, "Lineitem", t.link_li_order,
+                           FkDirection::kForward, 0.87);
+      if (0.77 >= theta) {
+        auto ps = b.AddChild(li, "Partsupp", t.link_li_ps,
+                             FkDirection::kBackward, 0.77);
+        if (0.65 >= theta) {
+          b.AddChild(ps, "Parts", t.link_ps_part, FkDirection::kBackward,
+                     0.65);
+          b.AddChild(ps, "Supplier", t.link_ps_supp, FkDirection::kBackward,
+                     0.65);
+        }
+      }
+    }
+  }
+  gds::Gds gds = b.Build();
+  if (t.db.relation(t.customer).has_importance()) {
+    gds.AnnotateStatistics(t.db);
+  }
+  return gds;
+}
+
+gds::Gds TpchSupplierGds(const Tpch& t, double theta) {
+  using rel::FkDirection;
+  gds::GdsBuilder b(t.db, t.links, t.supplier, "Supplier");
+  if (0.97 >= theta) {
+    auto nation = b.AddChild(gds::kGdsRoot, "Nation", t.link_supp_nation,
+                             FkDirection::kBackward, 0.97);
+    if (0.91 >= theta) {
+      b.AddChild(nation, "Region", t.link_nation_region,
+                 FkDirection::kBackward, 0.91);
+    }
+  }
+  if (0.95 >= theta) {
+    auto ps = b.AddChild(gds::kGdsRoot, "Partsupp", t.link_ps_supp,
+                         FkDirection::kForward, 0.95);
+    if (0.80 >= theta) {
+      b.AddChild(ps, "Parts", t.link_ps_part, FkDirection::kBackward, 0.80);
+    }
+    if (0.85 >= theta) {
+      auto li = b.AddChild(ps, "Lineitem", t.link_li_ps,
+                           FkDirection::kForward, 0.85);
+      if (0.75 >= theta) {
+        b.AddChild(li, "Order", t.link_li_order, FkDirection::kBackward,
+                   0.75);
+      }
+    }
+  }
+  gds::Gds gds = b.Build();
+  if (t.db.relation(t.supplier).has_importance()) {
+    gds.AnnotateStatistics(t.db);
+  }
+  return gds;
+}
+
+}  // namespace osum::datasets

@@ -1,0 +1,97 @@
+// TPC-H-shaped synthetic database (Figure 11 schema) — a from-scratch
+// `dbgen` equivalent, scaled down by default.
+//
+// The paper runs ValueRank on TPC-H SF=1 (8,661,245 tuples). We reproduce
+// the schema — Region, Nation, Customer, Supplier, Part, Partsupp, Orders,
+// Lineitem — with the same cardinality ratios and log-normal monetary
+// values, sized so the full pipeline stays laptop-fast. Unlike DBLP there
+// are no junction relations: Partsupp appears as a real node in the
+// Customer G_DS (Figure 12), so it is modeled as an entity relation.
+#ifndef OSUM_DATASETS_TPCH_H_
+#define OSUM_DATASETS_TPCH_H_
+
+#include <cstdint>
+
+#include "gds/gds.h"
+#include "graph/data_graph.h"
+#include "graph/link_types.h"
+#include "importance/authority_graph.h"
+#include "importance/object_rank.h"
+#include "relational/database.h"
+
+namespace osum::datasets {
+
+/// Generator knobs. Defaults yield ~120k tuples with the paper's per-DS OS
+/// sizes (Customer OSs around 176 tuples, Supplier OSs around 1340).
+struct TpchConfig {
+  uint64_t seed = 7;
+  size_t num_customers = 1200;
+  size_t num_suppliers = 80;
+  size_t num_parts = 1600;
+  size_t partsupp_per_part = 4;   // TPC-H fixed ratio
+  double mean_orders_per_customer = 17.0;
+  double mean_lineitems_per_order = 4.7;
+  double scale = 1.0;  // multiplies customers/suppliers/parts
+};
+
+/// A generated TPC-H instance plus derived artifacts and handles.
+struct Tpch {
+  rel::Database db;
+  graph::LinkSchema links;
+  graph::DataGraph data_graph;
+
+  rel::RelationId region = 0;
+  rel::RelationId nation = 0;
+  rel::RelationId customer = 0;
+  rel::RelationId supplier = 0;
+  rel::RelationId part = 0;
+  rel::RelationId partsupp = 0;
+  rel::RelationId orders = 0;
+  rel::RelationId lineitem = 0;
+
+  graph::LinkTypeId link_nation_region = 0;  // a = Region, b = Nation
+  graph::LinkTypeId link_cust_nation = 0;    // a = Nation, b = Customer
+  graph::LinkTypeId link_supp_nation = 0;    // a = Nation, b = Supplier
+  graph::LinkTypeId link_ps_part = 0;        // a = Part, b = Partsupp
+  graph::LinkTypeId link_ps_supp = 0;        // a = Supplier, b = Partsupp
+  graph::LinkTypeId link_order_cust = 0;     // a = Customer, b = Orders
+  graph::LinkTypeId link_li_order = 0;       // a = Orders, b = Lineitem
+  graph::LinkTypeId link_li_ps = 0;          // a = Partsupp, b = Lineitem
+
+  rel::ColumnId col_order_totalprice = 0;
+  rel::ColumnId col_li_extendedprice = 0;
+  rel::ColumnId col_ps_supplycost = 0;
+  rel::ColumnId col_part_retailprice = 0;
+};
+
+/// Generates the database, link schema and data graph (no importance yet).
+Tpch BuildTpch(const TpchConfig& config = {});
+
+/// The ValueRank G_A of Figure 13b: monetary columns steer both the
+/// authority split (0.5*f(TotalPrice)-style edges) and the base vector
+/// (the S_i = w*f(value) node annotations).
+importance::AuthorityGraph TpchGa1(const Tpch& tpch);
+
+/// G_A2 for TPC-H: same rates with values neglected — a plain ObjectRank
+/// G_A (Section 6: "GA2 ... for the TPC-H neglects values").
+importance::AuthorityGraph TpchGa2(const Tpch& tpch);
+
+/// Runs ValueRank/ObjectRank with (ga, damping) and annotates everything.
+importance::ObjectRankResult ApplyTpchScores(Tpch* tpch, int ga,
+                                             double damping);
+
+/// Customer G_DS (Figure 12, published affinities): Customer -> Nation
+/// (0.97) -> Region (0.91) / Supplier (0.52); Customer -> Order (0.95) ->
+/// Lineitem (0.87) -> Partsupp (0.77) -> Parts (0.65) / Supplier (0.65).
+/// theta = 0.7 (the paper's default) keeps Customer, Nation, Region,
+/// Order, Lineitem, Partsupp — exactly the Section 2.1 enumeration.
+gds::Gds TpchCustomerGds(const Tpch& tpch, double theta = 0.7);
+
+/// Supplier G_DS (Section 6; Supplier OSs are the largest at ~1341
+/// tuples): Supplier -> Nation (0.97) -> Region (0.91); Supplier ->
+/// Partsupp (0.95) -> Parts (0.80) / Lineitem (0.85) -> Order (0.75).
+gds::Gds TpchSupplierGds(const Tpch& tpch, double theta = 0.7);
+
+}  // namespace osum::datasets
+
+#endif  // OSUM_DATASETS_TPCH_H_

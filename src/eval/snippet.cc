@@ -1,0 +1,32 @@
+#include "eval/snippet.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace osum::eval {
+
+core::Selection StaticSnippet(const core::OsTree& os, size_t max_tuples,
+                              uint64_t shuffle_seed) {
+  core::Selection sel;
+  if (os.empty()) return sel;
+  sel.nodes.push_back(core::kOsRoot);
+
+  std::vector<core::OsNodeId> order(os.size() > 0 ? os.size() - 1 : 0);
+  std::iota(order.begin(), order.end(), 1);
+  if (shuffle_seed != 0) {
+    util::Rng rng(shuffle_seed);
+    rng.Shuffle(&order);
+  }
+  for (size_t i = 0; i < order.size() && sel.nodes.size() <= max_tuples;
+       ++i) {
+    sel.nodes.push_back(order[i]);
+  }
+  std::sort(sel.nodes.begin(), sel.nodes.end());
+  sel.importance = core::SelectionImportance(os, sel.nodes);
+  return sel;
+}
+
+}  // namespace osum::eval

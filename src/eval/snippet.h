@@ -1,0 +1,28 @@
+// The Google-Desktop-style static snippet baseline of Section 6.1's
+// comparative evaluation.
+//
+// The paper stored each OS as an HTML file and let Google Desktop produce
+// its snippet: "a small amount of words from the beginning of the file,
+// combining static text ... and the first few tuples (up to three) from
+// the OS (note that the order of nodes in an OS is random)". The baseline
+// here reproduces that: the first up-to-3 tuples of the OS in document
+// order (optionally shuffled first, to model the "random order" remark).
+#ifndef OSUM_EVAL_SNIPPET_H_
+#define OSUM_EVAL_SNIPPET_H_
+
+#include <cstdint>
+
+#include "core/os_tree.h"
+
+namespace osum::eval {
+
+/// The static snippet as a selection: the root (the page title line) plus
+/// the first `max_tuples` non-root tuples in document order. When
+/// `shuffle_seed` is nonzero the non-root order is randomized first,
+/// modeling the random on-page tuple order of the exported OS.
+core::Selection StaticSnippet(const core::OsTree& os, size_t max_tuples = 3,
+                              uint64_t shuffle_seed = 0);
+
+}  // namespace osum::eval
+
+#endif  // OSUM_EVAL_SNIPPET_H_

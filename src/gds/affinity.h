@@ -1,0 +1,68 @@
+// Affinity computation (Equation 1) and automatic G_DS construction.
+//
+// Af(R_i) = (sum_j m_j * w_j) * Af(R_parent)
+//
+// The paper defines the metric set in its precursor work [8]: distance and
+// connectivity properties on both the database schema and the data graph.
+// We implement three concrete metrics, each in [0, 1]:
+//   * distance decay  m_dist : a constant per-hop decay (distance shows up
+//     as the depth of the multiplication chain);
+//   * schema connectivity m_conn : 1 / (1 + log2(deg(R_i))) — relations
+//     hanging off many relationships are less specific to any one subject;
+//   * reverse cardinality m_card : 1 / (1 + log10(avg fan-out)) — edges
+//     that explode (all Papers of a Year) carry less affinity than M:1 or
+//     small fan-out edges.
+// Defaults are tuned so the DBLP/TPC-H G_DSs computed automatically match
+// the shape of the paper's expert-annotated Figures 2 and 12; the published
+// affinity values themselves are installed by the dataset presets via
+// GdsBuilder (Section 6: "alternatively an expert can define G_DSs and
+// affinity manually").
+#ifndef OSUM_GDS_AFFINITY_H_
+#define OSUM_GDS_AFFINITY_H_
+
+#include <string>
+
+#include "gds/gds.h"
+#include "graph/link_types.h"
+#include "relational/database.h"
+
+namespace osum::gds {
+
+/// Weights of the affinity metrics; they should sum to 1 so the per-hop
+/// factor stays in [0, 1].
+struct AffinityWeights {
+  double distance = 0.5;
+  double connectivity = 0.2;
+  double cardinality = 0.3;
+  /// The constant distance-decay metric value.
+  double distance_decay = 0.95;
+};
+
+/// Options for automatic G_DS construction.
+struct GdsAutoOptions {
+  /// Affinity threshold θ: nodes with Af < θ are pruned (G_DS(θ)).
+  double theta = 0.7;
+  /// Hard depth cap; replication of looped/M:N relationships makes the
+  /// unrestricted treealization infinite.
+  int max_depth = 4;
+  AffinityWeights weights;
+};
+
+/// The per-hop affinity factor sum_j m_j w_j for traversing (link, dir) out
+/// of `parent_rel`. Multiply by the parent's affinity to get Equation 1.
+double EdgeAffinityFactor(const rel::Database& db,
+                          const graph::LinkSchema& links,
+                          rel::RelationId parent_rel, graph::LinkTypeId link,
+                          rel::FkDirection dir,
+                          const AffinityWeights& weights);
+
+/// Builds a G_DS rooted at `root` by breadth-first treealization, pruning
+/// with θ and the depth cap. Requires Database::BuildIndexes() (cardinality
+/// statistics come from the FK indexes).
+Gds BuildGdsAuto(const rel::Database& db, const graph::LinkSchema& links,
+                 rel::RelationId root, std::string root_label,
+                 const GdsAutoOptions& options = {});
+
+}  // namespace osum::gds
+
+#endif  // OSUM_GDS_AFFINITY_H_

@@ -1,0 +1,118 @@
+#include "gds/gds.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+
+#include "util/string_util.h"
+
+namespace osum::gds {
+
+void Gds::AnnotateStatistics(const rel::Database& db) {
+  // max(R_i) = relation-wide maximum global importance x affinity: a global
+  // statistic maintained independently of queries (Section 5.3).
+  for (GdsNode& n : nodes_) {
+    const rel::Relation& r = db.relation(n.relation);
+    assert(r.has_importance() &&
+           "run ObjectRank/ValueRank before AnnotateStatistics");
+    n.max_ri = r.max_importance() * n.affinity;
+  }
+  // mmax(R_i): bottom-up max over strict descendants.
+  for (auto it = nodes_.rbegin(); it != nodes_.rend(); ++it) {
+    GdsNode& n = *it;
+    n.mmax_ri = 0.0;
+    for (GdsNodeId c : n.children) {
+      n.mmax_ri = std::max(n.mmax_ri, std::max(nodes_[c].max_ri,
+                                               nodes_[c].mmax_ri));
+    }
+  }
+  annotated_ = true;
+}
+
+int Gds::MaxDepth() const {
+  int depth = 0;
+  for (const GdsNode& n : nodes_) depth = std::max(depth, n.depth);
+  return depth;
+}
+
+std::string Gds::ToString(const rel::Database& db) const {
+  std::string out;
+  std::function<void(GdsNodeId)> emit = [&](GdsNodeId id) {
+    const GdsNode& n = nodes_[id];
+    out += std::string(static_cast<size_t>(n.depth) * 2, ' ');
+    out += n.label;
+    out += " [" + db.relation(n.relation).name() + "]";
+    out += " (" + util::FormatDouble(n.affinity, 2) + ")";
+    if (annotated_) {
+      out += " " + util::FormatDouble(n.max_ri, 3) + ", " +
+             util::FormatDouble(n.mmax_ri, 3);
+    }
+    out += "\n";
+    for (GdsNodeId c : n.children) emit(c);
+  };
+  if (!nodes_.empty()) emit(kGdsRoot);
+  return out;
+}
+
+GdsBuilder::GdsBuilder(const rel::Database& db,
+                       const graph::LinkSchema& links,
+                       rel::RelationId root_relation, std::string root_label)
+    : db_(db), links_(links) {
+  GdsNode root;
+  root.id = kGdsRoot;
+  root.parent = kNoGdsNode;
+  root.relation = root_relation;
+  root.label = std::move(root_label);
+  root.affinity = 1.0;
+  root.depth = 0;
+  gds_.nodes_.push_back(std::move(root));
+}
+
+GdsNodeId GdsBuilder::AddChild(GdsNodeId parent, std::string label,
+                               graph::LinkTypeId link, rel::FkDirection dir,
+                               double affinity) {
+  assert(parent >= 0 && static_cast<size_t>(parent) < gds_.nodes_.size());
+  const GdsNode& p = gds_.nodes_[parent];
+  const graph::LinkType& lt = links_.link(link);
+  rel::RelationId source =
+      dir == rel::FkDirection::kForward ? lt.a : lt.b;
+  if (source != p.relation) {
+    std::fprintf(stderr,
+                 "GdsBuilder: link '%s' (%s) does not emanate from relation "
+                 "'%s'\n",
+                 lt.name.c_str(),
+                 dir == rel::FkDirection::kForward ? "forward" : "backward",
+                 db_.relation(p.relation).name().c_str());
+    std::abort();
+  }
+  GdsNode n;
+  n.id = static_cast<GdsNodeId>(gds_.nodes_.size());
+  n.parent = parent;
+  n.relation = dir == rel::FkDirection::kForward ? lt.b : lt.a;
+  n.label = std::move(label);
+  n.via_link = link;
+  n.via_dir = dir;
+  // Reversing the parent's incoming edge re-reaches the set that contains
+  // the grandparent tuple (Author -> Paper -> Co-Author); flag it so OS
+  // generation can drop that tuple.
+  n.exclude_origin = p.parent != kNoGdsNode && p.via_link == link &&
+                     p.via_dir == rel::Reverse(dir);
+  n.affinity = affinity;
+  n.depth = p.depth + 1;
+  gds_.nodes_[parent].children.push_back(n.id);
+  gds_.nodes_.push_back(n);
+  return gds_.nodes_.back().id;
+}
+
+GdsNodeId GdsBuilder::AddChild(GdsNodeId parent, std::string label,
+                               const std::string& link_name,
+                               rel::FkDirection dir, double affinity) {
+  return AddChild(parent, std::move(label), links_.GetLink(link_name), dir,
+                  affinity);
+}
+
+Gds GdsBuilder::Build() { return std::move(gds_); }
+
+}  // namespace osum::gds

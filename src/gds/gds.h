@@ -1,0 +1,121 @@
+// The Data Subject Schema Graph (G_DS) — Section 2.1 of the paper.
+//
+// A G_DS is a "treealization" of the database schema rooted at the data
+// subject relation R_DS: R_DS becomes the root, neighboring relations become
+// child nodes, and looped or many-to-many relationships are *replicated*
+// (the DBLP Author G_DS contains Paper with children Co-Author, Year,
+// PaperCites and PaperCitedBy — Co-Author being the Author relation reached
+// again through the authorship relationship). Each node carries:
+//   * affinity Af(R_i) to the root (Equation 1, or expert-provided),
+//   * max(R_i): the maximum local importance any tuple of this node can
+//     have (= relation-wide max global importance x affinity), and
+//   * mmax(R_i): the maximum max(R_j) over strict descendants (0 at leaves)
+// — the statistics behind prelim-l's avoidance conditions (Section 5.3).
+#ifndef OSUM_GDS_GDS_H_
+#define OSUM_GDS_GDS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/link_types.h"
+#include "relational/database.h"
+
+namespace osum::gds {
+
+/// Index of a node within a Gds.
+using GdsNodeId = int32_t;
+
+inline constexpr GdsNodeId kGdsRoot = 0;
+inline constexpr GdsNodeId kNoGdsNode = -1;
+
+/// One relation-role node of the G_DS tree.
+struct GdsNode {
+  GdsNodeId id = 0;
+  GdsNodeId parent = kNoGdsNode;
+  rel::RelationId relation = 0;
+  /// Label shown in rendered OSs ("Paper", "Co-Author", "PaperCites", ...).
+  std::string label;
+  /// How tuples of this node are reached from the parent node's tuples.
+  /// Undefined for the root.
+  graph::LinkTypeId via_link = 0;
+  rel::FkDirection via_dir = rel::FkDirection::kForward;
+  /// True when this node traverses the reverse of its parent's incoming
+  /// edge (Paper -> Co-Author reverses Author -> Paper). OS generation then
+  /// excludes the grandparent tuple from the join result so a paper's
+  /// "Co-Author(s)" list does not repeat the root author (cf. Example 4).
+  bool exclude_origin = false;
+  /// Af(R_i): affinity of this node to the root (Equation 1).
+  double affinity = 1.0;
+  /// max(R_i): upper bound on the local importance of this node's tuples.
+  double max_ri = 0.0;
+  /// mmax(R_i): max over strict descendants' max(R_j); 0 for leaves.
+  double mmax_ri = 0.0;
+  int depth = 0;
+  std::vector<GdsNodeId> children;
+};
+
+/// The G_DS tree. Node 0 is the root (the R_DS relation itself,
+/// affinity 1).
+class Gds {
+ public:
+  size_t size() const { return nodes_.size(); }
+  const GdsNode& node(GdsNodeId id) const { return nodes_[id]; }
+  const GdsNode& root() const { return nodes_[kGdsRoot]; }
+  rel::RelationId root_relation() const { return nodes_[kGdsRoot].relation; }
+
+  /// Recomputes max(R_i)/mmax(R_i) from current importance annotations.
+  /// Call after (re-)running ObjectRank/ValueRank.
+  void AnnotateStatistics(const rel::Database& db);
+  bool annotated() const { return annotated_; }
+
+  /// Maximum node depth in the tree.
+  int MaxDepth() const;
+
+  /// Debug/inspection rendering: one line per node, indented, with
+  /// (affinity, max, mmax) — the format of the paper's Figure 2.
+  std::string ToString(const rel::Database& db) const;
+
+ private:
+  friend class GdsBuilder;
+  std::vector<GdsNode> nodes_;
+  bool annotated_ = false;
+};
+
+/// Constructs G_DS trees node by node. Used directly for expert-defined
+/// G_DSs (the paper's Figures 2 and 12, whose affinities we reproduce
+/// verbatim) and by BuildGdsAuto for the Equation-1-driven path.
+class GdsBuilder {
+ public:
+  /// Starts a G_DS rooted at `root_relation` (affinity 1, depth 0).
+  GdsBuilder(const rel::Database& db, const graph::LinkSchema& links,
+             rel::RelationId root_relation, std::string root_label);
+
+  /// Adds a child node under `parent` reached via (`link`, `dir`) with the
+  /// given affinity. The child relation and exclude_origin flag are
+  /// derived. Aborts if (link, dir) does not emanate from the parent's
+  /// relation.
+  GdsNodeId AddChild(GdsNodeId parent, std::string label,
+                     graph::LinkTypeId link, rel::FkDirection dir,
+                     double affinity);
+
+  /// Convenience overload using link-name lookup.
+  GdsNodeId AddChild(GdsNodeId parent, std::string label,
+                     const std::string& link_name, rel::FkDirection dir,
+                     double affinity);
+
+  /// Finalizes and returns the tree (builder becomes empty).
+  Gds Build();
+
+  const rel::Database& db() const { return db_; }
+  const graph::LinkSchema& links() const { return links_; }
+
+ private:
+  const rel::Database& db_;
+  const graph::LinkSchema& links_;
+  Gds gds_;
+};
+
+}  // namespace osum::gds
+
+#endif  // OSUM_GDS_GDS_H_

@@ -1,0 +1,95 @@
+#include "graph/link_types.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+namespace osum::graph {
+
+std::string RoleName(const LinkType& lt, rel::FkDirection dir) {
+  if (!lt.via_junction && lt.a == lt.b) {
+    // Self FK (e.g. Employee.manager_id). Disambiguate by direction.
+    return lt.name + (dir == rel::FkDirection::kForward ? "_children"
+                                                        : "_parent");
+  }
+  if (lt.via_junction && lt.a == lt.b) {
+    // Self M:N (Cites): forward follows fk_a -> fk_b ("cites"), backward the
+    // reverse ("cited_by").
+    return lt.name + (dir == rel::FkDirection::kForward ? "" : "_by");
+  }
+  return lt.name;
+}
+
+LinkSchema LinkSchema::Build(const rel::Database& db) {
+  LinkSchema schema;
+  schema.links_of_.resize(db.num_relations());
+
+  // FKs attached to junction relations are consumed below.
+  std::vector<bool> fk_consumed(db.num_foreign_keys(), false);
+
+  for (rel::RelationId r = 0; r < db.num_relations(); ++r) {
+    const rel::Relation& rel = db.relation(r);
+    if (!rel.is_junction()) continue;
+    const auto& fks = db.FksOfChild(r);
+    if (fks.size() != 2) {
+      std::fprintf(stderr,
+                   "LinkSchema: junction relation '%s' must have exactly two "
+                   "foreign keys, found %zu\n",
+                   rel.name().c_str(), fks.size());
+      std::abort();
+    }
+    const rel::ForeignKey& fa = db.foreign_key(fks[0]);
+    const rel::ForeignKey& fb = db.foreign_key(fks[1]);
+    assert(!db.relation(fa.parent).is_junction());
+    assert(!db.relation(fb.parent).is_junction());
+    LinkType lt;
+    lt.id = static_cast<LinkTypeId>(schema.links_.size());
+    lt.name = rel.name();
+    lt.a = fa.parent;
+    lt.b = fb.parent;
+    lt.via_junction = true;
+    lt.fk_a = fa.id;
+    lt.fk_b = fb.id;
+    lt.junction = r;
+    fk_consumed[fa.id] = true;
+    fk_consumed[fb.id] = true;
+    schema.links_.push_back(lt);
+  }
+
+  for (const rel::ForeignKey& fk : db.foreign_keys()) {
+    if (fk_consumed[fk.id]) continue;
+    if (db.relation(fk.child).is_junction() ||
+        db.relation(fk.parent).is_junction()) {
+      std::fprintf(stderr,
+                   "LinkSchema: foreign key '%s' touches a junction relation "
+                   "but was not consumed by a junction link\n",
+                   fk.name.c_str());
+      std::abort();
+    }
+    LinkType lt;
+    lt.id = static_cast<LinkTypeId>(schema.links_.size());
+    lt.name = fk.name;
+    lt.a = fk.parent;
+    lt.b = fk.child;
+    lt.via_junction = false;
+    lt.fk_a = fk.id;
+    lt.fk_b = fk.id;
+    schema.links_.push_back(lt);
+  }
+
+  for (const LinkType& lt : schema.links_) {
+    schema.links_of_[lt.a].push_back(lt.id);
+    if (lt.b != lt.a) schema.links_of_[lt.b].push_back(lt.id);
+  }
+  return schema;
+}
+
+LinkTypeId LinkSchema::GetLink(const std::string& name) const {
+  for (const LinkType& lt : links_) {
+    if (lt.name == name) return lt.id;
+  }
+  std::fprintf(stderr, "LinkSchema: no link named '%s'\n", name.c_str());
+  std::abort();
+}
+
+}  // namespace osum::graph

@@ -1,0 +1,32 @@
+#include "importance/authority_graph.h"
+
+namespace osum::importance {
+
+void AuthorityGraph::SetRate(graph::LinkTypeId lt, rel::FkDirection dir,
+                             TransferRate r) {
+  (dir == rel::FkDirection::kForward ? forward_[lt] : backward_[lt]) = r;
+}
+
+void AuthorityGraph::SetRate(const graph::LinkSchema& links,
+                             const std::string& link_name,
+                             rel::FkDirection dir, TransferRate r) {
+  SetRate(links.GetLink(link_name), dir, r);
+}
+
+void AuthorityGraph::SetBaseValueBias(rel::RelationId r,
+                                      rel::ColumnId value_col, double weight) {
+  base_biases_.push_back(BaseBias{r, value_col, weight});
+}
+
+bool AuthorityGraph::uses_values() const {
+  if (!base_biases_.empty()) return true;
+  for (const auto& t : forward_) {
+    if (t.value_col.has_value()) return true;
+  }
+  for (const auto& t : backward_) {
+    if (t.value_col.has_value()) return true;
+  }
+  return false;
+}
+
+}  // namespace osum::importance

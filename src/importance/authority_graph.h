@@ -1,0 +1,81 @@
+// Authority Transfer Schema Graph (G_A) — ObjectRank's control surface.
+//
+// ObjectRank [Balmin et al., VLDB'04] observes that mapping a database to a
+// plain graph mis-models authority flow: a paper citing many papers should
+// not gain authority from doing so, while being cited should confer it.
+// G_A annotates every directed schema edge with an authority transfer rate
+// α(e); the per-tuple transfer is α(e) split among the edge instances.
+//
+// ValueRank [Fakas & Cai, DBRank'09] extends this to databases without
+// citation-like semantics (e.g. TPC-H) by letting tuple *values* steer the
+// flow: a $100 order should channel more authority than a $10 one. We model
+// that with two knobs (see TransferRate): value-proportional splitting
+// among siblings and a value-scaled share of the random-surfer base vector.
+#ifndef OSUM_IMPORTANCE_AUTHORITY_GRAPH_H_
+#define OSUM_IMPORTANCE_AUTHORITY_GRAPH_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/link_types.h"
+#include "relational/database.h"
+
+namespace osum::importance {
+
+/// How authority flows along one directed logical edge (link, direction).
+struct TransferRate {
+  /// α(e): the fraction of a tuple's authority pushed along this edge type
+  /// each iteration (before splitting among instances).
+  double rate = 0.0;
+  /// If set, the split among target tuples is proportional to
+  /// f(target.value_col) instead of uniform — ValueRank's "0.5*f(TotalPrice)"
+  /// style edges (Figure 13b). The column must be numeric and belong to the
+  /// *target* relation of this directed edge.
+  std::optional<rel::ColumnId> value_col;
+};
+
+/// The G_A: transfer rates for both directions of every link type, plus the
+/// ValueRank base-vector configuration.
+class AuthorityGraph {
+ public:
+  explicit AuthorityGraph(size_t num_links)
+      : forward_(num_links), backward_(num_links) {}
+
+  /// Sets the rate of (lt, dir).
+  void SetRate(graph::LinkTypeId lt, rel::FkDirection dir, TransferRate r);
+
+  /// Convenience for presets: uses link name lookup.
+  void SetRate(const graph::LinkSchema& links, const std::string& link_name,
+               rel::FkDirection dir, TransferRate r);
+
+  const TransferRate& rate(graph::LinkTypeId lt, rel::FkDirection dir) const {
+    return dir == rel::FkDirection::kForward ? forward_[lt] : backward_[lt];
+  }
+
+  /// ValueRank: blend the random-surfer base vector with per-tuple values.
+  /// A relation registered here contributes base mass proportional to
+  /// (1 - weight) + weight * f(value_col) instead of uniformly. f is the
+  /// relation-local normalization value / max(value).
+  void SetBaseValueBias(rel::RelationId r, rel::ColumnId value_col,
+                        double weight);
+
+  struct BaseBias {
+    rel::RelationId relation;
+    rel::ColumnId value_col;
+    double weight;
+  };
+  const std::vector<BaseBias>& base_biases() const { return base_biases_; }
+
+  /// True if any ValueRank feature (value splitting or base bias) is used.
+  bool uses_values() const;
+
+ private:
+  std::vector<TransferRate> forward_;
+  std::vector<TransferRate> backward_;
+  std::vector<BaseBias> base_biases_;
+};
+
+}  // namespace osum::importance
+
+#endif  // OSUM_IMPORTANCE_AUTHORITY_GRAPH_H_

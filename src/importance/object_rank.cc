@@ -1,0 +1,170 @@
+#include "importance/object_rank.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace osum::importance {
+
+namespace {
+
+// Per-relation normalizer for f(value): value / max(value), clamped to >= 0.
+struct ValueNormalizer {
+  const rel::Relation* relation = nullptr;
+  rel::ColumnId col = 0;
+  double max_value = 0.0;
+
+  ValueNormalizer(const rel::Relation& r, rel::ColumnId c)
+      : relation(&r), col(c) {
+    for (rel::TupleId t = 0; t < r.num_tuples(); ++t) {
+      max_value = std::max(max_value, r.NumericValue(t, c));
+    }
+  }
+
+  double operator()(rel::TupleId t) const {
+    if (max_value <= 0.0) return 0.0;
+    double v = relation->NumericValue(t, col);
+    return v > 0.0 ? v / max_value : 0.0;
+  }
+};
+
+}  // namespace
+
+ObjectRankResult ComputeObjectRank(const rel::Database& db,
+                                   const graph::LinkSchema& links,
+                                   const graph::DataGraph& graph,
+                                   const AuthorityGraph& authority,
+                                   const ObjectRankOptions& options) {
+  const size_t n = graph.num_nodes();
+  ObjectRankResult result;
+  result.scores.assign(n, 0.0);
+  if (n == 0) return result;
+
+  // --- Base (teleport) vector, optionally value-biased (ValueRank).
+  std::vector<double> base(n, 1.0);
+  for (const auto& bias : authority.base_biases()) {
+    const rel::Relation& r = db.relation(bias.relation);
+    ValueNormalizer f(r, bias.value_col);
+    for (rel::TupleId t = 0; t < r.num_tuples(); ++t) {
+      base[graph.node(bias.relation, t)] =
+          (1.0 - bias.weight) + bias.weight * f(t);
+    }
+  }
+  double base_sum = 0.0;
+  for (double b : base) base_sum += b;
+  for (double& b : base) b /= base_sum;
+
+  // Precompute value normalizers for value-splitting edges (ValueRank).
+  std::vector<std::optional<ValueNormalizer>> fwd_norm(links.num_links());
+  std::vector<std::optional<ValueNormalizer>> bwd_norm(links.num_links());
+  for (const graph::LinkType& lt : links.links()) {
+    const TransferRate& ft = authority.rate(lt.id, rel::FkDirection::kForward);
+    if (ft.value_col.has_value()) {
+      fwd_norm[lt.id].emplace(db.relation(lt.b), *ft.value_col);
+    }
+    const TransferRate& bt =
+        authority.rate(lt.id, rel::FkDirection::kBackward);
+    if (bt.value_col.has_value()) {
+      bwd_norm[lt.id].emplace(db.relation(lt.a), *bt.value_col);
+    }
+  }
+
+  std::vector<double> current(base);  // start from the base distribution
+  std::vector<double> next(n, 0.0);
+
+  const double d = options.damping;
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    for (size_t i = 0; i < n; ++i) next[i] = (1.0 - d) * base[i];
+
+    for (const graph::LinkType& lt : links.links()) {
+      for (rel::FkDirection dir :
+           {rel::FkDirection::kForward, rel::FkDirection::kBackward}) {
+        const TransferRate& tr = authority.rate(lt.id, dir);
+        if (tr.rate <= 0.0) continue;
+        rel::RelationId src_rel =
+            dir == rel::FkDirection::kForward ? lt.a : lt.b;
+        const rel::Relation& src = db.relation(src_rel);
+
+        // Optional value-proportional splitting (precomputed normalizer).
+        const std::optional<ValueNormalizer>& f =
+            dir == rel::FkDirection::kForward ? fwd_norm[lt.id]
+                                              : bwd_norm[lt.id];
+
+        for (rel::TupleId s = 0; s < src.num_tuples(); ++s) {
+          graph::NodeId sn = graph.node(src_rel, s);
+          auto targets = graph.Neighbors(sn, lt.id, dir);
+          if (targets.empty()) continue;
+          double mass = d * tr.rate * current[sn];
+          if (mass <= 0.0) continue;
+          if (!f.has_value()) {
+            double share = mass / static_cast<double>(targets.size());
+            for (graph::NodeId t : targets) next[t] += share;
+          } else {
+            double total = 0.0;
+            for (graph::NodeId t : targets) total += (*f)(graph.TupleOf(t));
+            if (total <= 0.0) {
+              double share = mass / static_cast<double>(targets.size());
+              for (graph::NodeId t : targets) next[t] += share;
+            } else {
+              for (graph::NodeId t : targets) {
+                next[t] += mass * (*f)(graph.TupleOf(t)) / total;
+              }
+            }
+          }
+        }
+      }
+    }
+
+    double delta = 0.0;
+    for (size_t i = 0; i < n; ++i) delta += std::abs(next[i] - current[i]);
+    current.swap(next);
+    result.iterations = iter + 1;
+    result.final_delta = delta;
+    if (delta < options.epsilon) break;
+  }
+
+  // Rescale so the mean score equals options.mean_scale.
+  double sum = 0.0;
+  for (double v : current) sum += v;
+  double scale =
+      sum > 0.0 ? options.mean_scale * static_cast<double>(n) / sum : 1.0;
+  for (double& v : current) v *= scale;
+  result.scores = std::move(current);
+  return result;
+}
+
+void AnnotateImportance(rel::Database* db, const graph::DataGraph& graph,
+                        const std::vector<double>& scores) {
+  assert(scores.size() == graph.num_nodes());
+  for (rel::RelationId r = 0; r < db->num_relations(); ++r) {
+    rel::Relation& rel = db->relation(r);
+    if (rel.is_junction()) continue;
+    std::vector<double> imp(rel.num_tuples());
+    for (rel::TupleId t = 0; t < rel.num_tuples(); ++t) {
+      imp[t] = scores[graph.node(r, t)];
+    }
+    rel.SetImportance(std::move(imp));
+  }
+}
+
+ObjectRankResult RankAndAnnotate(rel::Database* db,
+                                 const graph::LinkSchema& links,
+                                 graph::DataGraph* graph,
+                                 const AuthorityGraph& authority,
+                                 const ObjectRankOptions& options) {
+  ObjectRankResult result =
+      ComputeObjectRank(*db, links, *graph, authority, options);
+  AnnotateImportance(db, *graph, result.scores);
+  // Junction relations never carry scores; give them zero annotations so
+  // the access-path sorting precondition (importance on all children) holds.
+  for (rel::RelationId r = 0; r < db->num_relations(); ++r) {
+    rel::Relation& rel = db->relation(r);
+    if (rel.is_junction()) {
+      rel.SetImportance(std::vector<double>(rel.num_tuples(), 0.0));
+    }
+  }
+  db->SortIndexesByImportance();
+  graph->SortNeighborsByImportance(*db);
+  return result;
+}
+
+}  // namespace osum::importance

@@ -1,0 +1,65 @@
+// Global ObjectRank / ValueRank: power iteration over the data graph.
+//
+// Computes the *global* ObjectRank of every tuple (the query-independent
+// variant the paper uses for Im(t_i), Section 2.2/3.2): the stationary
+// distribution of a random surfer that with probability d follows an
+// authority-transfer edge and with probability 1-d teleports to the base
+// vector. ValueRank reuses the same iteration with value-aware splitting
+// and a value-biased base vector (see AuthorityGraph).
+#ifndef OSUM_IMPORTANCE_OBJECT_RANK_H_
+#define OSUM_IMPORTANCE_OBJECT_RANK_H_
+
+#include <vector>
+
+#include "graph/data_graph.h"
+#include "importance/authority_graph.h"
+
+namespace osum::importance {
+
+/// Power-iteration parameters.
+struct ObjectRankOptions {
+  /// Damping factor d. The paper evaluates d1=0.85 (default), d2=0.10,
+  /// d3=0.99.
+  double damping = 0.85;
+  /// Convergence threshold on the L1 delta between iterations.
+  double epsilon = 1e-8;
+  /// Iteration cap (authority graphs with total out-rate > 1 on a cycle
+  /// could diverge; the cap keeps the computation bounded either way).
+  int max_iterations = 60;
+  /// Final scores are rescaled so the mean score is `mean_scale`. Scores in
+  /// the paper's figures are O(1)..O(10); scaling is cosmetic — every size-l
+  /// algorithm is scale-invariant.
+  double mean_scale = 10.0;
+};
+
+/// Result of a ranking run.
+struct ObjectRankResult {
+  /// Scores indexed by DataGraph NodeId.
+  std::vector<double> scores;
+  int iterations = 0;
+  double final_delta = 0.0;
+};
+
+/// Runs global ObjectRank / ValueRank.
+ObjectRankResult ComputeObjectRank(const rel::Database& db,
+                                   const graph::LinkSchema& links,
+                                   const graph::DataGraph& graph,
+                                   const AuthorityGraph& authority,
+                                   const ObjectRankOptions& options = {});
+
+/// Copies node scores into per-relation importance annotations
+/// (Relation::SetImportance) for all entity relations.
+void AnnotateImportance(rel::Database* db, const graph::DataGraph& graph,
+                        const std::vector<double>& scores);
+
+/// Convenience: rank then annotate then sort all access paths by importance
+/// (Database::SortIndexesByImportance + DataGraph::SortNeighborsByImportance).
+ObjectRankResult RankAndAnnotate(rel::Database* db,
+                                 const graph::LinkSchema& links,
+                                 graph::DataGraph* graph,
+                                 const AuthorityGraph& authority,
+                                 const ObjectRankOptions& options = {});
+
+}  // namespace osum::importance
+
+#endif  // OSUM_IMPORTANCE_OBJECT_RANK_H_

@@ -1,0 +1,49 @@
+// Database persistence: a portable on-disk format (one CSV per relation
+// plus a plain-text catalog describing schemas, junction flags and foreign
+// keys), so generated evaluation databases can be inspected, versioned or
+// loaded into an external DBMS.
+//
+// Format:
+//   <dir>/catalog.txt   — relation / column / fk declarations (see below)
+//   <dir>/<Relation>.csv — header row of column names, RFC-4180-style
+//                          quoting, NULL encoded as an empty unquoted field
+//
+// catalog.txt grammar (one declaration per line, '#' comments):
+//   relation <name> <junction|entity>
+//   column <relation> <name> <int|double|string> <display|hidden>
+//   fk <name> <child_relation> <child_column> <parent_relation>
+#ifndef OSUM_RELATIONAL_CSV_IO_H_
+#define OSUM_RELATIONAL_CSV_IO_H_
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "relational/database.h"
+
+namespace osum::rel {
+
+/// Serializes one relation as CSV (header + rows) to `out`.
+void WriteRelationCsv(const Relation& relation, std::ostream& out);
+
+/// Parses CSV produced by WriteRelationCsv into `relation` (which must be
+/// empty and have the matching schema). Returns false on malformed input.
+bool ReadRelationCsv(std::istream& in, Relation* relation);
+
+/// Writes the whole database (catalog + one CSV per relation) under `dir`
+/// (created if needed). Returns false on I/O failure.
+bool SaveDatabaseCsv(const Database& db, const std::string& dir);
+
+/// Loads a database previously written by SaveDatabaseCsv. Indexes are
+/// built before returning; importance annotations are not persisted.
+/// Returns nullopt on parse or I/O failure (diagnostics on stderr).
+std::optional<Database> LoadDatabaseCsv(const std::string& dir);
+
+/// CSV field quoting helpers (exposed for tests).
+std::string CsvQuote(const std::string& field);
+bool CsvParseLine(const std::string& line, std::vector<std::string>* fields,
+                  std::vector<bool>* quoted);
+
+}  // namespace osum::rel
+
+#endif  // OSUM_RELATIONAL_CSV_IO_H_

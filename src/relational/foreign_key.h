@@ -1,0 +1,42 @@
+// Foreign-key metadata.
+#ifndef OSUM_RELATIONAL_FOREIGN_KEY_H_
+#define OSUM_RELATIONAL_FOREIGN_KEY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "relational/relation.h"
+#include "relational/schema.h"
+
+namespace osum::rel {
+
+/// Index of a foreign key within its database.
+using ForeignKeyId = uint32_t;
+
+/// Direction of traversal along a foreign key.
+enum class FkDirection : uint8_t {
+  /// parent -> children (1:M fan-out; e.g. Customer -> Orders).
+  kForward,
+  /// child -> parent (M:1; e.g. Orders -> Customer, cardinality <= 1).
+  kBackward,
+};
+
+/// Flips a traversal direction.
+inline FkDirection Reverse(FkDirection d) {
+  return d == FkDirection::kForward ? FkDirection::kBackward
+                                    : FkDirection::kForward;
+}
+
+/// A declared foreign key: `child.child_col` references the implicit primary
+/// key (TupleId) of `parent`. NULL child values encode absent references.
+struct ForeignKey {
+  ForeignKeyId id = 0;
+  std::string name;       // e.g. "paper_year", "writes_author"
+  RelationId child = 0;   // referencing relation
+  ColumnId child_col = 0; // referencing column (ValueType::kInt, stores TupleId)
+  RelationId parent = 0;  // referenced relation
+};
+
+}  // namespace osum::rel
+
+#endif  // OSUM_RELATIONAL_FOREIGN_KEY_H_

@@ -1,0 +1,68 @@
+#include "relational/relation.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace osum::rel {
+
+Relation::Relation(RelationId id, std::string name, Schema schema,
+                   bool is_junction)
+    : id_(id),
+      name_(std::move(name)),
+      schema_(std::move(schema)),
+      is_junction_(is_junction) {}
+
+TupleId Relation::Append(std::vector<Value> values) {
+  assert(values.size() == schema_.num_columns());
+  TupleId t = static_cast<TupleId>(num_tuples_);
+  cells_.insert(cells_.end(), std::make_move_iterator(values.begin()),
+                std::make_move_iterator(values.end()));
+  ++num_tuples_;
+  return t;
+}
+
+int64_t Relation::IntValue(TupleId t, ColumnId c) const {
+  const Value& v = value(t, c);
+  assert(TypeOf(v) == ValueType::kInt);
+  return std::get<int64_t>(v);
+}
+
+double Relation::NumericValue(TupleId t, ColumnId c) const {
+  return AsNumeric(value(t, c));
+}
+
+const std::string& Relation::StringValue(TupleId t, ColumnId c) const {
+  const Value& v = value(t, c);
+  assert(TypeOf(v) == ValueType::kString);
+  return std::get<std::string>(v);
+}
+
+void Relation::SetImportance(std::vector<double> importance) {
+  assert(importance.size() == num_tuples_);
+  importance_ = std::move(importance);
+  max_importance_ = importance_.empty()
+                        ? 0.0
+                        : *std::max_element(importance_.begin(),
+                                            importance_.end());
+}
+
+std::string Relation::RenderTuple(TupleId t) const {
+  std::string out = name_;
+  out += ": ";
+  out += RenderValues(t);
+  return out;
+}
+
+std::string Relation::RenderValues(TupleId t) const {
+  std::string out;
+  bool first = true;
+  for (ColumnId c = 0; c < schema_.num_columns(); ++c) {
+    if (!schema_.column(c).display) continue;
+    if (!first) out += ", ";
+    first = false;
+    out += ToString(value(t, c));
+  }
+  return out;
+}
+
+}  // namespace osum::rel

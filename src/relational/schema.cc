@@ -1,0 +1,36 @@
+#include "relational/schema.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+namespace osum::rel {
+
+Schema::Schema(std::vector<Column> columns) {
+  for (auto& c : columns) AddColumn(std::move(c));
+}
+
+ColumnId Schema::AddColumn(Column column) {
+  ColumnId id = static_cast<ColumnId>(columns_.size());
+  by_name_.emplace(column.name, id);
+  columns_.push_back(std::move(column));
+  return id;
+}
+
+std::optional<ColumnId> Schema::FindColumn(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+ColumnId Schema::GetColumn(const std::string& name) const {
+  auto found = FindColumn(name);
+  if (!found.has_value()) {
+    std::fprintf(stderr, "Schema::GetColumn: no column named '%s'\n",
+                 name.c_str());
+    std::abort();
+  }
+  return *found;
+}
+
+}  // namespace osum::rel

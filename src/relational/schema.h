@@ -1,0 +1,55 @@
+// Relation schemas: ordered, named, typed columns.
+#ifndef OSUM_RELATIONAL_SCHEMA_H_
+#define OSUM_RELATIONAL_SCHEMA_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "relational/value.h"
+
+namespace osum::rel {
+
+/// Index of a column within its relation.
+using ColumnId = uint32_t;
+
+/// A single column definition.
+struct Column {
+  std::string name;
+  ValueType type = ValueType::kNull;
+  /// Columns flagged as `display` participate in tuple rendering and in the
+  /// keyword inverted index (the paper's attribute-affinity θ' selection:
+  /// only attributes relevant to the DS are shown in an OS).
+  bool display = true;
+};
+
+/// An ordered set of columns with by-name lookup.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns);
+
+  /// Appends a column; returns its ColumnId.
+  ColumnId AddColumn(Column column);
+
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(ColumnId id) const { return columns_[id]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Finds a column by name; nullopt if absent.
+  std::optional<ColumnId> FindColumn(const std::string& name) const;
+
+  /// Finds a column by name; aborts if absent. For schema wiring in
+  /// generators where the column is known to exist.
+  ColumnId GetColumn(const std::string& name) const;
+
+ private:
+  std::vector<Column> columns_;
+  std::unordered_map<std::string, ColumnId> by_name_;
+};
+
+}  // namespace osum::rel
+
+#endif  // OSUM_RELATIONAL_SCHEMA_H_

@@ -1,0 +1,50 @@
+#include "relational/value.h"
+
+#include "util/string_util.h"
+
+namespace osum::rel {
+
+ValueType TypeOf(const Value& v) {
+  return static_cast<ValueType>(v.index());
+}
+
+std::string ToString(const Value& v) {
+  switch (TypeOf(v)) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt:
+      return std::to_string(std::get<int64_t>(v));
+    case ValueType::kDouble:
+      return util::FormatDouble(std::get<double>(v), 2);
+    case ValueType::kString:
+      return std::get<std::string>(v);
+  }
+  return "?";
+}
+
+const char* TypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kInt:
+      return "int";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+  }
+  return "?";
+}
+
+double AsNumeric(const Value& v) {
+  switch (TypeOf(v)) {
+    case ValueType::kInt:
+      return static_cast<double>(std::get<int64_t>(v));
+    case ValueType::kDouble:
+      return std::get<double>(v);
+    default:
+      return 0.0;
+  }
+}
+
+}  // namespace osum::rel

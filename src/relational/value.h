@@ -1,0 +1,39 @@
+// Typed attribute values for the embedded relational engine.
+#ifndef OSUM_RELATIONAL_VALUE_H_
+#define OSUM_RELATIONAL_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace osum::rel {
+
+/// Attribute type tags. The engine is deliberately small: the paper's two
+/// evaluation databases (DBLP, TPC-H) only need NULLs, integers, decimals
+/// and strings.
+enum class ValueType : uint8_t {
+  kNull = 0,
+  kInt = 1,
+  kDouble = 2,
+  kString = 3,
+};
+
+/// A single attribute value. monostate encodes SQL NULL.
+using Value = std::variant<std::monostate, int64_t, double, std::string>;
+
+/// Runtime type of `v`.
+ValueType TypeOf(const Value& v);
+
+/// Human-readable rendering ("NULL", "42", "3.14", "SIGCOMM").
+std::string ToString(const Value& v);
+
+/// Printable name of a type tag ("int", "double", ...).
+const char* TypeName(ValueType t);
+
+/// Numeric view of a value: ints and doubles convert, everything else is 0.
+/// Used by ValueRank's value-scaling functions f(value).
+double AsNumeric(const Value& v);
+
+}  // namespace osum::rel
+
+#endif  // OSUM_RELATIONAL_VALUE_H_

@@ -1,0 +1,87 @@
+// End-to-end size-l OS keyword search (the user-facing API of the paper's
+// paradigm): keywords -> t_DS tuples -> (prelim-l) OS -> size-l OS, ranked.
+#ifndef OSUM_SEARCH_ENGINE_H_
+#define OSUM_SEARCH_ENGINE_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/os_backend.h"
+#include "core/os_generator.h"
+#include "core/os_tree.h"
+#include "core/size_l.h"
+#include "gds/gds.h"
+#include "search/inverted_index.h"
+
+namespace osum::search {
+
+/// One ranked answer: the data subject, its (partial) OS and the size-l
+/// selection over it.
+struct QueryResult {
+  Hit subject;                // the t_DS tuple
+  double subject_importance;  // global importance (ranking key)
+  core::OsTree os;            // the OS the size-l was computed on
+  core::Selection selection;  // the size-l OS
+};
+
+/// How result OSs are ranked against each other.
+enum class ResultRanking {
+  /// By the global importance of t_DS (cheap; computed before OS
+  /// generation, so max_results caps the work).
+  kSubjectImportance,
+  /// By Im(S) of the computed size-l OS — the combined "size-l and top-k
+  /// ranking of OSs" the paper poses as future work (Section 7). Requires
+  /// computing every hit's size-l OS before truncating to max_results.
+  kSummaryImportance,
+};
+
+/// Query-time knobs.
+struct QueryOptions {
+  /// l — the synopsis size. 0 means "return the complete OS".
+  size_t l = 15;
+  /// Maximum number of data subjects to report.
+  size_t max_results = 10;
+  core::SizeLAlgorithm algorithm = core::SizeLAlgorithm::kTopPath;
+  /// Generate a prelim-l OS (Algorithm 4) instead of the complete OS.
+  bool use_prelim = true;
+  ResultRanking ranking = ResultRanking::kSubjectImportance;
+};
+
+/// The search engine: owns the inverted index over registered data-subject
+/// relations and drives OS generation + size-l computation per hit.
+class SizeLSearchEngine {
+ public:
+  /// `backend` must outlive the engine.
+  SizeLSearchEngine(const rel::Database& db, core::OsBackend* backend);
+
+  /// Registers a data-subject relation with its G_DS. The G_DS must be
+  /// annotated (importance present) before prelim-l queries.
+  void RegisterSubject(rel::RelationId relation, gds::Gds gds);
+
+  /// Builds the inverted index over all registered subject relations.
+  /// Call after the last RegisterSubject.
+  void BuildIndex();
+
+  /// Runs a keyword query; results ranked by subject global importance.
+  std::vector<QueryResult> Query(std::string_view keywords,
+                                 const QueryOptions& options = {}) const;
+
+  /// Renders one result in the paper's Example 5 format.
+  std::string Render(const QueryResult& result) const;
+
+  const gds::Gds& GdsFor(rel::RelationId relation) const;
+
+ private:
+  const rel::Database& db_;
+  core::OsBackend* backend_;
+  std::unordered_map<rel::RelationId, gds::Gds> subjects_;
+  std::vector<rel::RelationId> subject_order_;
+  InvertedIndex index_;
+  bool index_built_ = false;
+};
+
+}  // namespace osum::search
+
+#endif  // OSUM_SEARCH_ENGINE_H_

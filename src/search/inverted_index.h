@@ -1,0 +1,52 @@
+// Keyword lookup: an inverted index over the text attributes of the data
+// subject relations, used to locate t_DS tuples (the entry point of every
+// OS keyword query).
+#ifndef OSUM_SEARCH_INVERTED_INDEX_H_
+#define OSUM_SEARCH_INVERTED_INDEX_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "relational/database.h"
+
+namespace osum::search {
+
+/// A (relation, tuple) keyword hit.
+struct Hit {
+  rel::RelationId relation;
+  rel::TupleId tuple;
+
+  bool operator==(const Hit& o) const {
+    return relation == o.relation && tuple == o.tuple;
+  }
+};
+
+/// Word-level inverted index with AND query semantics: a tuple matches a
+/// query iff every query keyword appears among the tokens of its display
+/// string attributes ("Christos Faloutsos" matches queries "faloutsos" and
+/// "christos faloutsos").
+class InvertedIndex {
+ public:
+  /// Indexes the display string columns of `relations`.
+  static InvertedIndex Build(const rel::Database& db,
+                             const std::vector<rel::RelationId>& relations);
+
+  /// AND query over tokenized keywords; hits are returned in (relation,
+  /// tuple) order. An empty keyword list yields no hits.
+  std::vector<Hit> Search(const std::vector<std::string>& keywords) const;
+
+  /// Tokenizes `query` and delegates to Search.
+  std::vector<Hit> SearchQuery(std::string_view query) const;
+
+  size_t num_terms() const { return postings_.size(); }
+
+ private:
+  // Postings are sorted by (relation, tuple) and deduplicated.
+  std::unordered_map<std::string, std::vector<Hit>> postings_;
+};
+
+}  // namespace osum::search
+
+#endif  // OSUM_SEARCH_INVERTED_INDEX_H_

@@ -1,0 +1,38 @@
+#include "util/stats.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace osum::util {
+
+double Summary::Mean() const {
+  if (values_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values_) sum += v;
+  return sum / static_cast<double>(values_.size());
+}
+
+double Summary::Min() const {
+  if (values_.empty()) return 0.0;
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double Summary::Max() const {
+  if (values_.empty()) return 0.0;
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+double Summary::Percentile(double p) const {
+  if (values_.empty()) return 0.0;
+  assert(p >= 0.0 && p <= 100.0);
+  std::vector<double> sorted = values_;
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted[0];
+  double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  size_t lo = static_cast<size_t>(std::floor(rank));
+  size_t hi = static_cast<size_t>(std::ceil(rank));
+  double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace osum::util

@@ -1,0 +1,54 @@
+// Access-path accounting and summary statistics.
+//
+// The paper's efficiency discussion (Section 5.3 and Figure 10f) reasons
+// about the *number of access-path invocations* ("in the worst case we need
+// up to n I/O accesses ... Avoidance Condition 2 still requires an I/O
+// access even when it returns no results"). IoStats makes that observable:
+// the relational engine bumps these counters on every logical SELECT, so
+// benches and tests can assert the avoidance conditions actually save work.
+#ifndef OSUM_UTIL_STATS_H_
+#define OSUM_UTIL_STATS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace osum::util {
+
+/// Counters for logical database work. Cheap to copy; diffable.
+struct IoStats {
+  /// Number of access-path invocations (each corresponds to one SQL
+  /// statement in the paper's Algorithm 4/5, i.e. one "I/O access").
+  uint64_t select_calls = 0;
+  /// Number of tuples materialized by those calls.
+  uint64_t tuples_read = 0;
+  /// Number of index probes (hash lookups) performed.
+  uint64_t index_probes = 0;
+
+  IoStats operator-(const IoStats& o) const {
+    return IoStats{select_calls - o.select_calls, tuples_read - o.tuples_read,
+                   index_probes - o.index_probes};
+  }
+  void Reset() { *this = IoStats{}; }
+};
+
+/// Running summary (mean / min / max / percentiles) of a sample set.
+class Summary {
+ public:
+  void Add(double v) { values_.push_back(v); }
+
+  size_t count() const { return values_.size(); }
+  double Mean() const;
+  double Min() const;
+  double Max() const;
+  /// Percentile in [0, 100]; linear interpolation between order statistics.
+  double Percentile(double p) const;
+  double Median() const { return Percentile(50.0); }
+
+ private:
+  std::vector<double> values_;
+};
+
+}  // namespace osum::util
+
+#endif  // OSUM_UTIL_STATS_H_

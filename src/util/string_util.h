@@ -1,0 +1,32 @@
+// Small string helpers (tokenization, case folding, joining) shared by the
+// inverted index, dataset generators and report formatters.
+#ifndef OSUM_UTIL_STRING_UTIL_H_
+#define OSUM_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace osum::util {
+
+/// ASCII lower-casing (the datasets are ASCII by construction).
+std::string ToLower(std::string_view s);
+
+/// Splits `s` into alphanumeric tokens, lower-cased. Everything that is not
+/// [A-Za-z0-9] acts as a separator. "Power-law Relationships" ->
+/// {"power", "law", "relationships"}.
+std::vector<std::string> TokenizeWords(std::string_view s);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Formats a double with `digits` significant decimal places, trimming
+/// trailing zeros ("12.50" -> "12.5", "3.00" -> "3").
+std::string FormatDouble(double v, int digits = 3);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+}  // namespace osum::util
+
+#endif  // OSUM_UTIL_STRING_UTIL_H_

@@ -1,0 +1,42 @@
+// Console table / CSV rendering used by the benchmark harnesses so every
+// reproduced figure prints as a readable series (paper-style rows).
+#ifndef OSUM_UTIL_TABLE_PRINTER_H_
+#define OSUM_UTIL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace osum::util {
+
+/// Accumulates rows of string cells and renders them as an aligned console
+/// table or CSV. Used by the figure-reproduction benches.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends one row. Rows shorter than the header are padded with "".
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with 3 decimals.
+  void AddRow(const std::string& label, const std::vector<double>& values);
+
+  /// Renders an aligned, pipe-separated table.
+  void Print(std::ostream& os) const;
+
+  /// Renders CSV (no quoting needed for our content).
+  void PrintCsv(std::ostream& os) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a boxed section heading, e.g. "== Figure 9(a): DBLP Author ==".
+void PrintHeading(std::ostream& os, const std::string& title);
+
+}  // namespace osum::util
+
+#endif  // OSUM_UTIL_TABLE_PRINTER_H_

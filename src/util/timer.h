@@ -1,0 +1,35 @@
+// Lightweight wall-clock timing used by the benchmark harnesses.
+#ifndef OSUM_UTIL_TIMER_H_
+#define OSUM_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace osum::util {
+
+/// Wall-clock stopwatch with millisecond/microsecond readouts.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time in seconds since construction or last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// Elapsed time in microseconds.
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace osum::util
+
+#endif  // OSUM_UTIL_TIMER_H_

@@ -1,0 +1,245 @@
+// Tests for the DBLP and TPC-H generators: schema wiring, determinism,
+// skew, scoring presets and the published G_DS presets.
+#include <gtest/gtest.h>
+
+#include "core/os_backend.h"
+#include "core/os_generator.h"
+#include "datasets/dblp.h"
+#include "datasets/settings.h"
+#include "datasets/tpch.h"
+
+namespace osum::datasets {
+namespace {
+
+DblpConfig SmallDblp() {
+  DblpConfig c;
+  c.num_authors = 150;
+  c.num_papers = 600;
+  c.num_conferences = 10;
+  return c;
+}
+
+TpchConfig SmallTpch() {
+  TpchConfig c;
+  c.num_customers = 120;
+  c.num_suppliers = 12;
+  c.num_parts = 160;
+  c.mean_orders_per_customer = 6.0;
+  c.mean_lineitems_per_order = 3.0;
+  return c;
+}
+
+TEST(DblpGen, SchemaAndCardinalities) {
+  Dblp d = BuildDblp(SmallDblp());
+  EXPECT_EQ(d.db.num_relations(), 6u);
+  EXPECT_EQ(d.db.relation(d.author).num_tuples(), 150u);
+  EXPECT_EQ(d.db.relation(d.paper).num_tuples(), 600u);
+  EXPECT_GT(d.db.relation(d.writes).num_tuples(), 600u);  // >=1 author each
+  EXPECT_GT(d.db.relation(d.cites).num_tuples(), 0u);
+  EXPECT_TRUE(d.db.relation(d.writes).is_junction());
+  EXPECT_TRUE(d.db.relation(d.cites).is_junction());
+  // Links: Writes, Cites + paper_year + year_conference.
+  EXPECT_EQ(d.links.num_links(), 4u);
+}
+
+TEST(DblpGen, FaloutsosBrothersSeeded) {
+  Dblp d = BuildDblp(SmallDblp());
+  const rel::Relation& authors = d.db.relation(d.author);
+  EXPECT_EQ(authors.StringValue(0, 0), "Christos Faloutsos");
+  EXPECT_EQ(authors.StringValue(1, 0), "Michalis Faloutsos");
+  EXPECT_EQ(authors.StringValue(2, 0), "Petros Faloutsos");
+}
+
+TEST(DblpGen, DeterministicForSameSeed) {
+  Dblp a = BuildDblp(SmallDblp());
+  Dblp b = BuildDblp(SmallDblp());
+  ASSERT_EQ(a.db.relation(a.writes).num_tuples(),
+            b.db.relation(b.writes).num_tuples());
+  ASSERT_EQ(a.db.relation(a.cites).num_tuples(),
+            b.db.relation(b.cites).num_tuples());
+  // Spot-check a few tuples.
+  for (rel::TupleId t : {0u, 5u, 99u}) {
+    EXPECT_EQ(a.db.relation(a.paper).StringValue(t, 0),
+              b.db.relation(b.paper).StringValue(t, 0));
+  }
+}
+
+TEST(DblpGen, DifferentSeedDiffers) {
+  DblpConfig c = SmallDblp();
+  Dblp a = BuildDblp(c);
+  c.seed = 999;
+  Dblp b = BuildDblp(c);
+  EXPECT_NE(a.db.relation(a.writes).num_tuples(),
+            b.db.relation(b.writes).num_tuples());
+}
+
+TEST(DblpGen, ProductivityIsSkewed) {
+  Dblp d = BuildDblp(SmallDblp());
+  // Author 0 (Zipf rank 0) writes far more papers than a mid-rank author.
+  auto papers_of = [&](rel::TupleId author) {
+    core::DataGraphBackend backend(d.db, d.links, d.data_graph);
+    std::vector<rel::TupleId> out;
+    backend.Fetch(d.link_writes, rel::FkDirection::kForward, author, &out);
+    return out.size();
+  };
+  EXPECT_GT(papers_of(0), 4 * papers_of(100) + 4);
+}
+
+TEST(DblpGen, CitationsAcyclicByConstruction) {
+  Dblp d = BuildDblp(SmallDblp());
+  const rel::Relation& cites = d.db.relation(d.cites);
+  for (rel::TupleId t = 0; t < cites.num_tuples(); ++t) {
+    int64_t citing = cites.IntValue(t, 0);
+    int64_t cited = cites.IntValue(t, 1);
+    EXPECT_LT(cited, citing);  // only earlier papers are cited
+  }
+}
+
+TEST(DblpGen, ScoreSettingsProducePositiveScores) {
+  Dblp d = BuildDblp(SmallDblp());
+  for (const ScoreSetting& s : kScoreSettings) {
+    auto result = ApplyDblpScores(&d, s.ga, s.damping);
+    EXPECT_GT(result.iterations, 0) << s.name;
+    const rel::Relation& papers = d.db.relation(d.paper);
+    ASSERT_TRUE(papers.has_importance());
+    EXPECT_GT(papers.max_importance(), 0.0) << s.name;
+  }
+}
+
+TEST(DblpGen, Ga1CitedPapersOutrankUncited) {
+  Dblp d = BuildDblp(SmallDblp());
+  ApplyDblpScores(&d, 1, 0.85);
+  // Paper 0 is the most-cited (Zipf target rank 0); the last paper cannot
+  // be cited by anyone (no later papers exist).
+  const rel::Relation& papers = d.db.relation(d.paper);
+  EXPECT_GT(papers.importance(0),
+            papers.importance(papers.num_tuples() - 1));
+}
+
+TEST(DblpGen, AuthorOsSizesHaveHeavyTail) {
+  Dblp d = BuildDblp(SmallDblp());
+  ApplyDblpScores(&d, 1, 0.85);
+  gds::Gds gds = DblpAuthorGds(d);
+  core::DataGraphBackend backend(d.db, d.links, d.data_graph);
+  size_t size0 =
+      core::GenerateCompleteOs(d.db, gds, &backend, 0).size();
+  size_t size_mid =
+      core::GenerateCompleteOs(d.db, gds, &backend, 120).size();
+  EXPECT_GT(size0, 100u);
+  EXPECT_GT(size0, 5 * size_mid);
+}
+
+TEST(TpchGen, SchemaAndCardinalities) {
+  Tpch t = BuildTpch(SmallTpch());
+  EXPECT_EQ(t.db.num_relations(), 8u);
+  EXPECT_EQ(t.db.relation(t.region).num_tuples(), 5u);
+  EXPECT_EQ(t.db.relation(t.nation).num_tuples(), 25u);
+  EXPECT_EQ(t.db.relation(t.customer).num_tuples(), 120u);
+  EXPECT_EQ(t.db.relation(t.partsupp).num_tuples(), 160u * 4);
+  EXPECT_GT(t.db.relation(t.orders).num_tuples(), 120u);
+  EXPECT_GT(t.db.relation(t.lineitem).num_tuples(),
+            t.db.relation(t.orders).num_tuples());
+  // No junctions: 8 direct FK links.
+  EXPECT_EQ(t.links.num_links(), 8u);
+}
+
+TEST(TpchGen, TotalpriceIsSumOfLineitems) {
+  Tpch t = BuildTpch(SmallTpch());
+  const rel::Relation& orders = t.db.relation(t.orders);
+  const rel::Relation& lineitems = t.db.relation(t.lineitem);
+  // Check a few orders: totalprice == sum of extendedprice of lineitems.
+  rel::ForeignKeyId li_order_fk = 6;  // lineitem_order (7th declared)
+  for (rel::TupleId o : {0u, 3u, 10u}) {
+    double sum = 0.0;
+    for (rel::TupleId li : t.db.Children(li_order_fk, o)) {
+      sum += lineitems.NumericValue(li, t.col_li_extendedprice);
+    }
+    EXPECT_NEAR(orders.NumericValue(o, t.col_order_totalprice), sum, 1e-6);
+  }
+}
+
+TEST(TpchGen, PartsuppDistinctSuppliersPerPart) {
+  Tpch t = BuildTpch(SmallTpch());
+  const rel::Relation& ps = t.db.relation(t.partsupp);
+  // For part 0, the supplier ids of its partsupps are distinct.
+  std::set<int64_t> suppliers;
+  for (rel::TupleId p = 0; p < ps.num_tuples(); ++p) {
+    if (ps.IntValue(p, 0) != 0) continue;
+    EXPECT_TRUE(suppliers.insert(ps.IntValue(p, 1)).second);
+  }
+  EXPECT_EQ(suppliers.size(), 4u);
+}
+
+TEST(TpchGen, ValueRankRewardsValueOverCount) {
+  Tpch t = BuildTpch(SmallTpch());
+  ApplyTpchScores(&t, 1, 0.85);
+  // Rank correlation check in aggregate: the top-importance customer has
+  // above-average total order value.
+  const rel::Relation& customers = t.db.relation(t.customer);
+  const rel::Relation& orders = t.db.relation(t.orders);
+  std::vector<double> value_of(customers.num_tuples(), 0.0);
+  for (rel::TupleId o = 0; o < orders.num_tuples(); ++o) {
+    value_of[static_cast<size_t>(orders.IntValue(o, 0))] +=
+        orders.NumericValue(o, t.col_order_totalprice);
+  }
+  rel::TupleId best = 0;
+  for (rel::TupleId c = 1; c < customers.num_tuples(); ++c) {
+    if (customers.importance(c) > customers.importance(best)) best = c;
+  }
+  double mean_value = 0.0;
+  for (double v : value_of) mean_value += v;
+  mean_value /= static_cast<double>(value_of.size());
+  EXPECT_GT(value_of[best], mean_value);
+}
+
+TEST(TpchGen, CustomerGdsMatchesPaperEnumeration) {
+  Tpch t = BuildTpch(SmallTpch());
+  gds::Gds gds = TpchCustomerGds(t, 0.7);
+  // Section 2.1: Customer G_DS(0.7) = {Customer, Nation, Region, Order,
+  // Lineitem, Partsupp}.
+  EXPECT_EQ(gds.size(), 6u);
+  std::set<std::string> labels;
+  for (size_t i = 0; i < gds.size(); ++i) {
+    labels.insert(gds.node(static_cast<gds::GdsNodeId>(i)).label);
+  }
+  EXPECT_EQ(labels, (std::set<std::string>{"Customer", "Nation", "Region",
+                                           "Order", "Lineitem",
+                                           "Partsupp"}));
+  // With a lower theta, Parts and the Supplier replicas appear too.
+  gds::Gds loose = TpchCustomerGds(t, 0.5);
+  EXPECT_GT(loose.size(), gds.size());
+}
+
+TEST(TpchGen, SupplierOsLargerThanCustomerOs) {
+  Tpch t = BuildTpch(SmallTpch());
+  ApplyTpchScores(&t, 1, 0.85);
+  core::DataGraphBackend backend(t.db, t.links, t.data_graph);
+  gds::Gds cgds = TpchCustomerGds(t);
+  gds::Gds sgds = TpchSupplierGds(t);
+  size_t csum = 0, ssum = 0;
+  for (rel::TupleId i = 0; i < 5; ++i) {
+    csum += core::GenerateCompleteOs(t.db, cgds, &backend, i).size();
+    ssum += core::GenerateCompleteOs(t.db, sgds, &backend, i).size();
+  }
+  // Figure 9: Aver|OS| Customer ~176 vs Supplier ~1341.
+  EXPECT_GT(ssum, 2 * csum);
+}
+
+TEST(TpchGen, DeterministicForSameSeed) {
+  Tpch a = BuildTpch(SmallTpch());
+  Tpch b = BuildTpch(SmallTpch());
+  EXPECT_EQ(a.db.relation(a.lineitem).num_tuples(),
+            b.db.relation(b.lineitem).num_tuples());
+  EXPECT_DOUBLE_EQ(
+      a.db.relation(a.orders).NumericValue(0, a.col_order_totalprice),
+      b.db.relation(b.orders).NumericValue(0, b.col_order_totalprice));
+}
+
+TEST(Settings, FourSettingsExposed) {
+  EXPECT_EQ(kScoreSettings.size(), 4u);
+  EXPECT_STREQ(kDefaultSetting.name, "GA1-d1");
+  EXPECT_DOUBLE_EQ(kDefaultSetting.damping, 0.85);
+}
+
+}  // namespace
+}  // namespace osum::datasets

@@ -1,0 +1,154 @@
+// Tests for the evaluation harness: simulated evaluators, effectiveness
+// metric and the static-snippet baseline.
+#include <gtest/gtest.h>
+
+#include "core/os_backend.h"
+#include "core/os_generator.h"
+#include "datasets/dblp.h"
+#include "eval/evaluator.h"
+#include "eval/snippet.h"
+#include "test_trees.h"
+
+namespace osum::eval {
+namespace {
+
+using datasets::ApplyDblpScores;
+using datasets::BuildDblp;
+using datasets::Dblp;
+using datasets::DblpAuthorGds;
+using datasets::DblpConfig;
+using osum::testing::MakeTree;
+
+struct EvalFixture {
+  Dblp d;
+  gds::Gds gds;
+  core::OsTree os;  // Christos's complete OS under GA1-d1
+
+  EvalFixture() : d(MakeDblp()) {
+    gds = DblpAuthorGds(d);
+    core::DataGraphBackend backend(d.db, d.links, d.data_graph);
+    os = core::GenerateCompleteOs(d.db, gds, &backend, 0);
+  }
+
+  static Dblp MakeDblp() {
+    DblpConfig c;
+    c.num_authors = 150;
+    c.num_papers = 500;
+    c.num_conferences = 8;
+    Dblp d = BuildDblp(c);
+    ApplyDblpScores(&d, 1, 0.85);
+    return d;
+  }
+};
+
+TEST(Evaluator, Deterministic) {
+  EvalFixture f;
+  EvaluatorPanel panel(DblpEvaluatorConfig(3));
+  std::vector<double> ref = NodeScores(f.os);
+  auto a = panel.IdealSizeL(f.os, f.gds, ref, 0, 10);
+  auto b = panel.IdealSizeL(f.os, f.gds, ref, 0, 10);
+  EXPECT_EQ(a.nodes, b.nodes);
+}
+
+TEST(Evaluator, DifferentEvaluatorsDisagreeSomewhat) {
+  EvalFixture f;
+  EvaluatorPanel panel(DblpEvaluatorConfig(4));
+  std::vector<double> ref = NodeScores(f.os);
+  auto a = panel.IdealSizeL(f.os, f.gds, ref, 0, 15);
+  auto b = panel.IdealSizeL(f.os, f.gds, ref, 1, 15);
+  EXPECT_NE(a.nodes, b.nodes);  // noise differs per evaluator
+  // But they broadly agree: the reference signal dominates.
+  EXPECT_GE(OverlapCount(a, b), 5u);
+}
+
+TEST(Evaluator, IdealSelectionIsValidAndKeepsRoot) {
+  EvalFixture f;
+  EvaluatorPanel panel(DblpEvaluatorConfig(2));
+  std::vector<double> ref = NodeScores(f.os);
+  for (size_t l : {5u, 20u}) {
+    auto sel = panel.IdealSizeL(f.os, f.gds, ref, 1, l);
+    EXPECT_TRUE(core::IsValidSelection(f.os, sel, l));
+  }
+}
+
+TEST(Evaluator, PaperBiasShowsInSelections) {
+  EvalFixture f;
+  EvaluatorPanel panel(DblpEvaluatorConfig(6));
+  std::vector<double> ref = NodeScores(f.os);
+  size_t paper_picks = 0, conference_picks = 0;
+  for (size_t e = 0; e < panel.size(); ++e) {
+    auto sel = panel.IdealSizeL(f.os, f.gds, ref, e, 10);
+    for (core::OsNodeId id : sel.nodes) {
+      const std::string& label = f.gds.node(f.os.node(id).gds_node).label;
+      paper_picks += label == "Paper";
+      conference_picks += label == "Conference";
+    }
+  }
+  // Section 6.1: papers first, conferences only in larger summaries.
+  EXPECT_GT(paper_picks, conference_picks);
+}
+
+TEST(Effectiveness, BoundsAndIdentity) {
+  EvalFixture f;
+  core::Selection sel = core::SizeLDp(f.os, 10);
+  EXPECT_DOUBLE_EQ(Effectiveness(sel, sel, 10), 1.0);
+  core::Selection empty;
+  EXPECT_DOUBLE_EQ(Effectiveness(sel, empty, 10), 0.0);
+}
+
+TEST(Effectiveness, OverlapCountsSharedNodes) {
+  core::Selection a, b;
+  a.nodes = {0, 1, 2, 5};
+  b.nodes = {0, 2, 6, 9};
+  EXPECT_EQ(OverlapCount(a, b), 2u);
+  EXPECT_DOUBLE_EQ(Effectiveness(a, b, 4), 0.5);
+}
+
+TEST(ReweightOsTest, PreservesShapeChangesWeights) {
+  core::OsTree os = MakeTree({{-1, 1}, {0, 2}, {0, 3}});
+  core::OsTree r = ReweightOs(os, {10, 20, 30});
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_DOUBLE_EQ(r.node(1).local_importance, 20);
+  EXPECT_EQ(r.node(1).parent, 0);
+  EXPECT_EQ(r.node(2).parent, 0);
+}
+
+TEST(Snippet, FirstThreeTuplesPlusRoot) {
+  core::OsTree os =
+      MakeTree({{-1, 5}, {0, 1}, {0, 2}, {0, 3}, {0, 4}, {1, 6}});
+  core::Selection s = StaticSnippet(os, 3);
+  EXPECT_EQ(s.nodes, (std::vector<core::OsNodeId>{0, 1, 2, 3}));
+}
+
+TEST(Snippet, ShuffledOrderStillRootFirst) {
+  core::OsTree os =
+      MakeTree({{-1, 5}, {0, 1}, {0, 2}, {0, 3}, {0, 4}, {1, 6}});
+  core::Selection s = StaticSnippet(os, 3, /*shuffle_seed=*/77);
+  EXPECT_EQ(s.nodes.size(), 4u);
+  EXPECT_EQ(s.nodes[0], core::kOsRoot);
+}
+
+TEST(Snippet, SmallOsReturnsEverything) {
+  core::OsTree os = MakeTree({{-1, 5}, {0, 1}});
+  core::Selection s = StaticSnippet(os, 3);
+  EXPECT_EQ(s.nodes.size(), 2u);
+}
+
+TEST(Snippet, SnippetMissesEvaluatorPicks) {
+  // The Section 6.1 comparative result: a static 3-tuple snippet finds
+  // approximately zero of the evaluators' size-5 tuples on large OSs.
+  EvalFixture f;
+  EvaluatorPanel panel(DblpEvaluatorConfig(4));
+  std::vector<double> ref = NodeScores(f.os);
+  double total_overlap = 0;
+  for (size_t e = 0; e < panel.size(); ++e) {
+    auto ideal = panel.IdealSizeL(f.os, f.gds, ref, e, 5);
+    auto snip = StaticSnippet(f.os, 3, /*shuffle_seed=*/e + 1);
+    // Exclude the root (both always contain it; the paper counts tuples).
+    total_overlap += static_cast<double>(OverlapCount(ideal, snip)) - 1.0;
+  }
+  EXPECT_LE(total_overlap / static_cast<double>(panel.size()), 1.0);
+}
+
+}  // namespace
+}  // namespace osum::eval

@@ -1,0 +1,173 @@
+// Tests for G_DS construction (expert + automatic), affinity (Equation 1)
+// and the max/mmax statistics annotations.
+#include <gtest/gtest.h>
+
+#include "datasets/dblp.h"
+#include "gds/affinity.h"
+#include "gds/gds.h"
+
+namespace osum::gds {
+namespace {
+
+using datasets::BuildDblp;
+using datasets::Dblp;
+using datasets::DblpAuthorGds;
+using datasets::DblpConfig;
+using rel::FkDirection;
+
+DblpConfig TinyConfig() {
+  DblpConfig c;
+  c.num_authors = 60;
+  c.num_papers = 200;
+  c.num_conferences = 6;
+  return c;
+}
+
+TEST(GdsBuilder, AuthorGdsShape) {
+  Dblp d = BuildDblp(TinyConfig());
+  Gds gds = DblpAuthorGds(d);
+  // Figure 2: Author -> Paper -> {Co-Author, Year -> Conference,
+  // PaperCites, PaperCitedBy} = 7 nodes.
+  EXPECT_EQ(gds.size(), 7u);
+  EXPECT_EQ(gds.root().label, "Author");
+  EXPECT_EQ(gds.root_relation(), d.author);
+  ASSERT_EQ(gds.root().children.size(), 1u);
+  const GdsNode& paper = gds.node(gds.root().children[0]);
+  EXPECT_EQ(paper.label, "Paper");
+  EXPECT_DOUBLE_EQ(paper.affinity, 0.92);
+  EXPECT_EQ(paper.children.size(), 4u);
+  EXPECT_EQ(gds.MaxDepth(), 3);  // Conference under Year
+}
+
+TEST(GdsBuilder, CoAuthorExcludesOrigin) {
+  Dblp d = BuildDblp(TinyConfig());
+  Gds gds = DblpAuthorGds(d);
+  const GdsNode& paper = gds.node(gds.root().children[0]);
+  bool found = false;
+  for (GdsNodeId c : paper.children) {
+    const GdsNode& n = gds.node(c);
+    if (n.label == "Co-Author") {
+      found = true;
+      EXPECT_TRUE(n.exclude_origin);
+      EXPECT_EQ(n.relation, d.author);
+    } else {
+      EXPECT_FALSE(n.exclude_origin) << n.label;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(GdsBuilder, ThetaPrunesLowAffinityNodes) {
+  Dblp d = BuildDblp(TinyConfig());
+  Gds strict = DblpAuthorGds(d, /*theta=*/0.8);
+  // theta=0.8 keeps Author, Paper (.92), Co-Author (.82), Year (.83) only.
+  EXPECT_EQ(strict.size(), 4u);
+  Gds loose = DblpAuthorGds(d, /*theta=*/0.0);
+  EXPECT_EQ(loose.size(), 7u);
+}
+
+TEST(GdsStatistics, MaxAndMmaxAnnotations) {
+  Dblp d = BuildDblp(TinyConfig());
+  datasets::ApplyDblpScores(&d, 1, 0.85);
+  Gds gds = DblpAuthorGds(d);
+  ASSERT_TRUE(gds.annotated());
+
+  const GdsNode& root = gds.root();
+  const GdsNode& paper = gds.node(root.children[0]);
+  // max(R_i) = relation max importance x affinity.
+  EXPECT_DOUBLE_EQ(paper.max_ri,
+                   d.db.relation(d.paper).max_importance() * 0.92);
+  // Root's mmax covers the whole subtree; it is at least Paper's max.
+  EXPECT_GE(root.mmax_ri, paper.max_ri);
+  // Paper's mmax covers its children but not itself.
+  double child_max = 0.0;
+  for (GdsNodeId c : paper.children) {
+    child_max = std::max(child_max, gds.node(c).max_ri);
+  }
+  EXPECT_DOUBLE_EQ(paper.mmax_ri, child_max);
+  // Leaves have mmax = 0.
+  for (GdsNodeId c : paper.children) {
+    if (gds.node(c).children.empty()) {
+      EXPECT_DOUBLE_EQ(gds.node(c).mmax_ri, 0.0) << gds.node(c).label;
+    }
+  }
+}
+
+TEST(GdsStatistics, ToStringRendersTree) {
+  Dblp d = BuildDblp(TinyConfig());
+  datasets::ApplyDblpScores(&d, 1, 0.85);
+  Gds gds = DblpAuthorGds(d);
+  std::string s = gds.ToString(d.db);
+  EXPECT_NE(s.find("Author"), std::string::npos);
+  EXPECT_NE(s.find("Co-Author"), std::string::npos);
+  EXPECT_NE(s.find("(0.92)"), std::string::npos);
+}
+
+TEST(Affinity, EdgeFactorInUnitInterval) {
+  Dblp d = BuildDblp(TinyConfig());
+  AffinityWeights w;
+  for (const graph::LinkType& lt : d.links.links()) {
+    for (FkDirection dir : {FkDirection::kForward, FkDirection::kBackward}) {
+      rel::RelationId src = dir == FkDirection::kForward ? lt.a : lt.b;
+      double f = EdgeAffinityFactor(d.db, d.links, src, lt.id, dir, w);
+      EXPECT_GT(f, 0.0) << lt.name;
+      EXPECT_LE(f, 1.0) << lt.name;
+    }
+  }
+}
+
+TEST(Affinity, MToOneEdgesBeatHighFanoutEdges) {
+  Dblp d = BuildDblp(TinyConfig());
+  AffinityWeights w;
+  // Paper -> Year (M:1, backward on paper_year) should have higher factor
+  // than Year -> Paper (high fan-out forward).
+  double m_to_1 = EdgeAffinityFactor(d.db, d.links, d.paper,
+                                     d.link_paper_year,
+                                     FkDirection::kBackward, w);
+  double fan_out = EdgeAffinityFactor(d.db, d.links, d.year,
+                                      d.link_paper_year,
+                                      FkDirection::kForward, w);
+  EXPECT_GT(m_to_1, fan_out);
+}
+
+TEST(AutoGds, BuildsRootedTreeRespectingTheta) {
+  Dblp d = BuildDblp(TinyConfig());
+  GdsAutoOptions options;
+  options.theta = 0.6;
+  options.max_depth = 3;
+  Gds gds = BuildGdsAuto(d.db, d.links, d.author, "Author", options);
+  EXPECT_GE(gds.size(), 2u);  // at least Author -> Paper
+  EXPECT_EQ(gds.root_relation(), d.author);
+  for (size_t i = 0; i < gds.size(); ++i) {
+    const GdsNode& n = gds.node(static_cast<GdsNodeId>(i));
+    EXPECT_GE(n.affinity, i == 0 ? 1.0 : options.theta) << n.label;
+    EXPECT_LE(n.depth, options.max_depth);
+    if (n.parent != kNoGdsNode) {
+      // Equation 1: child affinity = factor x parent affinity, factor <= 1.
+      EXPECT_LE(n.affinity, gds.node(n.parent).affinity + 1e-12);
+    }
+  }
+}
+
+TEST(AutoGds, HigherThetaNeverGrowsTheTree) {
+  Dblp d = BuildDblp(TinyConfig());
+  GdsAutoOptions loose, strict;
+  loose.theta = 0.5;
+  strict.theta = 0.75;
+  Gds g_loose = BuildGdsAuto(d.db, d.links, d.author, "Author", loose);
+  Gds g_strict = BuildGdsAuto(d.db, d.links, d.author, "Author", strict);
+  EXPECT_LE(g_strict.size(), g_loose.size());
+}
+
+TEST(AutoGds, DepthCapIsHard) {
+  Dblp d = BuildDblp(TinyConfig());
+  GdsAutoOptions options;
+  options.theta = 0.0;  // no affinity pruning: only the depth cap stops it
+  options.max_depth = 2;
+  Gds gds = BuildGdsAuto(d.db, d.links, d.author, "Author", options);
+  EXPECT_LE(gds.MaxDepth(), 2);
+  EXPECT_GT(gds.size(), 3u);
+}
+
+}  // namespace
+}  // namespace osum::gds

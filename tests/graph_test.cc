@@ -1,0 +1,194 @@
+// Unit tests for link-type derivation (junction collapsing) and the data
+// graph.
+#include <gtest/gtest.h>
+
+#include "graph/data_graph.h"
+#include "graph/link_types.h"
+
+namespace osum::graph {
+namespace {
+
+using rel::Database;
+using rel::FkDirection;
+using rel::Schema;
+using rel::Value;
+using rel::ValueType;
+
+// DBLP-in-miniature: Author, Paper, Year + Writes (M:N junction) and Cites
+// (self M:N junction).
+struct MiniDblp {
+  Database db;
+  rel::RelationId author, paper, year, writes, cites;
+};
+
+MiniDblp MakeMiniDblp() {
+  MiniDblp m;
+  m.author = m.db.AddRelation("Author",
+                              Schema({{"name", ValueType::kString, true}}));
+  m.paper = m.db.AddRelation("Paper",
+                             Schema({{"title", ValueType::kString, true},
+                                     {"year_id", ValueType::kInt, false}}));
+  m.year =
+      m.db.AddRelation("Year", Schema({{"year", ValueType::kInt, true}}));
+  m.writes = m.db.AddRelation("Writes",
+                              Schema({{"author_id", ValueType::kInt, false},
+                                      {"paper_id", ValueType::kInt, false}}),
+                              /*is_junction=*/true);
+  m.cites = m.db.AddRelation("Cites",
+                             Schema({{"citing", ValueType::kInt, false},
+                                     {"cited", ValueType::kInt, false}}),
+                             /*is_junction=*/true);
+  m.db.AddForeignKey("paper_year", m.paper, 1, m.year);
+  m.db.AddForeignKey("writes_author", m.writes, 0, m.author);
+  m.db.AddForeignKey("writes_paper", m.writes, 1, m.paper);
+  m.db.AddForeignKey("cites_citing", m.cites, 0, m.paper);
+  m.db.AddForeignKey("cites_cited", m.cites, 1, m.paper);
+
+  // Authors: a0, a1. Years: y0. Papers: p0 (a0, a1), p1 (a0). p1 cites p0.
+  m.db.relation(m.author).Append({Value{std::string("a0")}});
+  m.db.relation(m.author).Append({Value{std::string("a1")}});
+  m.db.relation(m.year).Append({Value{int64_t{1999}}});
+  m.db.relation(m.paper).Append(
+      {Value{std::string("p0")}, Value{int64_t{0}}});
+  m.db.relation(m.paper).Append(
+      {Value{std::string("p1")}, Value{int64_t{0}}});
+  m.db.relation(m.writes).Append({Value{int64_t{0}}, Value{int64_t{0}}});
+  m.db.relation(m.writes).Append({Value{int64_t{1}}, Value{int64_t{0}}});
+  m.db.relation(m.writes).Append({Value{int64_t{0}}, Value{int64_t{1}}});
+  m.db.relation(m.cites).Append({Value{int64_t{1}}, Value{int64_t{0}}});
+  m.db.BuildIndexes();
+  return m;
+}
+
+TEST(LinkSchema, CollapsesJunctions) {
+  MiniDblp m = MakeMiniDblp();
+  LinkSchema links = LinkSchema::Build(m.db);
+  // Writes, Cites (junctions) + paper_year (direct) = 3 links.
+  EXPECT_EQ(links.num_links(), 3u);
+  const LinkType& writes = links.link(links.GetLink("Writes"));
+  EXPECT_TRUE(writes.via_junction);
+  EXPECT_EQ(writes.a, m.author);
+  EXPECT_EQ(writes.b, m.paper);
+  const LinkType& py = links.link(links.GetLink("paper_year"));
+  EXPECT_FALSE(py.via_junction);
+  EXPECT_EQ(py.a, m.year);   // parent side
+  EXPECT_EQ(py.b, m.paper);  // child side
+}
+
+TEST(LinkSchema, SelfJunctionLink) {
+  MiniDblp m = MakeMiniDblp();
+  LinkSchema links = LinkSchema::Build(m.db);
+  const LinkType& cites = links.link(links.GetLink("Cites"));
+  EXPECT_TRUE(cites.via_junction);
+  EXPECT_EQ(cites.a, m.paper);
+  EXPECT_EQ(cites.b, m.paper);
+  EXPECT_EQ(RoleName(cites, FkDirection::kForward), "Cites");
+  EXPECT_EQ(RoleName(cites, FkDirection::kBackward), "Cites_by");
+}
+
+TEST(LinkSchema, LinksOfRelation) {
+  MiniDblp m = MakeMiniDblp();
+  LinkSchema links = LinkSchema::Build(m.db);
+  // Paper touches Writes, Cites, paper_year.
+  EXPECT_EQ(links.LinksOf(m.paper).size(), 3u);
+  EXPECT_EQ(links.LinksOf(m.author).size(), 1u);
+}
+
+TEST(DataGraph, NodeNumberingSkipsJunctions) {
+  MiniDblp m = MakeMiniDblp();
+  LinkSchema links = LinkSchema::Build(m.db);
+  DataGraph g = DataGraph::Build(m.db, links);
+  // 2 authors + 2 papers + 1 year = 5 entity nodes (junction tuples are
+  // edges, not nodes).
+  EXPECT_EQ(g.num_nodes(), 5u);
+  NodeId a0 = g.node(m.author, 0);
+  EXPECT_EQ(g.RelationOf(a0), m.author);
+  EXPECT_EQ(g.TupleOf(a0), 0u);
+}
+
+TEST(DataGraph, JunctionNeighbors) {
+  MiniDblp m = MakeMiniDblp();
+  LinkSchema links = LinkSchema::Build(m.db);
+  DataGraph g = DataGraph::Build(m.db, links);
+  LinkTypeId writes = links.GetLink("Writes");
+  // a0 wrote p0 and p1.
+  auto papers = g.Neighbors(g.node(m.author, 0), writes,
+                            FkDirection::kForward);
+  EXPECT_EQ(papers.size(), 2u);
+  // p0 written by a0 and a1.
+  auto authors = g.Neighbors(g.node(m.paper, 0), writes,
+                             FkDirection::kBackward);
+  EXPECT_EQ(authors.size(), 2u);
+}
+
+TEST(DataGraph, SelfLinkDirections) {
+  MiniDblp m = MakeMiniDblp();
+  LinkSchema links = LinkSchema::Build(m.db);
+  DataGraph g = DataGraph::Build(m.db, links);
+  LinkTypeId cites = links.GetLink("Cites");
+  // p1 cites p0: forward from p1 reaches p0.
+  auto cited = g.Neighbors(g.node(m.paper, 1), cites, FkDirection::kForward);
+  ASSERT_EQ(cited.size(), 1u);
+  EXPECT_EQ(g.TupleOf(cited[0]), 0u);
+  // p0 is cited by p1.
+  auto citing = g.Neighbors(g.node(m.paper, 0), cites,
+                            FkDirection::kBackward);
+  ASSERT_EQ(citing.size(), 1u);
+  EXPECT_EQ(g.TupleOf(citing[0]), 1u);
+  // And the reverse queries are empty.
+  EXPECT_TRUE(g.Neighbors(g.node(m.paper, 0), cites, FkDirection::kForward)
+                  .empty());
+}
+
+TEST(DataGraph, DirectLinkBothDirections) {
+  MiniDblp m = MakeMiniDblp();
+  LinkSchema links = LinkSchema::Build(m.db);
+  DataGraph g = DataGraph::Build(m.db, links);
+  LinkTypeId py = links.GetLink("paper_year");
+  // Year y0 -> both papers (forward).
+  EXPECT_EQ(g.Neighbors(g.node(m.year, 0), py, FkDirection::kForward).size(),
+            2u);
+  // Paper p0 -> its year (backward).
+  auto y = g.Neighbors(g.node(m.paper, 0), py, FkDirection::kBackward);
+  ASSERT_EQ(y.size(), 1u);
+  EXPECT_EQ(g.RelationOf(y[0]), m.year);
+}
+
+TEST(DataGraph, WrongSourceRelationYieldsEmpty) {
+  MiniDblp m = MakeMiniDblp();
+  LinkSchema links = LinkSchema::Build(m.db);
+  DataGraph g = DataGraph::Build(m.db, links);
+  LinkTypeId py = links.GetLink("paper_year");
+  // Forward from a Paper node (papers are the b side) is empty.
+  EXPECT_TRUE(g.Neighbors(g.node(m.paper, 0), py, FkDirection::kForward)
+                  .empty());
+}
+
+TEST(DataGraph, EdgeCountAndMemory) {
+  MiniDblp m = MakeMiniDblp();
+  LinkSchema links = LinkSchema::Build(m.db);
+  DataGraph g = DataGraph::Build(m.db, links);
+  // 3 writes + 1 cites + 2 paper_year = 6 logical edges.
+  EXPECT_EQ(g.num_edges(), 6u);
+  EXPECT_GT(g.ApproxMemoryBytes(), 0u);
+}
+
+TEST(DataGraph, SortNeighborsByImportance) {
+  MiniDblp m = MakeMiniDblp();
+  LinkSchema links = LinkSchema::Build(m.db);
+  DataGraph g = DataGraph::Build(m.db, links);
+  m.db.relation(m.author).SetImportance({1.0, 2.0});
+  m.db.relation(m.paper).SetImportance({1.0, 5.0});
+  m.db.relation(m.year).SetImportance({1.0});
+  g.SortNeighborsByImportance(m.db);
+  EXPECT_TRUE(g.neighbors_sorted());
+  // a0's papers now come p1 (5.0) before p0 (1.0).
+  auto papers = g.Neighbors(g.node(m.author, 0), links.GetLink("Writes"),
+                            FkDirection::kForward);
+  ASSERT_EQ(papers.size(), 2u);
+  EXPECT_EQ(g.TupleOf(papers[0]), 1u);
+  EXPECT_EQ(g.TupleOf(papers[1]), 0u);
+}
+
+}  // namespace
+}  // namespace osum::graph

@@ -1,0 +1,212 @@
+// Tests for ObjectRank / ValueRank: authority flow semantics, damping
+// behaviour, value-aware splitting and the value-biased base vector.
+#include <gtest/gtest.h>
+
+#include "graph/data_graph.h"
+#include "importance/object_rank.h"
+
+namespace osum::importance {
+namespace {
+
+using rel::Database;
+using rel::FkDirection;
+using rel::Schema;
+using rel::Value;
+using rel::ValueType;
+
+// A citation chain: p2 -> p1 -> p0 (p0 is the most cited).
+struct CiteDb {
+  Database db;
+  rel::RelationId paper, cites;
+  graph::LinkSchema links;
+  graph::DataGraph graph;
+  graph::LinkTypeId link_cites;
+};
+
+CiteDb MakeCiteDb() {
+  CiteDb c;
+  c.paper = c.db.AddRelation("Paper",
+                             Schema({{"title", ValueType::kString, true}}));
+  c.cites = c.db.AddRelation("Cites",
+                             Schema({{"citing", ValueType::kInt, false},
+                                     {"cited", ValueType::kInt, false}}),
+                             /*is_junction=*/true);
+  c.db.AddForeignKey("cites_citing", c.cites, 0, c.paper);
+  c.db.AddForeignKey("cites_cited", c.cites, 1, c.paper);
+  for (int i = 0; i < 3; ++i) {
+    c.db.relation(c.paper).Append({Value{"p" + std::to_string(i)}});
+  }
+  c.db.relation(c.cites).Append({Value{int64_t{2}}, Value{int64_t{1}}});
+  c.db.relation(c.cites).Append({Value{int64_t{1}}, Value{int64_t{0}}});
+  c.db.BuildIndexes();
+  c.links = graph::LinkSchema::Build(c.db);
+  c.link_cites = c.links.GetLink("Cites");
+  c.graph = graph::DataGraph::Build(c.db, c.links);
+  return c;
+}
+
+TEST(ObjectRank, CitedPapersGainAuthority) {
+  CiteDb c = MakeCiteDb();
+  AuthorityGraph ga(c.links.num_links());
+  ga.SetRate(c.link_cites, FkDirection::kForward, {0.7, std::nullopt});
+  ga.SetRate(c.link_cites, FkDirection::kBackward, {0.0, std::nullopt});
+  auto result = ComputeObjectRank(c.db, c.links, c.graph, ga);
+  double s0 = result.scores[c.graph.node(c.paper, 0)];
+  double s1 = result.scores[c.graph.node(c.paper, 1)];
+  double s2 = result.scores[c.graph.node(c.paper, 2)];
+  // Authority flows along citations: most-cited p0 wins, p2 gets nothing.
+  EXPECT_GT(s0, s1);
+  EXPECT_GT(s1, s2);
+}
+
+TEST(ObjectRank, ZeroRateMeansNoFlow) {
+  CiteDb c = MakeCiteDb();
+  AuthorityGraph ga(c.links.num_links());  // all rates zero
+  auto result = ComputeObjectRank(c.db, c.links, c.graph, ga);
+  // No flow: all scores equal the (uniform) base.
+  double s0 = result.scores[c.graph.node(c.paper, 0)];
+  double s1 = result.scores[c.graph.node(c.paper, 1)];
+  double s2 = result.scores[c.graph.node(c.paper, 2)];
+  EXPECT_NEAR(s0, s1, 1e-9);
+  EXPECT_NEAR(s1, s2, 1e-9);
+}
+
+TEST(ObjectRank, LowDampingFlattensScores) {
+  CiteDb c = MakeCiteDb();
+  AuthorityGraph ga(c.links.num_links());
+  ga.SetRate(c.link_cites, FkDirection::kForward, {0.7, std::nullopt});
+  ObjectRankOptions d_high, d_low;
+  d_high.damping = 0.99;
+  d_low.damping = 0.10;
+  auto high = ComputeObjectRank(c.db, c.links, c.graph, ga, d_high);
+  auto low = ComputeObjectRank(c.db, c.links, c.graph, ga, d_low);
+  auto spread = [&](const std::vector<double>& s) {
+    double mx = *std::max_element(s.begin(), s.end());
+    double mn = *std::min_element(s.begin(), s.end());
+    return mx / std::max(mn, 1e-12);
+  };
+  // d2=0.10 produces near-uniform scores; d3=0.99 exaggerates authority.
+  EXPECT_GT(spread(high.scores), spread(low.scores) * 2);
+}
+
+TEST(ObjectRank, ConvergesAndReportsIterations) {
+  CiteDb c = MakeCiteDb();
+  AuthorityGraph ga(c.links.num_links());
+  ga.SetRate(c.link_cites, FkDirection::kForward, {0.7, std::nullopt});
+  auto result = ComputeObjectRank(c.db, c.links, c.graph, ga);
+  EXPECT_GT(result.iterations, 1);
+  EXPECT_LT(result.final_delta, 1e-7);
+}
+
+TEST(ObjectRank, MeanScaleNormalization) {
+  CiteDb c = MakeCiteDb();
+  AuthorityGraph ga(c.links.num_links());
+  ga.SetRate(c.link_cites, FkDirection::kForward, {0.7, std::nullopt});
+  ObjectRankOptions options;
+  options.mean_scale = 10.0;
+  auto result = ComputeObjectRank(c.db, c.links, c.graph, ga, options);
+  double sum = 0.0;
+  for (double s : result.scores) sum += s;
+  EXPECT_NEAR(sum / static_cast<double>(result.scores.size()), 10.0, 1e-9);
+}
+
+TEST(ObjectRank, AnnotateImportanceCopiesScores) {
+  CiteDb c = MakeCiteDb();
+  AuthorityGraph ga(c.links.num_links());
+  ga.SetRate(c.link_cites, FkDirection::kForward, {0.7, std::nullopt});
+  auto result = RankAndAnnotate(&c.db, c.links, &c.graph, ga);
+  const rel::Relation& papers = c.db.relation(c.paper);
+  ASSERT_TRUE(papers.has_importance());
+  EXPECT_DOUBLE_EQ(papers.importance(0),
+                   result.scores[c.graph.node(c.paper, 0)]);
+  // Access paths are now importance-sorted.
+  EXPECT_TRUE(c.graph.neighbors_sorted());
+}
+
+// --- ValueRank: customers with high-value orders should outrank customers
+// --- with many low-value orders.
+struct ShopDb {
+  Database db;
+  rel::RelationId customer, orders;
+  rel::ColumnId col_total = 0;
+  graph::LinkSchema links;
+  graph::DataGraph graph;
+  graph::LinkTypeId link_oc;
+};
+
+ShopDb MakeShopDb() {
+  ShopDb s;
+  s.customer = s.db.AddRelation(
+      "Customer", Schema({{"name", ValueType::kString, true}}));
+  Schema orders_schema({{"customer_id", ValueType::kInt, false},
+                        {"totalprice", ValueType::kDouble, true}});
+  s.col_total = orders_schema.GetColumn("totalprice");
+  s.orders = s.db.AddRelation("Order", orders_schema);
+  s.db.AddForeignKey("order_customer", s.orders, 0, s.customer);
+  // c0: five $10 orders. c1: three $100 orders.
+  s.db.relation(s.customer).Append({Value{std::string("c0")}});
+  s.db.relation(s.customer).Append({Value{std::string("c1")}});
+  for (int i = 0; i < 5; ++i) {
+    s.db.relation(s.orders).Append({Value{int64_t{0}}, Value{10.0}});
+  }
+  for (int i = 0; i < 3; ++i) {
+    s.db.relation(s.orders).Append({Value{int64_t{1}}, Value{100.0}});
+  }
+  s.db.BuildIndexes();
+  s.links = graph::LinkSchema::Build(s.db);
+  s.link_oc = s.links.GetLink("order_customer");
+  s.graph = graph::DataGraph::Build(s.db, s.links);
+  return s;
+}
+
+TEST(ValueRank, HighValueOrdersBeatManyCheapOrders) {
+  ShopDb s = MakeShopDb();
+  AuthorityGraph ga(s.links.num_links());
+  // Orders push authority to their customer; order importance itself is
+  // driven by the value-biased base vector (the S_i of Figure 13b).
+  ga.SetRate(s.link_oc, FkDirection::kBackward, {0.5, std::nullopt});
+  ga.SetBaseValueBias(s.orders, s.col_total, 0.9);
+  auto result = ComputeObjectRank(s.db, s.links, s.graph, ga);
+  double c0 = result.scores[s.graph.node(s.customer, 0)];
+  double c1 = result.scores[s.graph.node(s.customer, 1)];
+  EXPECT_GT(c1, c0);  // 3 x $100 beats 5 x $10
+}
+
+TEST(ValueRank, PlainObjectRankPrefersManyOrders) {
+  ShopDb s = MakeShopDb();
+  AuthorityGraph ga(s.links.num_links());
+  ga.SetRate(s.link_oc, FkDirection::kBackward, {0.5, std::nullopt});
+  // Without value bias (G_A2 style), more orders -> more authority.
+  auto result = ComputeObjectRank(s.db, s.links, s.graph, ga);
+  double c0 = result.scores[s.graph.node(s.customer, 0)];
+  double c1 = result.scores[s.graph.node(s.customer, 1)];
+  EXPECT_GT(c0, c1);
+}
+
+TEST(ValueRank, ValueProportionalSplitting) {
+  ShopDb s = MakeShopDb();
+  AuthorityGraph ga(s.links.num_links());
+  // Customer -> Orders with value-proportional split: within c1's orders,
+  // raise one order's price and it should absorb more authority.
+  s.db.relation(s.orders).SetValue(7, s.col_total, Value{1000.0});
+  ga.SetRate(s.link_oc, FkDirection::kForward, {0.5, s.col_total});
+  auto result = ComputeObjectRank(s.db, s.links, s.graph, ga);
+  double cheap = result.scores[s.graph.node(s.orders, 5)];
+  double pricey = result.scores[s.graph.node(s.orders, 7)];
+  EXPECT_GT(pricey, cheap);
+}
+
+TEST(AuthorityGraphTest, UsesValuesDetection) {
+  ShopDb s = MakeShopDb();
+  AuthorityGraph plain(s.links.num_links());
+  EXPECT_FALSE(plain.uses_values());
+  AuthorityGraph with_split(s.links.num_links());
+  with_split.SetRate(s.link_oc, FkDirection::kForward, {0.5, s.col_total});
+  EXPECT_TRUE(with_split.uses_values());
+  AuthorityGraph with_bias(s.links.num_links());
+  with_bias.SetBaseValueBias(s.orders, s.col_total, 0.5);
+  EXPECT_TRUE(with_bias.uses_values());
+}
+
+}  // namespace
+}  // namespace osum::importance

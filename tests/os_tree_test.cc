@@ -1,0 +1,92 @@
+// Tests for the OS tree arena, selection validation and materialization.
+#include <gtest/gtest.h>
+
+#include "core/os_tree.h"
+#include "test_trees.h"
+
+namespace osum::core {
+namespace {
+
+using osum::testing::MakeTree;
+using osum::testing::PaperFigure4Tree;
+
+TEST(OsTree, BfsInvariantParentBeforeChild) {
+  OsTree os = PaperFigure4Tree();
+  for (size_t i = 1; i < os.size(); ++i) {
+    EXPECT_LT(os.node(static_cast<OsNodeId>(i)).parent,
+              static_cast<OsNodeId>(i));
+  }
+}
+
+TEST(OsTree, DepthsAndChildren) {
+  OsTree os = MakeTree({{-1, 1}, {0, 1}, {1, 1}, {1, 1}});
+  EXPECT_EQ(os.node(0).depth, 0);
+  EXPECT_EQ(os.node(1).depth, 1);
+  EXPECT_EQ(os.node(2).depth, 2);
+  EXPECT_EQ(os.node(1).children.size(), 2u);
+  EXPECT_EQ(os.MaxDepth(), 2);
+  EXPECT_EQ(os.CountLeaves(), 2u);
+}
+
+TEST(OsTree, TotalImportance) {
+  OsTree os = MakeTree({{-1, 1.5}, {0, 2.5}});
+  EXPECT_DOUBLE_EQ(os.TotalImportance(), 4.0);
+}
+
+TEST(OsTree, MonotoneDetection) {
+  EXPECT_TRUE(MakeTree({{-1, 10}, {0, 5}, {1, 5}}).IsMonotone());
+  EXPECT_FALSE(MakeTree({{-1, 10}, {0, 5}, {1, 7}}).IsMonotone());
+}
+
+TEST(Selection, ValidSelectionRules) {
+  OsTree os = PaperFigure4Tree();
+  Selection ok;
+  ok.nodes = {0, 3, 4, 5};  // root + three children
+  EXPECT_TRUE(IsValidSelection(os, ok, 4));
+
+  Selection missing_root;
+  missing_root.nodes = {1, 2, 3, 4};
+  EXPECT_FALSE(IsValidSelection(os, missing_root, 4));
+
+  Selection disconnected;
+  disconnected.nodes = {0, 1, 2, 12};  // 12's parent (10) missing
+  EXPECT_FALSE(IsValidSelection(os, disconnected, 4));
+
+  Selection wrong_size;
+  wrong_size.nodes = {0, 1};
+  EXPECT_FALSE(IsValidSelection(os, wrong_size, 4));
+
+  Selection duplicate;
+  duplicate.nodes = {0, 1, 1, 2};
+  EXPECT_FALSE(IsValidSelection(os, duplicate, 4));
+}
+
+TEST(Selection, ImportanceSum) {
+  OsTree os = MakeTree({{-1, 1}, {0, 2}, {0, 4}});
+  EXPECT_DOUBLE_EQ(SelectionImportance(os, {0, 2}), 5.0);
+}
+
+TEST(Materialize, ExtractsConnectedSubtree) {
+  OsTree os = PaperFigure4Tree();
+  Selection sel;
+  sel.nodes = {0, 3, 10, 12};  // paper ids 1, 4, 11, 13 (a chain + root)
+  OsTree sub = MaterializeSelection(os, sel);
+  EXPECT_EQ(sub.size(), 4u);
+  EXPECT_EQ(sub.node(0).depth, 0);
+  EXPECT_EQ(sub.MaxDepth(), 3);
+  EXPECT_DOUBLE_EQ(sub.TotalImportance(), 30 + 31 + 30 + 60);
+  // Structure preserved: each non-root's parent is inside the subtree.
+  for (size_t i = 1; i < sub.size(); ++i) {
+    EXPECT_GE(sub.node(static_cast<OsNodeId>(i)).parent, 0);
+  }
+}
+
+TEST(Materialize, EmptySelectionYieldsEmptyTree) {
+  OsTree os = PaperFigure4Tree();
+  Selection sel;
+  OsTree sub = MaterializeSelection(os, sel);
+  EXPECT_TRUE(sub.empty());
+}
+
+}  // namespace
+}  // namespace osum::core

@@ -1,0 +1,157 @@
+// Deeper randomized property sweeps tying the exact algorithms together:
+// SizeLDpAll vs brute force at every l, enumeration-DP agreement, greedy
+// sandwich bounds, and structural invariants under adversarial weights.
+#include <gtest/gtest.h>
+
+#include "core/multi_l.h"
+#include "core/size_l.h"
+#include "test_trees.h"
+
+namespace osum::core {
+namespace {
+
+using osum::testing::MakeTree;
+using osum::testing::RandomMonotoneTree;
+using osum::testing::RandomTree;
+
+struct AllLParam {
+  uint64_t seed;
+  size_t n;
+};
+
+class AllLPropertyTest : public ::testing::TestWithParam<AllLParam> {};
+
+TEST_P(AllLPropertyTest, DpAllMatchesBruteForceAtEveryL) {
+  const AllLParam p = GetParam();
+  util::Rng rng(p.seed);
+  OsTree os = RandomTree(&rng, p.n);
+  std::vector<Selection> all = SizeLDpAll(os, p.n);
+  ASSERT_EQ(all.size(), p.n);
+  for (size_t l = 1; l <= p.n; ++l) {
+    Selection oracle = SizeLBruteForce(os, l);
+    EXPECT_NEAR(all[l - 1].importance, oracle.importance, 1e-9)
+        << "n=" << p.n << " l=" << l;
+    EXPECT_TRUE(IsValidSelection(os, all[l - 1], l));
+  }
+}
+
+TEST_P(AllLPropertyTest, EnumerationAgreesWhereItFinishes) {
+  const AllLParam p = GetParam();
+  util::Rng rng(p.seed ^ 0xABCD);
+  OsTree os = RandomTree(&rng, p.n);
+  for (size_t l = 1; l <= p.n; l += 2) {
+    SizeLStats st;
+    Selection e = SizeLDpEnumerate(os, l, 20'000'000, &st);
+    if (st.aborted) continue;
+    Selection k = SizeLDp(os, l);
+    EXPECT_NEAR(e.importance, k.importance, 1e-9) << "l=" << l;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallTrees, AllLPropertyTest,
+    ::testing::Values(AllLParam{11, 4}, AllLParam{12, 7}, AllLParam{13, 10},
+                      AllLParam{14, 13}, AllLParam{15, 16},
+                      AllLParam{16, 18}),
+    [](const ::testing::TestParamInfo<AllLParam>& info) {
+      return "n" + std::to_string(info.param.n) + "_s" +
+             std::to_string(info.param.seed);
+    });
+
+TEST(GreedySandwich, BottomUpNeverBeatsTopPathOnMonotoneTrees) {
+  // On monotone trees both are optimal (Lemma 2 for Bottom-Up; Top-Path
+  // picks root-paths of decreasing AI), so they must agree in importance.
+  util::Rng rng(21);
+  for (int trial = 0; trial < 25; ++trial) {
+    OsTree os = RandomMonotoneTree(&rng, 5 + rng.NextU64(60));
+    for (size_t l : {2u, 5u, 9u}) {
+      double bu = SizeLBottomUp(os, l).importance;
+      double tp = SizeLTopPath(os, l).importance;
+      double opt = SizeLDp(os, l).importance;
+      EXPECT_NEAR(bu, opt, 1e-9) << trial;
+      EXPECT_LE(tp, opt + 1e-9) << trial;
+    }
+  }
+}
+
+TEST(AdversarialWeights, ZeroWeightsEverywhere) {
+  util::Rng rng(22);
+  OsTree os;
+  os.AddRoot(0, 0, 0, 0.0);
+  for (size_t i = 1; i < 30; ++i) {
+    os.AddChild(static_cast<OsNodeId>(rng.NextU64(i)), 0, 0,
+                static_cast<rel::TupleId>(i), 0.0);
+  }
+  for (auto algo : {SizeLAlgorithm::kDp, SizeLAlgorithm::kBottomUp,
+                    SizeLAlgorithm::kTopPath, SizeLAlgorithm::kTopPathMemo}) {
+    Selection s = RunSizeL(algo, os, 10);
+    EXPECT_TRUE(IsValidSelection(os, s, 10)) << AlgorithmName(algo);
+    EXPECT_DOUBLE_EQ(s.importance, 0.0) << AlgorithmName(algo);
+  }
+}
+
+TEST(AdversarialWeights, HugeAndTinyMagnitudesMix) {
+  OsTree os = MakeTree({{-1, 1e-12},
+                        {0, 1e12},
+                        {0, 1e-12},
+                        {1, 5e11},
+                        {2, 1e12}});
+  // Optimal size-3: root + node1 + max(node3, via node2 chain to node4
+  // needs node2). {0,1,3} = 1.5e12+eps vs {0,2,4} = 1e12+eps.
+  Selection s = SizeLDp(os, 3);
+  EXPECT_EQ(s.nodes, (std::vector<OsNodeId>{0, 1, 3}));
+}
+
+TEST(AdversarialWeights, DeepChainVsWideStar) {
+  // A long heavy chain competes with a wide shallow star; DP must weigh
+  // connectivity cost correctly at each l.
+  OsTree os;
+  os.AddRoot(0, 0, 0, 1.0);
+  // star children weights 10
+  for (int i = 0; i < 5; ++i) {
+    os.AddChild(kOsRoot, 0, 0, static_cast<rel::TupleId>(1 + i), 10.0);
+  }
+  // chain of weights 2, 2, 2, 100
+  OsNodeId prev = os.AddChild(kOsRoot, 0, 0, 6, 2.0);
+  prev = os.AddChild(prev, 0, 0, 7, 2.0);
+  prev = os.AddChild(prev, 0, 0, 8, 2.0);
+  os.AddChild(prev, 0, 0, 9, 100.0);
+  // l=3: two star children (21) beat chain prefix (5).
+  EXPECT_DOUBLE_EQ(SizeLDp(os, 3).importance, 21.0);
+  // l=5: root + 4 stars = 41 vs chain {root,6,7,8,9} = 107. All methods
+  // must switch to the chain: DP by optimality, Bottom-Up because the
+  // star leaves (10) are pruned before the heavy chain leaf (100), and
+  // Top-Path because the chain has the highest average importance.
+  EXPECT_DOUBLE_EQ(SizeLDp(os, 5).importance, 107.0);
+  EXPECT_DOUBLE_EQ(SizeLBottomUp(os, 5).importance, 107.0);
+  EXPECT_DOUBLE_EQ(SizeLTopPath(os, 5).importance, 107.0);
+}
+
+TEST(SelectionInvariants, AllAlgorithmsKeepBfsSortedNodeIds) {
+  util::Rng rng(23);
+  OsTree os = RandomTree(&rng, 120);
+  for (auto algo : {SizeLAlgorithm::kDp, SizeLAlgorithm::kBottomUp,
+                    SizeLAlgorithm::kTopPath, SizeLAlgorithm::kTopPathMemo}) {
+    Selection s = RunSizeL(algo, os, 25);
+    EXPECT_TRUE(std::is_sorted(s.nodes.begin(), s.nodes.end()))
+        << AlgorithmName(algo);
+    EXPECT_DOUBLE_EQ(s.importance, SelectionImportance(os, s.nodes))
+        << AlgorithmName(algo);
+  }
+}
+
+TEST(SelectionInvariants, StatsNeverAbortExceptEnumerate) {
+  util::Rng rng(24);
+  OsTree os = RandomTree(&rng, 300);
+  for (auto algo : {SizeLAlgorithm::kDp, SizeLAlgorithm::kBottomUp,
+                    SizeLAlgorithm::kTopPath, SizeLAlgorithm::kTopPathMemo,
+                    SizeLAlgorithm::kBruteForce}) {
+    if (algo == SizeLAlgorithm::kBruteForce && os.size() > 25) continue;
+    SizeLStats st;
+    RunSizeL(algo, os, 12, &st);
+    EXPECT_FALSE(st.aborted) << AlgorithmName(algo);
+  }
+}
+
+}  // namespace
+}  // namespace osum::core

@@ -1,0 +1,183 @@
+// Tests for the inverted index and the end-to-end size-l search engine.
+#include <gtest/gtest.h>
+
+#include "core/os_backend.h"
+#include "datasets/dblp.h"
+#include "search/engine.h"
+#include "search/inverted_index.h"
+
+namespace osum::search {
+namespace {
+
+using datasets::ApplyDblpScores;
+using datasets::BuildDblp;
+using datasets::Dblp;
+using datasets::DblpAuthorGds;
+using datasets::DblpConfig;
+using datasets::DblpPaperGds;
+
+struct SearchFixture {
+  Dblp d;
+  core::DataGraphBackend backend;
+  SizeLSearchEngine engine;
+
+  SearchFixture()
+      : d(MakeDblp()),
+        backend(d.db, d.links, d.data_graph),
+        engine(d.db, &backend) {
+    engine.RegisterSubject(d.author, DblpAuthorGds(d));
+    engine.RegisterSubject(d.paper, DblpPaperGds(d));
+    engine.BuildIndex();
+  }
+
+  static Dblp MakeDblp() {
+    DblpConfig c;
+    c.num_authors = 200;
+    c.num_papers = 800;
+    c.num_conferences = 10;
+    Dblp d = BuildDblp(c);
+    ApplyDblpScores(&d, 1, 0.85);
+    return d;
+  }
+};
+
+TEST(InvertedIndex, SingleKeywordFindsAllFaloutsos) {
+  SearchFixture f;
+  InvertedIndex index = InvertedIndex::Build(f.d.db, {f.d.author});
+  auto hits = index.SearchQuery("Faloutsos");
+  EXPECT_EQ(hits.size(), 3u);  // the three brothers
+  for (const Hit& h : hits) EXPECT_EQ(h.relation, f.d.author);
+}
+
+TEST(InvertedIndex, AndSemanticsNarrow) {
+  SearchFixture f;
+  InvertedIndex index = InvertedIndex::Build(f.d.db, {f.d.author});
+  auto christos = index.SearchQuery("christos faloutsos");
+  ASSERT_EQ(christos.size(), 1u);
+  EXPECT_EQ(christos[0].tuple, 0u);
+}
+
+TEST(InvertedIndex, CaseInsensitive) {
+  SearchFixture f;
+  InvertedIndex index = InvertedIndex::Build(f.d.db, {f.d.author});
+  EXPECT_EQ(index.SearchQuery("FALOUTSOS").size(), 3u);
+}
+
+TEST(InvertedIndex, MissingKeywordYieldsNothing) {
+  SearchFixture f;
+  InvertedIndex index = InvertedIndex::Build(f.d.db, {f.d.author});
+  EXPECT_TRUE(index.SearchQuery("nonexistentkeyword").empty());
+  EXPECT_TRUE(index.SearchQuery("").empty());
+}
+
+TEST(InvertedIndex, HiddenColumnsNotIndexed) {
+  SearchFixture f;
+  // Paper fk columns are hidden; only titles should be searchable.
+  InvertedIndex index = InvertedIndex::Build(f.d.db, {f.d.paper});
+  EXPECT_GT(index.num_terms(), 0u);
+  auto hits = index.SearchQuery("databases");
+  EXPECT_GT(hits.size(), 0u);
+}
+
+TEST(Engine, Q1ReturnsThreeRankedSizeLOss) {
+  SearchFixture f;
+  QueryOptions options;
+  options.l = 15;
+  auto results = f.engine.Query("Faloutsos", options);
+  ASSERT_EQ(results.size(), 3u);
+  // Ranked by global importance, descending.
+  EXPECT_GE(results[0].subject_importance, results[1].subject_importance);
+  EXPECT_GE(results[1].subject_importance, results[2].subject_importance);
+  // Christos (most prolific by construction) ranks first.
+  EXPECT_EQ(results[0].subject.tuple, 0u);
+  for (const QueryResult& r : results) {
+    EXPECT_TRUE(core::IsValidSelection(r.os, r.selection, options.l));
+  }
+}
+
+TEST(Engine, SizeLSelectionRespectsL) {
+  SearchFixture f;
+  for (size_t l : {5u, 10u, 30u}) {
+    QueryOptions options;
+    options.l = l;
+    auto results = f.engine.Query("christos faloutsos", options);
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].selection.nodes.size(),
+              std::min(l, results[0].os.size()));
+  }
+}
+
+TEST(Engine, CompleteOsWhenLZero) {
+  SearchFixture f;
+  QueryOptions options;
+  options.l = 0;
+  auto results = f.engine.Query("christos faloutsos", options);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].selection.nodes.size(), results[0].os.size());
+  EXPECT_GT(results[0].os.size(), 100u);  // Christos's OS is large
+}
+
+TEST(Engine, MaxResultsTruncates) {
+  SearchFixture f;
+  QueryOptions options;
+  options.max_results = 2;
+  auto results = f.engine.Query("Faloutsos", options);
+  EXPECT_EQ(results.size(), 2u);
+}
+
+TEST(Engine, PrelimAndCompleteAgreeOnSelectionQuality) {
+  SearchFixture f;
+  QueryOptions with_prelim, without;
+  with_prelim.l = without.l = 12;
+  with_prelim.use_prelim = true;
+  without.use_prelim = false;
+  with_prelim.algorithm = without.algorithm = core::SizeLAlgorithm::kDp;
+  auto a = f.engine.Query("christos faloutsos", with_prelim);
+  auto b = f.engine.Query("christos faloutsos", without);
+  ASSERT_EQ(a.size(), 1u);
+  ASSERT_EQ(b.size(), 1u);
+  // Prelim may lose a little quality but not much (Section 6.2: <= 4%).
+  EXPECT_GE(a[0].selection.importance, 0.9 * b[0].selection.importance);
+}
+
+TEST(Engine, MultiSubjectSearchCoversPapers) {
+  SearchFixture f;
+  auto results = f.engine.Query("power law");
+  EXPECT_GT(results.size(), 0u);
+  bool has_paper = false;
+  for (const QueryResult& r : results) {
+    has_paper |= r.subject.relation == f.d.paper;
+  }
+  EXPECT_TRUE(has_paper);
+}
+
+TEST(Engine, RenderShowsSubjectAndIndentation) {
+  SearchFixture f;
+  QueryOptions options;
+  options.l = 8;
+  auto results = f.engine.Query("christos faloutsos", options);
+  ASSERT_EQ(results.size(), 1u);
+  std::string text = f.engine.Render(results[0]);
+  EXPECT_NE(text.find("Author: Christos Faloutsos"), std::string::npos);
+  EXPECT_NE(text.find("..Paper:"), std::string::npos);
+}
+
+TEST(Engine, AlgorithmsAllProduceValidResults) {
+  SearchFixture f;
+  for (auto algo : {core::SizeLAlgorithm::kDp, core::SizeLAlgorithm::kBottomUp,
+                    core::SizeLAlgorithm::kTopPath,
+                    core::SizeLAlgorithm::kTopPathMemo}) {
+    QueryOptions options;
+    options.l = 10;
+    options.algorithm = algo;
+    auto results = f.engine.Query("Faloutsos", options);
+    ASSERT_EQ(results.size(), 3u) << core::AlgorithmName(algo);
+    for (const QueryResult& r : results) {
+      EXPECT_TRUE(core::IsValidSelection(r.os, r.selection, options.l))
+          << core::AlgorithmName(algo);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace osum::search

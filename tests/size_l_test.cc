@@ -1,0 +1,302 @@
+// Tests for the size-l algorithms: the paper's worked examples (Figures
+// 4-6), optimality lemmas, cross-algorithm equivalences, and randomized
+// property sweeps against the brute-force oracle.
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "core/size_l.h"
+#include "test_trees.h"
+
+namespace osum::core {
+namespace {
+
+using osum::testing::MakeTree;
+using osum::testing::PaperFigure4Tree;
+using osum::testing::PaperFigure5Tree;
+using osum::testing::PaperFigure6Tree;
+using osum::testing::PaperIds;
+using osum::testing::RandomMonotoneTree;
+using osum::testing::RandomTree;
+
+// ------------------------------------------------------------ paper cases
+
+TEST(SizeLDp, PaperFigure4OptimalSize4) {
+  OsTree os = PaperFigure4Tree();
+  Selection s = SizeLDp(os, 4);
+  EXPECT_EQ(s.nodes, PaperIds({1, 4, 5, 6}));  // S_{1,4} = {1,4,5,6}
+  EXPECT_DOUBLE_EQ(s.importance, 30 + 31 + 80 + 35);
+}
+
+TEST(SizeLDp, PaperFigure4SubtreeClaims) {
+  // The DP table in Figure 4 asserts S_{4,3} = {4,11,13}: verify by running
+  // size-3 on the subtree rooted at paper node 4 = {4,10,11,13}.
+  OsTree sub = MakeTree({{-1, 31}, {0, 13}, {0, 30}, {2, 60}});
+  Selection s = SizeLDp(sub, 3);
+  EXPECT_EQ(s.nodes, (std::vector<OsNodeId>{0, 2, 3}));
+  EXPECT_DOUBLE_EQ(s.importance, 31 + 30 + 60);
+}
+
+TEST(SizeLBottomUp, PaperFigure5Size10) {
+  OsTree os = PaperFigure5Tree();
+  Selection s = SizeLBottomUp(os, 10);
+  // Figure 5(c): nodes 9, 7, 3, 10 pruned.
+  EXPECT_EQ(s.nodes, PaperIds({1, 2, 4, 5, 6, 8, 11, 12, 13, 14}));
+}
+
+TEST(SizeLBottomUp, PaperFigure5Size5SuboptimalAsDescribed) {
+  OsTree os = PaperFigure5Tree();
+  Selection greedy = SizeLBottomUp(os, 5);
+  // Figure 5(d): Bottom-Up keeps {1,5,6,11,13} (importance 235)...
+  EXPECT_EQ(greedy.nodes, PaperIds({1, 5, 6, 11, 13}));
+  EXPECT_DOUBLE_EQ(greedy.importance, 235);
+  // ... while the optimum is {1,5,6,12,14} (importance 240).
+  Selection opt = SizeLDp(os, 5);
+  EXPECT_EQ(opt.nodes, PaperIds({1, 5, 6, 12, 14}));
+  EXPECT_DOUBLE_EQ(opt.importance, 240);
+}
+
+TEST(SizeLTopPath, PaperFigure6Size5) {
+  OsTree os = PaperFigure6Tree();
+  Selection s = SizeLTopPath(os, 5);
+  // Section 5.2 walkthrough: select path {1,5} (AI 55), then {11,13}
+  // (AI 45 after the update), then node 6.
+  EXPECT_EQ(s.nodes, PaperIds({1, 5, 6, 11, 13}));
+}
+
+TEST(SizeLTopPath, PaperFigure6Size3SuboptimalAsDescribed) {
+  OsTree os = PaperFigure6Tree();
+  Selection greedy = SizeLTopPath(os, 3);
+  // "e.g. the size-3 OS will have nodes 1, 5 and 11 instead of 1, 5 and 6."
+  EXPECT_EQ(greedy.nodes, PaperIds({1, 5, 11}));
+  Selection opt = SizeLDp(os, 3);
+  EXPECT_EQ(opt.nodes, PaperIds({1, 5, 6}));
+}
+
+// ------------------------------------------------------------- edge cases
+
+TEST(SizeL, SingleNodeTree) {
+  OsTree os = MakeTree({{-1, 7.0}});
+  for (auto algo : {SizeLAlgorithm::kDp, SizeLAlgorithm::kBottomUp,
+                    SizeLAlgorithm::kTopPath, SizeLAlgorithm::kTopPathMemo,
+                    SizeLAlgorithm::kBruteForce}) {
+    Selection s = RunSizeL(algo, os, 5);
+    EXPECT_EQ(s.nodes, (std::vector<OsNodeId>{0})) << AlgorithmName(algo);
+    EXPECT_DOUBLE_EQ(s.importance, 7.0) << AlgorithmName(algo);
+  }
+}
+
+TEST(SizeL, LEqualsTreeSizeReturnsEverything) {
+  OsTree os = PaperFigure4Tree();
+  for (auto algo : {SizeLAlgorithm::kDp, SizeLAlgorithm::kBottomUp,
+                    SizeLAlgorithm::kTopPath, SizeLAlgorithm::kTopPathMemo}) {
+    Selection s = RunSizeL(algo, os, 14);
+    EXPECT_EQ(s.nodes.size(), 14u) << AlgorithmName(algo);
+    EXPECT_DOUBLE_EQ(s.importance, os.TotalImportance())
+        << AlgorithmName(algo);
+  }
+}
+
+TEST(SizeL, LLargerThanTreeClamps) {
+  OsTree os = PaperFigure4Tree();
+  Selection s = SizeLDp(os, 100);
+  EXPECT_EQ(s.nodes.size(), 14u);
+}
+
+TEST(SizeL, LOneSelectsRootOnly) {
+  OsTree os = PaperFigure5Tree();
+  for (auto algo : {SizeLAlgorithm::kDp, SizeLAlgorithm::kBottomUp,
+                    SizeLAlgorithm::kTopPath, SizeLAlgorithm::kTopPathMemo,
+                    SizeLAlgorithm::kBruteForce}) {
+    Selection s = RunSizeL(algo, os, 1);
+    EXPECT_EQ(s.nodes, (std::vector<OsNodeId>{kOsRoot})) << AlgorithmName(algo);
+  }
+}
+
+TEST(SizeL, ZeroLReturnsEmpty) {
+  OsTree os = PaperFigure4Tree();
+  EXPECT_TRUE(SizeLDp(os, 0).nodes.empty());
+  EXPECT_TRUE(SizeLBottomUp(os, 0).nodes.empty());
+  EXPECT_TRUE(SizeLTopPath(os, 0).nodes.empty());
+}
+
+TEST(SizeL, DeepChainMustTakeWholePath) {
+  // A chain: any size-l OS is forced to the l top nodes even if deep nodes
+  // are heavy — connectivity dominates importance (Definition 1).
+  OsTree os = MakeTree({{-1, 1}, {0, 1}, {1, 1}, {2, 1000}});
+  Selection s = SizeLDp(os, 2);
+  EXPECT_EQ(s.nodes, (std::vector<OsNodeId>{0, 1}));
+}
+
+TEST(SizeL, ImportantButDisconnectedTupleExcluded) {
+  // Section 3's Sellis/Roussopoulos example: a heavy node whose connector
+  // is cheap may lose to a lighter but better-connected pair.
+  //   root(58) -> paper(20) -> {sellis(43), roussopoulos(34)}
+  // size-3 must be {root, paper, sellis}: roussopoulos (34 > 20) is
+  // excluded because including it requires the paper tuple anyway.
+  OsTree os = MakeTree({{-1, 58}, {0, 20}, {1, 43}, {1, 34}});
+  Selection s = SizeLDp(os, 3);
+  EXPECT_EQ(s.nodes, (std::vector<OsNodeId>{0, 1, 2}));
+}
+
+// ------------------------------------------------- equivalences & lemmas
+
+TEST(SizeLDpEnumerate, MatchesKnapsackDpOnPaperTrees) {
+  for (OsTree os : {PaperFigure4Tree(), PaperFigure5Tree(),
+                    PaperFigure6Tree()}) {
+    for (size_t l : {2, 3, 5, 8, 12}) {
+      SizeLStats st;
+      Selection a = SizeLDp(os, l);
+      Selection b = SizeLDpEnumerate(os, l, 50'000'000, &st);
+      ASSERT_FALSE(st.aborted);
+      EXPECT_DOUBLE_EQ(a.importance, b.importance) << "l=" << l;
+    }
+  }
+}
+
+TEST(SizeLDpEnumerate, AbortsOnTinyBudget) {
+  util::Rng rng(5);
+  OsTree os = RandomTree(&rng, 200);
+  SizeLStats st;
+  Selection s = SizeLDpEnumerate(os, 30, /*op_budget=*/100, &st);
+  EXPECT_TRUE(st.aborted);
+  EXPECT_TRUE(s.nodes.empty());
+}
+
+TEST(SizeLTopPathMemo, MatchesPlainTopPath) {
+  util::Rng rng(99);
+  for (int trial = 0; trial < 30; ++trial) {
+    OsTree os = RandomTree(&rng, 3 + rng.NextU64(120));
+    for (size_t l : {1, 3, 7, 15, 40}) {
+      Selection plain = SizeLTopPath(os, l);
+      Selection memo = SizeLTopPathMemo(os, l);
+      EXPECT_EQ(plain.nodes, memo.nodes)
+          << "trial=" << trial << " l=" << l << " n=" << os.size();
+    }
+  }
+}
+
+TEST(SizeLBottomUp, Lemma2OptimalOnMonotoneTrees) {
+  util::Rng rng(123);
+  for (int trial = 0; trial < 40; ++trial) {
+    OsTree os = RandomMonotoneTree(&rng, 4 + rng.NextU64(80));
+    ASSERT_TRUE(os.IsMonotone());
+    for (size_t l : {1, 2, 5, 10, 25}) {
+      Selection greedy = SizeLBottomUp(os, l);
+      Selection opt = SizeLDp(os, l);
+      EXPECT_NEAR(greedy.importance, opt.importance, 1e-9)
+          << "trial=" << trial << " l=" << l;
+    }
+  }
+}
+
+// ------------------------------------------------ property sweeps vs oracle
+
+struct SweepParam {
+  uint64_t seed;
+  size_t n;
+  size_t l;
+};
+
+class SizeLPropertyTest : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(SizeLPropertyTest, DpMatchesBruteForceAndGreediesAreValid) {
+  const SweepParam p = GetParam();
+  util::Rng rng(p.seed);
+  OsTree os = RandomTree(&rng, p.n);
+
+  Selection oracle = SizeLBruteForce(os, p.l);
+  Selection dp = SizeLDp(os, p.l);
+  EXPECT_NEAR(dp.importance, oracle.importance, 1e-9);
+  EXPECT_TRUE(IsValidSelection(os, dp, p.l));
+
+  SizeLStats enum_stats;
+  Selection dpe = SizeLDpEnumerate(os, p.l, 100'000'000, &enum_stats);
+  ASSERT_FALSE(enum_stats.aborted);
+  EXPECT_NEAR(dpe.importance, oracle.importance, 1e-9);
+
+  for (auto algo : {SizeLAlgorithm::kBottomUp, SizeLAlgorithm::kTopPath,
+                    SizeLAlgorithm::kTopPathMemo}) {
+    Selection s = RunSizeL(algo, os, p.l);
+    EXPECT_TRUE(IsValidSelection(os, s, p.l)) << AlgorithmName(algo);
+    // Greedy never beats the optimum, and the optimum is positive.
+    EXPECT_LE(s.importance, oracle.importance + 1e-9) << AlgorithmName(algo);
+    EXPECT_GT(s.importance, 0.0) << AlgorithmName(algo);
+  }
+}
+
+std::vector<SweepParam> MakeSweep() {
+  std::vector<SweepParam> params;
+  uint64_t seed = 1000;
+  for (size_t n : {2, 3, 5, 8, 12, 16, 20}) {
+    for (size_t l : {1, 2, 3, 5, 8, 12}) {
+      if (l > n) continue;
+      for (int rep = 0; rep < 3; ++rep) {
+        params.push_back(SweepParam{seed++, n, l});
+      }
+    }
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomTrees, SizeLPropertyTest,
+                         ::testing::ValuesIn(MakeSweep()),
+                         [](const ::testing::TestParamInfo<SweepParam>& info) {
+                           return "n" + std::to_string(info.param.n) + "_l" +
+                                  std::to_string(info.param.l) + "_s" +
+                                  std::to_string(info.param.seed);
+                         });
+
+// Larger randomized consistency sweep (no oracle; DP as reference).
+struct BigSweepParam {
+  uint64_t seed;
+  size_t n;
+};
+
+class SizeLBigTreeTest : public ::testing::TestWithParam<BigSweepParam> {};
+
+TEST_P(SizeLBigTreeTest, GreedyQualityAndValidity) {
+  const BigSweepParam p = GetParam();
+  util::Rng rng(p.seed);
+  OsTree os = RandomTree(&rng, p.n);
+  for (size_t l : {5, 10, 20, 50}) {
+    Selection opt = SizeLDp(os, l);
+    EXPECT_TRUE(IsValidSelection(os, opt, l));
+    for (auto algo : {SizeLAlgorithm::kBottomUp, SizeLAlgorithm::kTopPath,
+                      SizeLAlgorithm::kTopPathMemo}) {
+      Selection s = RunSizeL(algo, os, l);
+      EXPECT_TRUE(IsValidSelection(os, s, l)) << AlgorithmName(algo);
+      EXPECT_LE(s.importance, opt.importance + 1e-9) << AlgorithmName(algo);
+      // On uniform random weights the greedies stay within a loose factor;
+      // this guards against regressions that silently break selection.
+      EXPECT_GT(s.importance, 0.25 * opt.importance) << AlgorithmName(algo);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomBigTrees, SizeLBigTreeTest,
+    ::testing::Values(BigSweepParam{1, 150}, BigSweepParam{2, 400},
+                      BigSweepParam{3, 800}, BigSweepParam{4, 1500},
+                      BigSweepParam{5, 3000}),
+    [](const ::testing::TestParamInfo<BigSweepParam>& info) {
+      return "n" + std::to_string(info.param.n);
+    });
+
+// Stats sanity: operation counters reflect expected asymptotics loosely.
+TEST(SizeLStatsTest, CountersPopulated) {
+  util::Rng rng(7);
+  OsTree os = RandomTree(&rng, 500);
+  SizeLStats dp_stats, bu_stats, tp_stats;
+  SizeLDp(os, 20, &dp_stats);
+  SizeLBottomUp(os, 20, &bu_stats);
+  SizeLTopPath(os, 20, &tp_stats);
+  EXPECT_GT(dp_stats.operations, 0u);
+  EXPECT_GT(bu_stats.operations, 0u);
+  EXPECT_GT(tp_stats.operations, 0u);
+  // Bottom-Up does at most one pop per pruned node plus re-pushes.
+  EXPECT_LE(bu_stats.operations, 2u * os.size());
+}
+
+}  // namespace
+}  // namespace osum::core

@@ -1,0 +1,134 @@
+// Shared OS-tree fixtures for algorithm tests: the paper's worked examples
+// (Figures 4, 5 and 6) and random-tree generators for property tests.
+#ifndef OSUM_TESTS_TEST_TREES_H_
+#define OSUM_TESTS_TEST_TREES_H_
+
+#include <utility>
+#include <vector>
+
+#include "core/os_tree.h"
+#include "util/rng.h"
+
+namespace osum::testing {
+
+/// Builds an OsTree from (parent, weight) pairs; entry 0 is the root and
+/// must have parent -1. Node ids equal entry indices. G_DS ids/relations
+/// are dummies — the size-l algorithms only look at the tree shape and
+/// local importance.
+inline core::OsTree MakeTree(
+    const std::vector<std::pair<int, double>>& spec) {
+  core::OsTree os;
+  for (size_t i = 0; i < spec.size(); ++i) {
+    const auto& [parent, weight] = spec[i];
+    if (parent < 0) {
+      os.AddRoot(0, 0, static_cast<rel::TupleId>(i), weight);
+    } else {
+      os.AddChild(parent, 0, 0, static_cast<rel::TupleId>(i), weight);
+    }
+  }
+  return os;
+}
+
+// The paper numbers nodes 1..14; our arenas are 0-based, so paper node k is
+// arena node k-1 in all three fixtures below.
+
+/// Figure 4 (DP example): optimal size-4 OS is {1,4,5,6} (paper ids).
+inline core::OsTree PaperFigure4Tree() {
+  return MakeTree({
+      {-1, 30},  // 1 (root)
+      {0, 20},   // 2
+      {0, 11},   // 3
+      {0, 31},   // 4
+      {0, 80},   // 5
+      {0, 35},   // 6
+      {2, 10},   // 7  (child of 3)
+      {2, 15},   // 8  (child of 3)
+      {2, 5},    // 9  (child of 3)
+      {3, 13},   // 10 (child of 4)
+      {3, 30},   // 11 (child of 4)
+      {5, 12},   // 12 (child of 6)
+      {10, 60},  // 13 (child of 11)
+      {11, 40},  // 14 (child of 12)
+  });
+}
+
+/// Figures 5 and 6 share one tree shape:
+/// 1 -> {2,3,4,5,6}; 2 -> {7,8}; 3 -> {9}; 4 -> {10}; 5 -> {11};
+/// 6 -> {12}; 11 -> {13}; 12 -> {14}. They differ in node 12's weight.
+inline core::OsTree PaperFigure56Tree(double weight12) {
+  return MakeTree({
+      {-1, 30},       // 1 (root)
+      {0, 20},        // 2
+      {0, 11},        // 3
+      {0, 31},        // 4
+      {0, 80},        // 5
+      {0, 35},        // 6
+      {1, 10},        // 7  (child of 2)
+      {1, 15},        // 8  (child of 2)
+      {2, 5},         // 9  (child of 3)
+      {3, 13},        // 10 (child of 4)
+      {4, 30},        // 11 (child of 5)
+      {5, weight12},  // 12 (child of 6)
+      {10, 60},       // 13 (child of 11)
+      {11, 40},       // 14 (child of 12)
+  });
+}
+
+/// Figure 5 (Bottom-Up example): node 12 weighs 55. Bottom-Up's size-5 OS
+/// is {1,5,6,11,13} (importance 235) while the optimum is {1,5,6,12,14}
+/// (importance 240).
+inline core::OsTree PaperFigure5Tree() { return PaperFigure56Tree(55); }
+
+/// Figure 6 (Update Top-Path-l example): node 12 weighs 12. Top-Path's
+/// size-5 OS is {1,5,6,11,13}; its size-3 OS is {1,5,11} while the optimum
+/// is {1,5,6}.
+inline core::OsTree PaperFigure6Tree() { return PaperFigure56Tree(12); }
+
+/// Converts paper node ids (1-based) to an arena selection for EXPECTs.
+inline std::vector<core::OsNodeId> PaperIds(std::vector<int> ids) {
+  std::vector<core::OsNodeId> out;
+  out.reserve(ids.size());
+  for (int id : ids) out.push_back(id - 1);
+  return out;
+}
+
+/// Random tree with `n` nodes; each node's parent is drawn among earlier
+/// nodes (biased toward recent ones to get realistic depth). Weights are
+/// uniform in [0, 100).
+inline core::OsTree RandomTree(util::Rng* rng, size_t n,
+                               double recency_bias = 0.7) {
+  core::OsTree os;
+  os.AddRoot(0, 0, 0, rng->NextDouble() * 100.0);
+  for (size_t i = 1; i < n; ++i) {
+    size_t parent;
+    if (i == 1 || rng->NextBernoulli(1.0 - recency_bias)) {
+      parent = rng->NextU64(i);
+    } else {
+      size_t window = std::max<size_t>(1, i / 3);
+      parent = i - 1 - rng->NextU64(window);
+    }
+    os.AddChild(static_cast<core::OsNodeId>(parent), 0, 0,
+                static_cast<rel::TupleId>(i), rng->NextDouble() * 100.0);
+  }
+  return os;
+}
+
+/// Random tree whose local importances decrease monotonically with depth —
+/// the Lemma 2 / Lemma 3 precondition.
+inline core::OsTree RandomMonotoneTree(util::Rng* rng, size_t n) {
+  core::OsTree os;
+  os.AddRoot(0, 0, 0, 100.0);
+  std::vector<double> weight{100.0};
+  for (size_t i = 1; i < n; ++i) {
+    size_t parent = rng->NextU64(i);
+    double w = weight[parent] * rng->NextDouble(0.3, 1.0);
+    weight.push_back(w);
+    os.AddChild(static_cast<core::OsNodeId>(parent), 0, 0,
+                static_cast<rel::TupleId>(i), w);
+  }
+  return os;
+}
+
+}  // namespace osum::testing
+
+#endif  // OSUM_TESTS_TEST_TREES_H_

@@ -1,0 +1,224 @@
+// Unit tests for osum::util — RNG determinism, distributions, summaries,
+// string helpers and the table printer.
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace osum::util {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.NextU64() == b.NextU64();
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.NextU64(17);
+    EXPECT_LT(v, 17u);
+  }
+}
+
+TEST(Rng, BoundedCoversAllResidues) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.NextU64(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, NextIntInclusiveRange) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(13);
+  double sum = 0.0, sumsq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.NextGaussian();
+    sum += v;
+    sumsq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.05);
+}
+
+TEST(Rng, LogNormalPositive) {
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(rng.NextLogNormal(0.0, 0.5), 0.0);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(21);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.NextBernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, ForkIndependentStream) {
+  Rng a(31);
+  Rng child = a.Fork();
+  // The forked stream should not mirror the parent.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.NextU64() == child.NextU64();
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ShufflePermutes) {
+  Rng rng(37);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> original = v;
+  rng.Shuffle(&v);
+  std::multiset<int> a(v.begin(), v.end());
+  std::multiset<int> b(original.begin(), original.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Zipf, RankZeroMostFrequent) {
+  Rng rng(41);
+  ZipfSampler zipf(100, 1.0);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[zipf.Sample(&rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], counts[50]);
+}
+
+TEST(Zipf, InRange) {
+  Rng rng(43);
+  ZipfSampler zipf(10, 0.7);
+  for (int i = 0; i < 2000; ++i) EXPECT_LT(zipf.Sample(&rng), 10u);
+}
+
+TEST(Zipf, SkewFollowsExponent) {
+  Rng rng(47);
+  ZipfSampler flat(50, 0.1), steep(50, 1.5);
+  int flat_top = 0, steep_top = 0;
+  for (int i = 0; i < 20000; ++i) {
+    flat_top += flat.Sample(&rng) == 0;
+    steep_top += steep.Sample(&rng) == 0;
+  }
+  EXPECT_GT(steep_top, flat_top * 3);
+}
+
+TEST(Summary, BasicStatistics) {
+  Summary s;
+  for (double v : {4.0, 1.0, 3.0, 2.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.Mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.Median(), 2.5);
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 4.0);
+}
+
+TEST(Summary, EmptyIsZero) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Median(), 0.0);
+}
+
+TEST(IoStats, DiffAndReset) {
+  IoStats a{10, 100, 20};
+  IoStats b{4, 40, 5};
+  IoStats d = a - b;
+  EXPECT_EQ(d.select_calls, 6u);
+  EXPECT_EQ(d.tuples_read, 60u);
+  EXPECT_EQ(d.index_probes, 15u);
+  a.Reset();
+  EXPECT_EQ(a.select_calls, 0u);
+}
+
+TEST(StringUtil, ToLower) {
+  EXPECT_EQ(ToLower("FaLouTsos"), "faloutsos");
+  EXPECT_EQ(ToLower(""), "");
+}
+
+TEST(StringUtil, TokenizeWords) {
+  auto tokens = TokenizeWords("On Power-law Relationships of the Internet");
+  ASSERT_EQ(tokens.size(), 7u);
+  EXPECT_EQ(tokens[0], "on");
+  EXPECT_EQ(tokens[1], "power");
+  EXPECT_EQ(tokens[2], "law");
+  EXPECT_EQ(tokens[6], "internet");
+}
+
+TEST(StringUtil, TokenizeEmptyAndPunctuation) {
+  EXPECT_TRUE(TokenizeWords("").empty());
+  EXPECT_TRUE(TokenizeWords("--- !!! ...").empty());
+}
+
+TEST(StringUtil, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(StringUtil, FormatDoubleTrimsZeros) {
+  EXPECT_EQ(FormatDouble(3.0), "3");
+  EXPECT_EQ(FormatDouble(12.5), "12.5");
+  EXPECT_EQ(FormatDouble(0.125, 3), "0.125");
+}
+
+TEST(StringUtil, StartsWith) {
+  EXPECT_TRUE(StartsWith("prelim-l", "prelim"));
+  EXPECT_FALSE(StartsWith("os", "osum"));
+}
+
+TEST(TablePrinter, AlignedOutput) {
+  TablePrinter t({"l", "value"});
+  t.AddRow({"5", "0.9"});
+  t.AddRow("10", {0.75});
+  std::ostringstream os;
+  t.Print(os);
+  std::string s = os.str();
+  EXPECT_NE(s.find("| l "), std::string::npos);
+  EXPECT_NE(s.find("0.75"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TablePrinter, CsvOutput) {
+  TablePrinter t({"a", "b"});
+  t.AddRow({"1", "2"});
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+}  // namespace
+}  // namespace osum::util
