@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 verification in both shipping configurations:
+#   1. Release            — the configuration benchmarks are run in
+#   2. Debug + sanitizers — ASan/UBSan catch what optimized builds hide
+# Usage: scripts/ci.sh            (JOBS=<n> to override parallelism)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+JOBS="${JOBS:-$(nproc)}"
+
+run_config() {
+  local dir="$1"
+  shift
+  echo "==== configuring ${dir} ($*) ===="
+  cmake -B "${dir}" -S . "$@"
+  cmake --build "${dir}" -j "${JOBS}"
+  ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}"
+}
+
+run_config build-release -DCMAKE_BUILD_TYPE=Release
+run_config build-asan -DCMAKE_BUILD_TYPE=Debug -DOSUM_SANITIZE=ON
+echo "==== ci.sh: all configurations green ===="

@@ -1,0 +1,77 @@
+// One include + one call per layer library. This suite exists so that a
+// layering regression (a lib dropping out of the build, an include graph
+// cycle, a link-order break) fails a named test instead of only a link step.
+#include <gtest/gtest.h>
+
+#include "core/size_l.h"
+#include "datasets/dblp.h"
+#include "eval/snippet.h"
+#include "gds/gds.h"
+#include "graph/link_types.h"
+#include "importance/object_rank.h"
+#include "relational/database.h"
+#include "search/inverted_index.h"
+#include "test_support.h"
+#include "util/string_util.h"
+
+namespace osum {
+namespace {
+
+// Layer: datasets (osum_datasets) — also supplies the db for layers below.
+datasets::Dblp& SmokeDblp() {
+  static datasets::Dblp d =
+      datasets::BuildDblp(osum::testing::SmallDblpConfig());
+  return d;
+}
+
+TEST(BuildSmoke, UtilLayer) { EXPECT_EQ(util::ToLower("Size-L OS"), "size-l os"); }
+
+TEST(BuildSmoke, RelationalLayer) {
+  EXPECT_EQ(SmokeDblp().db.num_relations(), 6u);
+}
+
+TEST(BuildSmoke, GraphLayer) {
+  graph::LinkSchema links = graph::LinkSchema::Build(SmokeDblp().db);
+  EXPECT_GT(links.num_links(), 0u);
+}
+
+TEST(BuildSmoke, GdsLayer) {
+  gds::Gds gds = datasets::DblpAuthorGds(SmokeDblp());
+  EXPECT_EQ(gds.root_relation(), SmokeDblp().author);
+  EXPECT_GE(gds.MaxDepth(), 1);
+}
+
+TEST(BuildSmoke, ImportanceLayer) {
+  datasets::Dblp& d = SmokeDblp();
+  importance::AuthorityGraph ga(d.links.num_links());
+  importance::ObjectRankResult r =
+      importance::ComputeObjectRank(d.db, d.links, d.data_graph, ga);
+  EXPECT_GT(r.scores.size(), 0u);
+}
+
+TEST(BuildSmoke, CoreLayer) {
+  core::OsTree os = osum::testing::MakeTree({{-1, 3}, {0, 2}, {0, 1}});
+  core::Selection s = core::SizeLDp(os, 2);
+  EXPECT_EQ(s.nodes.size(), 2u);
+}
+
+TEST(BuildSmoke, SearchLayer) {
+  datasets::Dblp& d = SmokeDblp();
+  search::InvertedIndex index =
+      search::InvertedIndex::Build(d.db, {d.author, d.paper});
+  EXPECT_GT(index.num_terms(), 0u);
+}
+
+TEST(BuildSmoke, EvalLayer) {
+  core::OsTree os =
+      osum::testing::MakeTree({{-1, 3}, {0, 2}, {0, 1}, {1, 5}});
+  core::Selection snippet = eval::StaticSnippet(os, 2);
+  EXPECT_LE(snippet.nodes.size(), 3u);
+}
+
+TEST(BuildSmoke, DatasetsLayer) {
+  EXPECT_GT(SmokeDblp().db.relation(SmokeDblp().paper).num_tuples(), 0u);
+}
+
+}  // namespace
+}  // namespace osum

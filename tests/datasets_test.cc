@@ -7,30 +7,19 @@
 #include "datasets/dblp.h"
 #include "datasets/settings.h"
 #include "datasets/tpch.h"
+#include "test_support.h"
 
 namespace osum::datasets {
 namespace {
 
-DblpConfig SmallDblp() {
-  DblpConfig c;
-  c.num_authors = 150;
-  c.num_papers = 600;
-  c.num_conferences = 10;
-  return c;
-}
-
-TpchConfig SmallTpch() {
-  TpchConfig c;
-  c.num_customers = 120;
-  c.num_suppliers = 12;
-  c.num_parts = 160;
-  c.mean_orders_per_customer = 6.0;
-  c.mean_lineitems_per_order = 3.0;
-  return c;
-}
+// The exact cardinalities (150 authors, 600 papers, ...) are asserted by the
+// schema tests; the configs live in test_support so integration-style suites
+// reuse them.
+using osum::testing::SmallDblpConfig;
+using osum::testing::SmallTpchConfig;
 
 TEST(DblpGen, SchemaAndCardinalities) {
-  Dblp d = BuildDblp(SmallDblp());
+  Dblp d = BuildDblp(SmallDblpConfig());
   EXPECT_EQ(d.db.num_relations(), 6u);
   EXPECT_EQ(d.db.relation(d.author).num_tuples(), 150u);
   EXPECT_EQ(d.db.relation(d.paper).num_tuples(), 600u);
@@ -43,7 +32,7 @@ TEST(DblpGen, SchemaAndCardinalities) {
 }
 
 TEST(DblpGen, FaloutsosBrothersSeeded) {
-  Dblp d = BuildDblp(SmallDblp());
+  Dblp d = BuildDblp(SmallDblpConfig());
   const rel::Relation& authors = d.db.relation(d.author);
   EXPECT_EQ(authors.StringValue(0, 0), "Christos Faloutsos");
   EXPECT_EQ(authors.StringValue(1, 0), "Michalis Faloutsos");
@@ -51,8 +40,8 @@ TEST(DblpGen, FaloutsosBrothersSeeded) {
 }
 
 TEST(DblpGen, DeterministicForSameSeed) {
-  Dblp a = BuildDblp(SmallDblp());
-  Dblp b = BuildDblp(SmallDblp());
+  Dblp a = BuildDblp(SmallDblpConfig());
+  Dblp b = BuildDblp(SmallDblpConfig());
   ASSERT_EQ(a.db.relation(a.writes).num_tuples(),
             b.db.relation(b.writes).num_tuples());
   ASSERT_EQ(a.db.relation(a.cites).num_tuples(),
@@ -65,7 +54,7 @@ TEST(DblpGen, DeterministicForSameSeed) {
 }
 
 TEST(DblpGen, DifferentSeedDiffers) {
-  DblpConfig c = SmallDblp();
+  DblpConfig c = SmallDblpConfig();
   Dblp a = BuildDblp(c);
   c.seed = 999;
   Dblp b = BuildDblp(c);
@@ -74,7 +63,7 @@ TEST(DblpGen, DifferentSeedDiffers) {
 }
 
 TEST(DblpGen, ProductivityIsSkewed) {
-  Dblp d = BuildDblp(SmallDblp());
+  Dblp d = BuildDblp(SmallDblpConfig());
   // Author 0 (Zipf rank 0) writes far more papers than a mid-rank author.
   auto papers_of = [&](rel::TupleId author) {
     core::DataGraphBackend backend(d.db, d.links, d.data_graph);
@@ -86,7 +75,7 @@ TEST(DblpGen, ProductivityIsSkewed) {
 }
 
 TEST(DblpGen, CitationsAcyclicByConstruction) {
-  Dblp d = BuildDblp(SmallDblp());
+  Dblp d = BuildDblp(SmallDblpConfig());
   const rel::Relation& cites = d.db.relation(d.cites);
   for (rel::TupleId t = 0; t < cites.num_tuples(); ++t) {
     int64_t citing = cites.IntValue(t, 0);
@@ -96,7 +85,7 @@ TEST(DblpGen, CitationsAcyclicByConstruction) {
 }
 
 TEST(DblpGen, ScoreSettingsProducePositiveScores) {
-  Dblp d = BuildDblp(SmallDblp());
+  Dblp d = BuildDblp(SmallDblpConfig());
   for (const ScoreSetting& s : kScoreSettings) {
     auto result = ApplyDblpScores(&d, s.ga, s.damping);
     EXPECT_GT(result.iterations, 0) << s.name;
@@ -107,7 +96,7 @@ TEST(DblpGen, ScoreSettingsProducePositiveScores) {
 }
 
 TEST(DblpGen, Ga1CitedPapersOutrankUncited) {
-  Dblp d = BuildDblp(SmallDblp());
+  Dblp d = BuildDblp(SmallDblpConfig());
   ApplyDblpScores(&d, 1, 0.85);
   // Paper 0 is the most-cited (Zipf target rank 0); the last paper cannot
   // be cited by anyone (no later papers exist).
@@ -117,7 +106,7 @@ TEST(DblpGen, Ga1CitedPapersOutrankUncited) {
 }
 
 TEST(DblpGen, AuthorOsSizesHaveHeavyTail) {
-  Dblp d = BuildDblp(SmallDblp());
+  Dblp d = BuildDblp(SmallDblpConfig());
   ApplyDblpScores(&d, 1, 0.85);
   gds::Gds gds = DblpAuthorGds(d);
   core::DataGraphBackend backend(d.db, d.links, d.data_graph);
@@ -130,7 +119,7 @@ TEST(DblpGen, AuthorOsSizesHaveHeavyTail) {
 }
 
 TEST(TpchGen, SchemaAndCardinalities) {
-  Tpch t = BuildTpch(SmallTpch());
+  Tpch t = BuildTpch(SmallTpchConfig());
   EXPECT_EQ(t.db.num_relations(), 8u);
   EXPECT_EQ(t.db.relation(t.region).num_tuples(), 5u);
   EXPECT_EQ(t.db.relation(t.nation).num_tuples(), 25u);
@@ -144,7 +133,7 @@ TEST(TpchGen, SchemaAndCardinalities) {
 }
 
 TEST(TpchGen, TotalpriceIsSumOfLineitems) {
-  Tpch t = BuildTpch(SmallTpch());
+  Tpch t = BuildTpch(SmallTpchConfig());
   const rel::Relation& orders = t.db.relation(t.orders);
   const rel::Relation& lineitems = t.db.relation(t.lineitem);
   // Check a few orders: totalprice == sum of extendedprice of lineitems.
@@ -159,7 +148,7 @@ TEST(TpchGen, TotalpriceIsSumOfLineitems) {
 }
 
 TEST(TpchGen, PartsuppDistinctSuppliersPerPart) {
-  Tpch t = BuildTpch(SmallTpch());
+  Tpch t = BuildTpch(SmallTpchConfig());
   const rel::Relation& ps = t.db.relation(t.partsupp);
   // For part 0, the supplier ids of its partsupps are distinct.
   std::set<int64_t> suppliers;
@@ -171,7 +160,7 @@ TEST(TpchGen, PartsuppDistinctSuppliersPerPart) {
 }
 
 TEST(TpchGen, ValueRankRewardsValueOverCount) {
-  Tpch t = BuildTpch(SmallTpch());
+  Tpch t = BuildTpch(SmallTpchConfig());
   ApplyTpchScores(&t, 1, 0.85);
   // Rank correlation check in aggregate: the top-importance customer has
   // above-average total order value.
@@ -193,7 +182,7 @@ TEST(TpchGen, ValueRankRewardsValueOverCount) {
 }
 
 TEST(TpchGen, CustomerGdsMatchesPaperEnumeration) {
-  Tpch t = BuildTpch(SmallTpch());
+  Tpch t = BuildTpch(SmallTpchConfig());
   gds::Gds gds = TpchCustomerGds(t, 0.7);
   // Section 2.1: Customer G_DS(0.7) = {Customer, Nation, Region, Order,
   // Lineitem, Partsupp}.
@@ -211,7 +200,7 @@ TEST(TpchGen, CustomerGdsMatchesPaperEnumeration) {
 }
 
 TEST(TpchGen, SupplierOsLargerThanCustomerOs) {
-  Tpch t = BuildTpch(SmallTpch());
+  Tpch t = BuildTpch(SmallTpchConfig());
   ApplyTpchScores(&t, 1, 0.85);
   core::DataGraphBackend backend(t.db, t.links, t.data_graph);
   gds::Gds cgds = TpchCustomerGds(t);
@@ -226,8 +215,8 @@ TEST(TpchGen, SupplierOsLargerThanCustomerOs) {
 }
 
 TEST(TpchGen, DeterministicForSameSeed) {
-  Tpch a = BuildTpch(SmallTpch());
-  Tpch b = BuildTpch(SmallTpch());
+  Tpch a = BuildTpch(SmallTpchConfig());
+  Tpch b = BuildTpch(SmallTpchConfig());
   EXPECT_EQ(a.db.relation(a.lineitem).num_tuples(),
             b.db.relation(b.lineitem).num_tuples());
   EXPECT_DOUBLE_EQ(

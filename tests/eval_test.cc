@@ -7,7 +7,7 @@
 #include "datasets/dblp.h"
 #include "eval/evaluator.h"
 #include "eval/snippet.h"
-#include "test_trees.h"
+#include "test_support.h"
 
 namespace osum::eval {
 namespace {

@@ -8,51 +8,29 @@
 #include "datasets/dblp.h"
 #include "datasets/tpch.h"
 #include "eval/evaluator.h"
+#include "test_support.h"
 #include "util/rng.h"
 
 namespace osum {
 namespace {
 
-using datasets::ApplyDblpScores;
-using datasets::ApplyTpchScores;
-using datasets::BuildDblp;
-using datasets::BuildTpch;
-using datasets::Dblp;
 using datasets::DblpAuthorGds;
-using datasets::DblpConfig;
 using datasets::DblpPaperGds;
-using datasets::Tpch;
-using datasets::TpchConfig;
 using datasets::TpchCustomerGds;
 using datasets::TpchSupplierGds;
-
-DblpConfig MediumDblp() {
-  DblpConfig c;
-  c.num_authors = 400;
-  c.num_papers = 1600;
-  c.num_conferences = 16;
-  return c;
-}
-
-TpchConfig MediumTpch() {
-  TpchConfig c;
-  c.num_customers = 300;
-  c.num_suppliers = 25;
-  c.num_parts = 400;
-  c.mean_orders_per_customer = 8.0;
-  return c;
-}
+using osum::testing::MediumDblpConfig;
+using osum::testing::MediumTpchConfig;
+using osum::testing::ScoredDblp;
+using osum::testing::ScoredTpch;
 
 TEST(IntegrationDblp, GreedyQualityOnRealOss) {
-  Dblp d = BuildDblp(MediumDblp());
-  ApplyDblpScores(&d, 1, 0.85);
-  gds::Gds gds = DblpAuthorGds(d);
-  core::DataGraphBackend backend(d.db, d.links, d.data_graph);
+  ScoredDblp f(MediumDblpConfig());
+  gds::Gds gds = DblpAuthorGds(f.d);
 
   double bu_ratio = 0.0, tp_ratio = 0.0;
   int count = 0;
   for (rel::TupleId tds = 0; tds < 10; ++tds) {
-    core::OsTree os = core::GenerateCompleteOs(d.db, gds, &backend, tds);
+    core::OsTree os = core::GenerateCompleteOs(f.d.db, gds, &f.backend, tds);
     if (os.size() < 30) continue;
     for (size_t l : {10u, 30u}) {
       core::Selection opt = core::SizeLDp(os, l);
@@ -72,14 +50,12 @@ TEST(IntegrationDblp, PaperOssAreNearMonotoneSoBottomUpIsOptimal) {
   // Section 6.2: "for Paper OSs all methods achieved 100% quality" because
   // monotonicity (Lemma 2) holds on the Paper G_DS. Our synthetic scores
   // approximate this; require near-optimality rather than exactness.
-  Dblp d = BuildDblp(MediumDblp());
-  ApplyDblpScores(&d, 1, 0.85);
-  gds::Gds gds = DblpPaperGds(d);
-  core::DataGraphBackend backend(d.db, d.links, d.data_graph);
+  ScoredDblp f(MediumDblpConfig());
+  gds::Gds gds = DblpPaperGds(f.d);
   double ratio = 0.0;
   int count = 0;
   for (rel::TupleId tds = 0; tds < 10; ++tds) {
-    core::OsTree os = core::GenerateCompleteOs(d.db, gds, &backend, tds);
+    core::OsTree os = core::GenerateCompleteOs(f.d.db, gds, &f.backend, tds);
     if (os.size() < 15) continue;
     core::Selection opt = core::SizeLDp(os, 10);
     ratio += core::SizeLBottomUp(os, 10).importance / opt.importance;
@@ -94,8 +70,8 @@ TEST(IntegrationDblp, Lemma3PrelimContainsOptimumOnMonotoneOs) {
   // score with a small deterministic jitter such that affinity-scaled
   // local importance strictly decreases with G_DS depth (the Lemma 2/3
   // precondition the paper observed on Paper OSs).
-  Dblp d = BuildDblp(MediumDblp());
-  ApplyDblpScores(&d, 1, 0.85);  // annotate + sort once
+  ScoredDblp f(MediumDblpConfig());  // annotate + sort once
+  datasets::Dblp& d = f.d;
   auto jittered = [](const rel::Relation& r, double base, uint64_t seed) {
     util::Rng rng(seed);
     std::vector<double> imp(r.num_tuples());
@@ -118,16 +94,16 @@ TEST(IntegrationDblp, Lemma3PrelimContainsOptimumOnMonotoneOs) {
   d.data_graph.SortNeighborsByImportance(d.db);
 
   gds::Gds gds = DblpPaperGds(d);
-  core::DataGraphBackend backend(d.db, d.links, d.data_graph);
   int monotone_checked = 0;
   for (rel::TupleId tds = 0; tds < 20; ++tds) {
-    core::OsTree complete = core::GenerateCompleteOs(d.db, gds, &backend, tds);
+    core::OsTree complete =
+        core::GenerateCompleteOs(d.db, gds, &f.backend, tds);
     if (complete.size() < 12) continue;
     ASSERT_TRUE(complete.IsMonotone()) << "tds=" << tds;
     ++monotone_checked;
     size_t l = 8;
     core::OsTree prelim =
-        core::GeneratePrelimOs(d.db, gds, &backend, tds, l);
+        core::GeneratePrelimOs(d.db, gds, &f.backend, tds, l);
     core::Selection opt_complete = core::SizeLDp(complete, l);
     core::Selection opt_prelim = core::SizeLDp(prelim, l);
     EXPECT_NEAR(opt_prelim.importance, opt_complete.importance, 1e-6)
@@ -137,16 +113,14 @@ TEST(IntegrationDblp, Lemma3PrelimContainsOptimumOnMonotoneOs) {
 }
 
 TEST(IntegrationDblp, PrelimReducesExtractionAcrossSubjects) {
-  Dblp d = BuildDblp(MediumDblp());
-  ApplyDblpScores(&d, 1, 0.85);
-  gds::Gds gds = DblpAuthorGds(d);
-  core::DataGraphBackend backend(d.db, d.links, d.data_graph);
+  ScoredDblp f(MediumDblpConfig());
+  gds::Gds gds = DblpAuthorGds(f.d);
   uint64_t complete_nodes = 0, prelim_nodes = 0;
   for (rel::TupleId tds = 0; tds < 10; ++tds) {
     complete_nodes +=
-        core::GenerateCompleteOs(d.db, gds, &backend, tds).size();
+        core::GenerateCompleteOs(f.d.db, gds, &f.backend, tds).size();
     prelim_nodes +=
-        core::GeneratePrelimOs(d.db, gds, &backend, tds, 10).size();
+        core::GeneratePrelimOs(f.d.db, gds, &f.backend, tds, 10).size();
   }
   // Figure 10f: prelim-10 is ~10% of the complete OS size on Supplier; on
   // DBLP authors expect at least a 2x reduction.
@@ -154,12 +128,11 @@ TEST(IntegrationDblp, PrelimReducesExtractionAcrossSubjects) {
 }
 
 TEST(IntegrationTpch, FullPipelineOnBothGdss) {
-  Tpch t = BuildTpch(MediumTpch());
-  ApplyTpchScores(&t, 1, 0.85);
-  core::DataGraphBackend backend(t.db, t.links, t.data_graph);
-  for (const gds::Gds& gds : {TpchCustomerGds(t), TpchSupplierGds(t)}) {
+  ScoredTpch f(MediumTpchConfig());
+  for (const gds::Gds& gds : {TpchCustomerGds(f.t), TpchSupplierGds(f.t)}) {
     for (rel::TupleId tds = 0; tds < 4; ++tds) {
-      core::OsTree os = core::GenerateCompleteOs(t.db, gds, &backend, tds);
+      core::OsTree os =
+          core::GenerateCompleteOs(f.t.db, gds, &f.backend, tds);
       ASSERT_GT(os.size(), 1u);
       for (size_t l : {5u, 15u}) {
         core::Selection opt = core::SizeLDp(os, l);
@@ -175,16 +148,14 @@ TEST(IntegrationTpch, FullPipelineOnBothGdss) {
 }
 
 TEST(IntegrationTpch, PrelimDefinition2OnTpch) {
-  Tpch t = BuildTpch(MediumTpch());
-  ApplyTpchScores(&t, 1, 0.85);
-  gds::Gds gds = TpchSupplierGds(t);
-  core::DataGraphBackend backend(t.db, t.links, t.data_graph);
+  ScoredTpch f(MediumTpchConfig());
+  gds::Gds gds = TpchSupplierGds(f.t);
   for (rel::TupleId tds = 0; tds < 4; ++tds) {
     size_t l = 10;
     core::OsTree complete =
-        core::GenerateCompleteOs(t.db, gds, &backend, tds);
+        core::GenerateCompleteOs(f.t.db, gds, &f.backend, tds);
     core::OsTree prelim =
-        core::GeneratePrelimOs(t.db, gds, &backend, tds, l);
+        core::GeneratePrelimOs(f.t.db, gds, &f.backend, tds, l);
     std::vector<double> all, got;
     for (const core::OsNode& n : complete.nodes()) {
       all.push_back(n.local_importance);
@@ -205,11 +176,9 @@ TEST(IntegrationTpch, PrelimDefinition2OnTpch) {
 TEST(IntegrationEffectiveness, DefaultSettingBeatsNoise) {
   // Micro version of Figure 8: scores from the default setting should
   // align with simulated evaluators far better than inverted scores do.
-  Dblp d = BuildDblp(MediumDblp());
-  ApplyDblpScores(&d, 1, 0.85);
-  gds::Gds gds = DblpAuthorGds(d);
-  core::DataGraphBackend backend(d.db, d.links, d.data_graph);
-  core::OsTree os = core::GenerateCompleteOs(d.db, gds, &backend, 0);
+  ScoredDblp f(MediumDblpConfig());
+  gds::Gds gds = DblpAuthorGds(f.d);
+  core::OsTree os = core::GenerateCompleteOs(f.d.db, gds, &f.backend, 0);
   std::vector<double> ref = eval::NodeScores(os);
 
   eval::EvaluatorPanel panel(eval::DblpEvaluatorConfig(5));

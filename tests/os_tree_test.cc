@@ -2,7 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "core/os_tree.h"
-#include "test_trees.h"
+#include "test_support.h"
 
 namespace osum::core {
 namespace {
@@ -71,14 +71,9 @@ TEST(Materialize, ExtractsConnectedSubtree) {
   Selection sel;
   sel.nodes = {0, 3, 10, 12};  // paper ids 1, 4, 11, 13 (a chain + root)
   OsTree sub = MaterializeSelection(os, sel);
-  EXPECT_EQ(sub.size(), 4u);
-  EXPECT_EQ(sub.node(0).depth, 0);
-  EXPECT_EQ(sub.MaxDepth(), 3);
-  EXPECT_DOUBLE_EQ(sub.TotalImportance(), 30 + 31 + 30 + 60);
-  // Structure preserved: each non-root's parent is inside the subtree.
-  for (size_t i = 1; i < sub.size(); ++i) {
-    EXPECT_GE(sub.node(static_cast<OsNodeId>(i)).parent, 0);
-  }
+  // Golden: the chain 1 -> 4 -> 11 -> 13 (paper ids) with its weights.
+  EXPECT_TRUE(osum::testing::SameTree(
+      sub, MakeTree({{-1, 30}, {0, 31}, {1, 30}, {2, 60}})));
 }
 
 TEST(Materialize, EmptySelectionYieldsEmptyTree) {

@@ -5,7 +5,7 @@
 
 #include "core/multi_l.h"
 #include "core/size_l.h"
-#include "test_trees.h"
+#include "test_support.h"
 
 namespace osum::core {
 namespace {

@@ -1,0 +1,219 @@
+#include "test_support.h"
+
+#include <algorithm>
+#include <cfloat>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace osum::testing {
+namespace {
+
+// EXPECT_DOUBLE_EQ-style tolerance so goldens written against computed
+// (non-integer) importances don't fail on sub-ULP accumulation differences.
+bool AlmostEqual(double a, double b) {
+  return std::abs(a - b) <= 4 * DBL_EPSILON * std::max(std::abs(a), std::abs(b));
+}
+
+std::string FullPrecision(double v) {
+  std::ostringstream out;
+  out << std::setprecision(DBL_DIG + 2) << v;
+  return out.str();
+}
+
+}  // namespace
+
+core::OsTree MakeTree(const std::vector<std::pair<int, double>>& spec) {
+  core::OsTree os;
+  for (size_t i = 0; i < spec.size(); ++i) {
+    const auto& [parent, weight] = spec[i];
+    if (parent < 0) {
+      os.AddRoot(0, 0, static_cast<rel::TupleId>(i), weight);
+    } else {
+      os.AddChild(parent, 0, 0, static_cast<rel::TupleId>(i), weight);
+    }
+  }
+  return os;
+}
+
+core::OsTree PaperFigure4Tree() {
+  return MakeTree({
+      {-1, 30},  // 1 (root)
+      {0, 20},   // 2
+      {0, 11},   // 3
+      {0, 31},   // 4
+      {0, 80},   // 5
+      {0, 35},   // 6
+      {2, 10},   // 7  (child of 3)
+      {2, 15},   // 8  (child of 3)
+      {2, 5},    // 9  (child of 3)
+      {3, 13},   // 10 (child of 4)
+      {3, 30},   // 11 (child of 4)
+      {5, 12},   // 12 (child of 6)
+      {10, 60},  // 13 (child of 11)
+      {11, 40},  // 14 (child of 12)
+  });
+}
+
+core::OsTree PaperFigure56Tree(double weight12) {
+  return MakeTree({
+      {-1, 30},       // 1 (root)
+      {0, 20},        // 2
+      {0, 11},        // 3
+      {0, 31},        // 4
+      {0, 80},        // 5
+      {0, 35},        // 6
+      {1, 10},        // 7  (child of 2)
+      {1, 15},        // 8  (child of 2)
+      {2, 5},         // 9  (child of 3)
+      {3, 13},        // 10 (child of 4)
+      {4, 30},        // 11 (child of 5)
+      {5, weight12},  // 12 (child of 6)
+      {10, 60},       // 13 (child of 11)
+      {11, 40},       // 14 (child of 12)
+  });
+}
+
+core::OsTree PaperFigure5Tree() { return PaperFigure56Tree(55); }
+
+core::OsTree PaperFigure6Tree() { return PaperFigure56Tree(12); }
+
+std::vector<core::OsNodeId> PaperIds(std::vector<int> ids) {
+  std::vector<core::OsNodeId> out;
+  out.reserve(ids.size());
+  for (int id : ids) out.push_back(id - 1);
+  return out;
+}
+
+core::OsTree RandomTree(util::Rng* rng, size_t n, double recency_bias) {
+  core::OsTree os;
+  os.AddRoot(0, 0, 0, rng->NextDouble() * 100.0);
+  for (size_t i = 1; i < n; ++i) {
+    size_t parent;
+    if (i == 1 || rng->NextBernoulli(1.0 - recency_bias)) {
+      parent = rng->NextU64(i);
+    } else {
+      size_t window = std::max<size_t>(1, i / 3);
+      parent = i - 1 - rng->NextU64(window);
+    }
+    os.AddChild(static_cast<core::OsNodeId>(parent), 0, 0,
+                static_cast<rel::TupleId>(i), rng->NextDouble() * 100.0);
+  }
+  return os;
+}
+
+core::OsTree RandomMonotoneTree(util::Rng* rng, size_t n) {
+  core::OsTree os;
+  os.AddRoot(0, 0, 0, 100.0);
+  std::vector<double> weight{100.0};
+  for (size_t i = 1; i < n; ++i) {
+    size_t parent = rng->NextU64(i);
+    double w = weight[parent] * rng->NextDouble(0.3, 1.0);
+    weight.push_back(w);
+    os.AddChild(static_cast<core::OsNodeId>(parent), 0, 0,
+                static_cast<rel::TupleId>(i), w);
+  }
+  return os;
+}
+
+::testing::AssertionResult SameTree(const core::OsTree& got,
+                                    const core::OsTree& want) {
+  if (got.size() != want.size()) {
+    return ::testing::AssertionFailure()
+           << "tree size " << got.size() << " != " << want.size();
+  }
+  for (size_t i = 0; i < got.size(); ++i) {
+    const core::OsNode& g = got.node(static_cast<core::OsNodeId>(i));
+    const core::OsNode& w = want.node(static_cast<core::OsNodeId>(i));
+    if (g.parent != w.parent) {
+      return ::testing::AssertionFailure()
+             << "node " << i << ": parent " << g.parent << " != " << w.parent;
+    }
+    if (g.depth != w.depth) {
+      return ::testing::AssertionFailure()
+             << "node " << i << ": depth " << g.depth << " != " << w.depth;
+    }
+    if (!AlmostEqual(g.local_importance, w.local_importance)) {
+      return ::testing::AssertionFailure()
+             << "node " << i << ": importance "
+             << FullPrecision(g.local_importance)
+             << " != " << FullPrecision(w.local_importance);
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+::testing::AssertionResult SelectionIsPaperIds(const core::Selection& got,
+                                               std::vector<int> want_paper_ids,
+                                               double want_importance) {
+  const std::vector<core::OsNodeId> want = PaperIds(std::move(want_paper_ids));
+  if (got.nodes != want) {
+    auto render = [](const std::vector<core::OsNodeId>& ids) {
+      std::ostringstream out;
+      out << "{";
+      for (size_t i = 0; i < ids.size(); ++i) {
+        out << (i ? "," : "") << ids[i] + 1;  // back to paper numbering
+      }
+      out << "}";
+      return out.str();
+    };
+    return ::testing::AssertionFailure()
+           << "selection (paper ids) " << render(got.nodes)
+           << " != " << render(want);
+  }
+  if (want_importance >= 0.0 && !AlmostEqual(got.importance, want_importance)) {
+    return ::testing::AssertionFailure()
+           << "selection importance " << FullPrecision(got.importance)
+           << " != " << FullPrecision(want_importance);
+  }
+  return ::testing::AssertionSuccess();
+}
+
+datasets::DblpConfig SmallDblpConfig() {
+  datasets::DblpConfig c;
+  c.num_authors = 150;
+  c.num_papers = 600;
+  c.num_conferences = 10;
+  return c;
+}
+
+datasets::DblpConfig MediumDblpConfig() {
+  datasets::DblpConfig c;
+  c.num_authors = 400;
+  c.num_papers = 1600;
+  c.num_conferences = 16;
+  return c;
+}
+
+datasets::TpchConfig SmallTpchConfig() {
+  datasets::TpchConfig c;
+  c.num_customers = 120;
+  c.num_suppliers = 12;
+  c.num_parts = 160;
+  c.mean_orders_per_customer = 6.0;
+  c.mean_lineitems_per_order = 3.0;
+  return c;
+}
+
+datasets::TpchConfig MediumTpchConfig() {
+  datasets::TpchConfig c;
+  c.num_customers = 300;
+  c.num_suppliers = 25;
+  c.num_parts = 400;
+  c.mean_orders_per_customer = 8.0;
+  return c;
+}
+
+ScoredDblp::ScoredDblp(const datasets::DblpConfig& config, int ga,
+                       double damping)
+    : d(datasets::BuildDblp(config)), backend(d.db, d.links, d.data_graph) {
+  datasets::ApplyDblpScores(&d, ga, damping);
+}
+
+ScoredTpch::ScoredTpch(const datasets::TpchConfig& config, int ga,
+                       double damping)
+    : t(datasets::BuildTpch(config)), backend(t.db, t.links, t.data_graph) {
+  datasets::ApplyTpchScores(&t, ga, damping);
+}
+
+}  // namespace osum::testing

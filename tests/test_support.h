@@ -1,0 +1,115 @@
+// Shared fixtures for the gtest suites: the paper's worked-example OS trees
+// (Figures 4, 5 and 6), random-tree generators for property tests, synthetic
+// mini-database builders, and golden comparators for OS trees / selections.
+#ifndef OSUM_TESTS_TEST_SUPPORT_H_
+#define OSUM_TESTS_TEST_SUPPORT_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/os_backend.h"
+#include "core/os_tree.h"
+#include "core/size_l.h"
+#include "datasets/dblp.h"
+#include "datasets/tpch.h"
+#include "util/rng.h"
+
+namespace osum::testing {
+
+// --------------------------------------------------------------- OS trees
+
+/// Builds an OsTree from (parent, weight) pairs; entry 0 is the root and
+/// must have parent -1. Node ids equal entry indices. G_DS ids/relations
+/// are dummies — the size-l algorithms only look at the tree shape and
+/// local importance.
+core::OsTree MakeTree(const std::vector<std::pair<int, double>>& spec);
+
+// The paper numbers nodes 1..14; our arenas are 0-based, so paper node k is
+// arena node k-1 in all three fixtures below.
+
+/// Figure 4 (DP example): optimal size-4 OS is {1,4,5,6} (paper ids).
+core::OsTree PaperFigure4Tree();
+
+/// Figures 5 and 6 share one tree shape:
+/// 1 -> {2,3,4,5,6}; 2 -> {7,8}; 3 -> {9}; 4 -> {10}; 5 -> {11};
+/// 6 -> {12}; 11 -> {13}; 12 -> {14}. They differ in node 12's weight.
+core::OsTree PaperFigure56Tree(double weight12);
+
+/// Figure 5 (Bottom-Up example): node 12 weighs 55. Bottom-Up's size-5 OS
+/// is {1,5,6,11,13} (importance 235) while the optimum is {1,5,6,12,14}
+/// (importance 240).
+core::OsTree PaperFigure5Tree();
+
+/// Figure 6 (Update Top-Path-l example): node 12 weighs 12. Top-Path's
+/// size-5 OS is {1,5,6,11,13}; its size-3 OS is {1,5,11} while the optimum
+/// is {1,5,6}.
+core::OsTree PaperFigure6Tree();
+
+/// Converts paper node ids (1-based) to an arena selection for EXPECTs.
+std::vector<core::OsNodeId> PaperIds(std::vector<int> ids);
+
+/// Random tree with `n` nodes; each node's parent is drawn among earlier
+/// nodes (biased toward recent ones to get realistic depth). Weights are
+/// uniform in [0, 100).
+core::OsTree RandomTree(util::Rng* rng, size_t n, double recency_bias = 0.7);
+
+/// Random tree whose local importances decrease monotonically with depth —
+/// the Lemma 2 / Lemma 3 precondition.
+core::OsTree RandomMonotoneTree(util::Rng* rng, size_t n);
+
+// ------------------------------------------------------ golden comparators
+
+/// Structural equality of two OS trees: same node count and, node by node,
+/// same parent, depth and local importance. Use as
+/// `EXPECT_TRUE(SameTree(got, want))`; the failure message pinpoints the
+/// first differing node.
+::testing::AssertionResult SameTree(const core::OsTree& got,
+                                    const core::OsTree& want);
+
+/// Golden comparator for size-l results: the selection must equal the given
+/// paper node ids (1-based, in ascending arena order) and, when
+/// `want_importance` is non-negative, sum to exactly that importance.
+::testing::AssertionResult SelectionIsPaperIds(const core::Selection& got,
+                                               std::vector<int> want_paper_ids,
+                                               double want_importance = -1.0);
+
+// ------------------------------------------------ synthetic mini databases
+
+/// The cardinalities the suites have always used: Small fits unit tests
+/// (datasets_test asserts these exact counts), Medium feeds the
+/// integration-style statistical claims.
+datasets::DblpConfig SmallDblpConfig();
+datasets::DblpConfig MediumDblpConfig();
+datasets::TpchConfig SmallTpchConfig();
+datasets::TpchConfig MediumTpchConfig();
+
+/// BuildDblp + ApplyDblpScores + a DataGraphBackend bound to the result —
+/// the preamble repeated by every integration-style test. Immovable because
+/// `backend` holds references into `d`.
+struct ScoredDblp {
+  explicit ScoredDblp(const datasets::DblpConfig& config, int ga = 1,
+                      double damping = 0.85);
+  ScoredDblp(const ScoredDblp&) = delete;
+  ScoredDblp& operator=(const ScoredDblp&) = delete;
+
+  datasets::Dblp d;
+  core::DataGraphBackend backend;
+};
+
+/// TPC-H twin of ScoredDblp.
+struct ScoredTpch {
+  explicit ScoredTpch(const datasets::TpchConfig& config, int ga = 1,
+                      double damping = 0.85);
+  ScoredTpch(const ScoredTpch&) = delete;
+  ScoredTpch& operator=(const ScoredTpch&) = delete;
+
+  datasets::Tpch t;
+  core::DataGraphBackend backend;
+};
+
+}  // namespace osum::testing
+
+#endif  // OSUM_TESTS_TEST_SUPPORT_H_
