@@ -1,21 +1,40 @@
 #!/usr/bin/env bash
-# Tier-1 verification in both shipping configurations:
+# Tier-1 verification in the three shipping configurations:
 #   1. Release            — the configuration benchmarks are run in
-#   2. Debug + sanitizers — ASan/UBSan catch what optimized builds hide
+#   2. Debug + ASan/UBSan — catches what optimized builds hide
+#   3. Debug + TSan       — proves the concurrent query path (QueryBatch
+#      over a shared SearchContext) races on nothing; runs the search-
+#      labeled suites, which include the concurrency stress aggregate
+#      (labeled search;slow).
 # Usage: scripts/ci.sh            (JOBS=<n> to override parallelism)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 
+# run_config <build-dir> <ctest extra args...> -- <cmake args...>
 run_config() {
   local dir="$1"
+  shift
+  local ctest_args=()
+  while [[ "$1" != "--" ]]; do
+    ctest_args+=("$1")
+    shift
+  done
   shift
   echo "==== configuring ${dir} ($*) ===="
   cmake -B "${dir}" -S . "$@"
   cmake --build "${dir}" -j "${JOBS}"
-  ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}"
+  # --no-tests=error: a label filter matching nothing must fail the lane,
+  # not pass it vacuously.
+  ctest --test-dir "${dir}" --output-on-failure --no-tests=error \
+        -j "${JOBS}" "${ctest_args[@]+"${ctest_args[@]}"}"
 }
 
-run_config build-release -DCMAKE_BUILD_TYPE=Release
-run_config build-asan -DCMAKE_BUILD_TYPE=Debug -DOSUM_SANITIZE=ON
+run_config build-release -- -DCMAKE_BUILD_TYPE=Release
+run_config build-asan -- -DCMAKE_BUILD_TYPE=Debug -DOSUM_SANITIZE=address
+# Benches and examples are never executed under TSan; skip their
+# instrumented compile.
+run_config build-tsan -L search -- \
+           -DCMAKE_BUILD_TYPE=Debug -DOSUM_SANITIZE=thread \
+           -DOSUM_BUILD_BENCHMARKS=OFF -DOSUM_BUILD_EXAMPLES=OFF
 echo "==== ci.sh: all configurations green ===="

@@ -31,9 +31,7 @@ void DataGraphBackend::Fetch(graph::LinkTypeId link, rel::FkDirection dir,
   auto targets = graph_.Neighbors(n, link, dir);
   out->reserve(targets.size());
   for (graph::NodeId t : targets) out->push_back(graph_.TupleOf(t));
-  ++stats_.select_calls;
-  ++stats_.index_probes;
-  stats_.tuples_read += targets.size();
+  stats_.CountSelect(targets.size(), 1);
 }
 
 void DataGraphBackend::FetchTop(graph::LinkTypeId link, rel::FkDirection dir,
@@ -54,9 +52,7 @@ void DataGraphBackend::FetchTop(graph::LinkTypeId link, rel::FkDirection dir,
     if (target.importance(tuple) <= min_importance) break;  // sorted desc
     out->push_back(tuple);
   }
-  ++stats_.select_calls;
-  ++stats_.index_probes;
-  stats_.tuples_read += out->size();
+  stats_.CountSelect(out->size(), 1);
 }
 
 // ----------------------------------------------------------------- Database
@@ -83,7 +79,6 @@ void DatabaseBackend::Fetch(graph::LinkTypeId link, rel::FkDirection dir,
                             std::vector<rel::TupleId>* out) {
   out->clear();
   const graph::LinkType& lt = links_.link(link);
-  ++stats_.select_calls;
   SimulateLatency();
   if (!lt.via_junction) {
     if (dir == rel::FkDirection::kForward) {
@@ -126,7 +121,7 @@ void DatabaseBackend::Fetch(graph::LinkTypeId link, rel::FkDirection dir,
                 });
     }
   }
-  stats_.tuples_read += out->size();
+  stats_.CountSelect(out->size(), 0);
 }
 
 void DatabaseBackend::FetchTop(graph::LinkTypeId link, rel::FkDirection dir,
@@ -135,14 +130,18 @@ void DatabaseBackend::FetchTop(graph::LinkTypeId link, rel::FkDirection dir,
                                std::vector<rel::TupleId>* out) {
   out->clear();
   const graph::LinkType& lt = links_.link(link);
-  ++stats_.select_calls;  // Avoidance Condition 2 pays this even for 0 rows
   SimulateLatency();
   rel::RelationId target_rel = dir == rel::FkDirection::kForward ? lt.b : lt.a;
   const rel::Relation& target = db_.relation(target_rel);
   if (!lt.via_junction && dir == rel::FkDirection::kForward) {
-    // SELECT * TOP limit ... AND importance > min ORDER BY importance DESC
+    // SELECT * TOP limit ... AND importance > min ORDER BY importance DESC.
+    // Only the SELECT is counted here: the delegated access path already
+    // books the tuples in db_.io_stats(), and the backend-level
+    // tuples_read has never included this path (kept for baseline
+    // comparability of the I/O metrics).
     *out = db_.ChildrenTopImportance(lt.fk_a, parent_tuple, limit,
                                      min_importance);
+    stats_.CountSelect(0, 0);
     return;
   }
   if (!lt.via_junction) {
@@ -150,8 +149,9 @@ void DatabaseBackend::FetchTop(graph::LinkTypeId link, rel::FkDirection dir,
     if (parent.has_value() && limit > 0 &&
         target.importance(*parent) > min_importance) {
       out->push_back(*parent);
-      ++stats_.tuples_read;
     }
+    // Avoidance Condition 2 pays the SELECT even for 0 rows.
+    stats_.CountSelect(out->size(), 0);
     return;
   }
   // Junction: the DBMS would evaluate the ordered, limited join in one
@@ -179,7 +179,7 @@ void DatabaseBackend::FetchTop(graph::LinkTypeId link, rel::FkDirection dir,
               return a < b;
             });
   if (candidates.size() > limit) candidates.resize(limit);
-  stats_.tuples_read += candidates.size();
+  stats_.CountSelect(candidates.size(), 0);
   *out = std::move(candidates);
 }
 

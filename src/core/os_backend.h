@@ -19,6 +19,13 @@ namespace osum::core {
 
 /// Abstract join provider: fetch the tuples joining to `parent_tuple`
 /// through a logical link in a given direction.
+///
+/// Thread-safety contract: both concrete back ends are immutable after
+/// construction apart from the I/O counters, which are atomic. Fetch and
+/// FetchTop only read the database / data graph (themselves read-only once
+/// built), so one back end instance may serve concurrent queries — the
+/// contract search::SearchContext relies on. Implementations adding real
+/// mutable state (caches, connections) must synchronize it themselves.
 class OsBackend {
  public:
   virtual ~OsBackend() = default;
@@ -39,12 +46,13 @@ class OsBackend {
                         double min_importance,
                         std::vector<rel::TupleId>* out) = 0;
 
-  /// Logical I/O issued by this back end since the last Reset.
-  const util::IoStats& stats() const { return stats_; }
+  /// Snapshot of the logical I/O issued by this back end since the last
+  /// Reset (aggregated across all threads when queries run concurrently).
+  util::IoStats stats() const { return stats_.Snapshot(); }
   void ResetStats() { stats_.Reset(); }
 
  protected:
-  util::IoStats stats_;
+  util::AtomicIoStats stats_;
 };
 
 /// In-memory data-graph back end (the paper's fast path). Requires

@@ -114,10 +114,8 @@ FkStats Database::GetFkStats(ForeignKeyId fk) const {
 std::span<const TupleId> Database::Children(ForeignKeyId fk,
                                             TupleId parent_tuple) const {
   assert(indexes_built_);
-  ++io_stats_.select_calls;
-  ++io_stats_.index_probes;
   const auto& posting = indexes_[fk].postings[parent_tuple];
-  io_stats_.tuples_read += posting.size();
+  io_stats_.CountSelect(posting.size(), 1);
   return {posting.data(), posting.size()};
 }
 
@@ -127,8 +125,6 @@ std::vector<TupleId> Database::ChildrenTopImportance(
   assert(indexes_built_);
   assert(indexes_sorted_ &&
          "ChildrenTopImportance requires SortIndexesByImportance()");
-  ++io_stats_.select_calls;  // costs a SELECT even when result is empty
-  ++io_stats_.index_probes;
   const Relation& child = *relations_[fks_[fk].child];
   const auto& posting = indexes_[fk].postings[parent_tuple];
   std::vector<TupleId> out;
@@ -137,19 +133,21 @@ std::vector<TupleId> Database::ChildrenTopImportance(
     if (child.importance(t) <= min_importance) break;  // sorted descending
     out.push_back(t);
   }
-  io_stats_.tuples_read += out.size();
+  // Costs a SELECT even when the result is empty (Section 5.3 caveat).
+  io_stats_.CountSelect(out.size(), 1);
   return out;
 }
 
 std::optional<TupleId> Database::Parent(ForeignKeyId fk,
                                         TupleId child_tuple) const {
   assert(indexes_built_);
-  ++io_stats_.select_calls;
-  ++io_stats_.index_probes;
   const ForeignKey& f = fks_[fk];
   const Value& v = relations_[f.child]->value(child_tuple, f.child_col);
-  if (TypeOf(v) == ValueType::kNull) return std::nullopt;
-  ++io_stats_.tuples_read;
+  if (TypeOf(v) == ValueType::kNull) {
+    io_stats_.CountSelect(0, 1);
+    return std::nullopt;
+  }
+  io_stats_.CountSelect(1, 1);
   return static_cast<TupleId>(std::get<int64_t>(v));
 }
 

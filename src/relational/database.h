@@ -116,7 +116,10 @@ class Database {
   std::optional<TupleId> Parent(ForeignKeyId fk, TupleId child_tuple) const;
 
   /// Mutable I/O accounting (reset before a measured region; read after).
-  util::IoStats& io_stats() const { return io_stats_; }
+  /// Atomic so concurrent queries over a shared database may race only on
+  /// accounting, never on data: all access paths are const and read-only
+  /// once BuildIndexes()/SortIndexesByImportance() have run.
+  util::AtomicIoStats& io_stats() const { return io_stats_; }
 
  private:
   struct JoinIndex {
@@ -132,7 +135,7 @@ class Database {
   std::vector<JoinIndex> indexes_;
   bool indexes_built_ = false;
   bool indexes_sorted_ = false;
-  mutable util::IoStats io_stats_;
+  mutable util::AtomicIoStats io_stats_;
 };
 
 }  // namespace osum::rel

@@ -1,7 +1,8 @@
 #include "search/engine.h"
 
-#include <algorithm>
 #include <cassert>
+#include <stdexcept>
+#include <utility>
 
 namespace osum::search {
 
@@ -12,87 +13,62 @@ SizeLSearchEngine::SizeLSearchEngine(const rel::Database& db,
 void SizeLSearchEngine::RegisterSubject(rel::RelationId relation,
                                         gds::Gds gds) {
   assert(gds.root_relation() == relation);
-  subject_order_.push_back(relation);
-  subjects_.emplace(relation, std::move(gds));
-  index_built_ = false;
+  if (context_.has_value()) {
+    // Re-register after a build: move the registration list back out of
+    // the now-stale context before destroying it, so the next BuildIndex
+    // covers all subjects. Subjects are stored once — here before a
+    // build, inside the context after.
+    subjects_ = std::move(*context_).TakeSubjects();
+    context_.reset();
+  }
+  subjects_.push_back(SearchContext::Subject{relation, std::move(gds)});
 }
 
 void SizeLSearchEngine::BuildIndex() {
-  index_ = InvertedIndex::Build(db_, subject_order_);
-  index_built_ = true;
+  if (context_.has_value() && subjects_.empty()) return;  // already current
+  context_ = SearchContext::Build(db_, backend_, std::move(subjects_));
+  subjects_.clear();
 }
 
-const gds::Gds& SizeLSearchEngine::GdsFor(rel::RelationId relation) const {
-  auto it = subjects_.find(relation);
-  assert(it != subjects_.end());
-  return it->second;
+const SearchContext& SizeLSearchEngine::context() const {
+  assert(context_.has_value() &&
+         "call BuildIndex() after registering subjects");
+  return *context_;
 }
 
 std::vector<QueryResult> SizeLSearchEngine::Query(
     std::string_view keywords, const QueryOptions& options) const {
-  assert(index_built_ && "call BuildIndex() after registering subjects");
-  std::vector<Hit> hits = index_.SearchQuery(keywords);
+  assert(context_.has_value() &&
+         "call BuildIndex() after registering subjects");
+  if (!context_.has_value()) return {};  // NDEBUG: degrade to no hits
+  return context_->Query(keywords, options);
+}
 
-  // Pre-rank data subjects by global importance. Under subject ranking the
-  // list is truncated here (cheap); under summary ranking every hit's
-  // size-l OS must be computed first, so truncation happens at the end.
-  std::sort(hits.begin(), hits.end(), [this](const Hit& a, const Hit& b) {
-    double ia = db_.relation(a.relation).importance(a.tuple);
-    double ib = db_.relation(b.relation).importance(b.tuple);
-    if (ia != ib) return ia > ib;
-    if (a.relation != b.relation) return a.relation < b.relation;
-    return a.tuple < b.tuple;
-  });
-  if (options.ranking == ResultRanking::kSubjectImportance &&
-      hits.size() > options.max_results) {
-    hits.resize(options.max_results);
+std::vector<std::vector<QueryResult>> SizeLSearchEngine::QueryBatch(
+    std::span<const std::string> queries, const QueryOptions& options,
+    size_t num_threads) const {
+  assert(context_.has_value() &&
+         "call BuildIndex() after registering subjects");
+  if (!context_.has_value()) {
+    return std::vector<std::vector<QueryResult>>(queries.size());
   }
-
-  std::vector<QueryResult> results;
-  results.reserve(hits.size());
-  for (const Hit& hit : hits) {
-    const gds::Gds& gds = subjects_.at(hit.relation);
-    QueryResult r;
-    r.subject = hit;
-    r.subject_importance = db_.relation(hit.relation).importance(hit.tuple);
-
-    core::OsGenOptions gen;
-    if (options.l > 0) {
-      gen.max_depth = static_cast<int32_t>(options.l) - 1;  // footnote 1
-    }
-    if (options.l == 0) {
-      r.os = core::GenerateCompleteOs(db_, gds, backend_, hit.tuple, gen);
-      r.selection.nodes.resize(r.os.size());
-      for (size_t i = 0; i < r.os.size(); ++i) {
-        r.selection.nodes[i] = static_cast<core::OsNodeId>(i);
-      }
-      r.selection.importance = r.os.TotalImportance();
-    } else {
-      r.os = options.use_prelim
-                 ? core::GeneratePrelimOs(db_, gds, backend_, hit.tuple,
-                                          options.l, gen)
-                 : core::GenerateCompleteOs(db_, gds, backend_, hit.tuple,
-                                            gen);
-      r.selection = core::RunSizeL(options.algorithm, r.os, options.l);
-    }
-    results.push_back(std::move(r));
-  }
-
-  if (options.ranking == ResultRanking::kSummaryImportance) {
-    std::stable_sort(results.begin(), results.end(),
-                     [](const QueryResult& a, const QueryResult& b) {
-                       return a.selection.importance > b.selection.importance;
-                     });
-    if (results.size() > options.max_results) {
-      results.resize(options.max_results);
-    }
-  }
-  return results;
+  return context_->QueryBatch(queries, options, num_threads);
 }
 
 std::string SizeLSearchEngine::Render(const QueryResult& result) const {
-  const gds::Gds& gds = subjects_.at(result.subject.relation);
-  return result.os.Render(db_, gds, &result.selection.nodes);
+  // Context-free on purpose: rendering only needs the G_DS, so it works
+  // for results held across a RegisterSubject/BuildIndex cycle.
+  return result.os.Render(db_, GdsFor(result.subject.relation),
+                          &result.selection.nodes);
+}
+
+const gds::Gds& SizeLSearchEngine::GdsFor(rel::RelationId relation) const {
+  if (context_.has_value()) return context_->GdsFor(relation);
+  for (const SearchContext::Subject& s : subjects_) {
+    if (s.relation == relation) return s.gds;
+  }
+  throw std::out_of_range(
+      "SizeLSearchEngine::GdsFor: relation was never registered");
 }
 
 }  // namespace osum::search

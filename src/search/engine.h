@@ -1,72 +1,54 @@
 // End-to-end size-l OS keyword search (the user-facing API of the paper's
 // paradigm): keywords -> t_DS tuples -> (prelim-l) OS -> size-l OS, ranked.
+//
+// SizeLSearchEngine is a thin registration facade over SearchContext (see
+// search_context.h): RegisterSubject collects the G_DSs, BuildIndex freezes
+// them into an immutable context, and Query/QueryBatch delegate to its
+// stateless query path. Use the engine for the build-then-query lifecycle;
+// grab context() to share the frozen infrastructure across threads.
 #ifndef OSUM_SEARCH_ENGINE_H_
 #define OSUM_SEARCH_ENGINE_H_
 
+#include <optional>
+#include <span>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
-#include "core/os_backend.h"
-#include "core/os_generator.h"
-#include "core/os_tree.h"
-#include "core/size_l.h"
-#include "gds/gds.h"
-#include "search/inverted_index.h"
+#include "search/search_context.h"
 
 namespace osum::search {
 
-/// One ranked answer: the data subject, its (partial) OS and the size-l
-/// selection over it.
-struct QueryResult {
-  Hit subject;                // the t_DS tuple
-  double subject_importance;  // global importance (ranking key)
-  core::OsTree os;            // the OS the size-l was computed on
-  core::Selection selection;  // the size-l OS
-};
-
-/// How result OSs are ranked against each other.
-enum class ResultRanking {
-  /// By the global importance of t_DS (cheap; computed before OS
-  /// generation, so max_results caps the work).
-  kSubjectImportance,
-  /// By Im(S) of the computed size-l OS — the combined "size-l and top-k
-  /// ranking of OSs" the paper poses as future work (Section 7). Requires
-  /// computing every hit's size-l OS before truncating to max_results.
-  kSummaryImportance,
-};
-
-/// Query-time knobs.
-struct QueryOptions {
-  /// l — the synopsis size. 0 means "return the complete OS".
-  size_t l = 15;
-  /// Maximum number of data subjects to report.
-  size_t max_results = 10;
-  core::SizeLAlgorithm algorithm = core::SizeLAlgorithm::kTopPath;
-  /// Generate a prelim-l OS (Algorithm 4) instead of the complete OS.
-  bool use_prelim = true;
-  ResultRanking ranking = ResultRanking::kSubjectImportance;
-};
-
-/// The search engine: owns the inverted index over registered data-subject
-/// relations and drives OS generation + size-l computation per hit.
+/// The search engine: owns the subject registrations and the SearchContext
+/// built from them, and drives OS generation + size-l computation per hit.
 class SizeLSearchEngine {
  public:
-  /// `backend` must outlive the engine.
+  /// `db` and `backend` must outlive the engine.
   SizeLSearchEngine(const rel::Database& db, core::OsBackend* backend);
 
   /// Registers a data-subject relation with its G_DS. The G_DS must be
   /// annotated (importance present) before prelim-l queries.
   void RegisterSubject(rel::RelationId relation, gds::Gds gds);
 
-  /// Builds the inverted index over all registered subject relations.
-  /// Call after the last RegisterSubject.
+  /// Builds the inverted index over all registered subject relations and
+  /// freezes the SearchContext. Call after the last RegisterSubject.
   void BuildIndex();
+
+  /// The immutable context built by BuildIndex — share this (by reference)
+  /// with worker threads. Valid until the next RegisterSubject or
+  /// BuildIndex call (RegisterSubject destroys the now-stale context
+  /// immediately), so quiesce workers before re-registering.
+  const SearchContext& context() const;
 
   /// Runs a keyword query; results ranked by subject global importance.
   std::vector<QueryResult> Query(std::string_view keywords,
                                  const QueryOptions& options = {}) const;
+
+  /// Batched Query over `num_threads` workers (0 = hardware concurrency);
+  /// per-query results in input order, identical to serial execution.
+  std::vector<std::vector<QueryResult>> QueryBatch(
+      std::span<const std::string> queries, const QueryOptions& options = {},
+      size_t num_threads = 0) const;
 
   /// Renders one result in the paper's Example 5 format.
   std::string Render(const QueryResult& result) const;
@@ -76,10 +58,10 @@ class SizeLSearchEngine {
  private:
   const rel::Database& db_;
   core::OsBackend* backend_;
-  std::unordered_map<rel::RelationId, gds::Gds> subjects_;
-  std::vector<rel::RelationId> subject_order_;
-  InvertedIndex index_;
-  bool index_built_ = false;
+  /// Registrations pending the next BuildIndex; moved into the context on
+  /// build so each Gds is stored exactly once.
+  std::vector<SearchContext::Subject> subjects_;
+  std::optional<SearchContext> context_;
 };
 
 }  // namespace osum::search

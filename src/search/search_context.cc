@@ -1,0 +1,135 @@
+#include "search/search_context.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "util/thread_pool.h"
+
+namespace osum::search {
+
+SearchContext SearchContext::Build(const rel::Database& db,
+                                   core::OsBackend* backend,
+                                   std::vector<Subject> subjects) {
+  SearchContext ctx(db, backend);
+  ctx.subject_order_.reserve(subjects.size());
+  for (Subject& s : subjects) {
+    assert(s.gds.root_relation() == s.relation);
+    ctx.subject_order_.push_back(s.relation);
+    bool inserted = ctx.subjects_.emplace(s.relation, std::move(s.gds)).second;
+    assert(inserted && "each subject relation may be registered once");
+    (void)inserted;
+  }
+  ctx.index_ = InvertedIndex::Build(db, ctx.subject_order_);
+  return ctx;
+}
+
+const gds::Gds& SearchContext::GdsFor(rel::RelationId relation) const {
+  // at(): an unregistered relation throws std::out_of_range determin-
+  // istically instead of being release-mode UB.
+  return subjects_.at(relation);
+}
+
+std::vector<SearchContext::Subject> SearchContext::TakeSubjects() && {
+  std::vector<Subject> out;
+  out.reserve(subject_order_.size());
+  for (rel::RelationId r : subject_order_) {
+    out.push_back(Subject{r, std::move(subjects_.at(r))});
+  }
+  subjects_.clear();
+  subject_order_.clear();
+  return out;
+}
+
+std::vector<QueryResult> SearchContext::Query(
+    std::string_view keywords, const QueryOptions& options) const {
+  std::vector<Hit> hits = index_.SearchQuery(keywords);
+
+  // Pre-rank data subjects by global importance. Under subject ranking the
+  // list is truncated here (cheap); under summary ranking every hit's
+  // size-l OS must be computed first, so truncation happens at the end.
+  std::sort(hits.begin(), hits.end(), [this](const Hit& a, const Hit& b) {
+    double ia = db_->relation(a.relation).importance(a.tuple);
+    double ib = db_->relation(b.relation).importance(b.tuple);
+    if (ia != ib) return ia > ib;
+    if (a.relation != b.relation) return a.relation < b.relation;
+    return a.tuple < b.tuple;
+  });
+  if (options.ranking == ResultRanking::kSubjectImportance &&
+      hits.size() > options.max_results) {
+    hits.resize(options.max_results);
+  }
+
+  std::vector<QueryResult> results;
+  results.reserve(hits.size());
+  for (const Hit& hit : hits) {
+    const gds::Gds& gds = subjects_.at(hit.relation);
+    QueryResult r;
+    r.subject = hit;
+    r.subject_importance = db_->relation(hit.relation).importance(hit.tuple);
+
+    core::OsGenOptions gen;
+    if (options.l > 0) {
+      gen.max_depth = static_cast<int32_t>(options.l) - 1;  // footnote 1
+    }
+    if (options.l == 0) {
+      r.os = core::GenerateCompleteOs(*db_, gds, backend_, hit.tuple, gen);
+      r.selection.nodes.resize(r.os.size());
+      for (size_t i = 0; i < r.os.size(); ++i) {
+        r.selection.nodes[i] = static_cast<core::OsNodeId>(i);
+      }
+      r.selection.importance = r.os.TotalImportance();
+    } else {
+      r.os = options.use_prelim
+                 ? core::GeneratePrelimOs(*db_, gds, backend_, hit.tuple,
+                                          options.l, gen)
+                 : core::GenerateCompleteOs(*db_, gds, backend_, hit.tuple,
+                                            gen);
+      r.selection = core::RunSizeL(options.algorithm, r.os, options.l);
+    }
+    results.push_back(std::move(r));
+  }
+
+  if (options.ranking == ResultRanking::kSummaryImportance) {
+    std::stable_sort(results.begin(), results.end(),
+                     [](const QueryResult& a, const QueryResult& b) {
+                       return a.selection.importance > b.selection.importance;
+                     });
+    if (results.size() > options.max_results) {
+      results.resize(options.max_results);
+    }
+  }
+  return results;
+}
+
+std::vector<std::vector<QueryResult>> SearchContext::QueryBatch(
+    std::span<const std::string> queries, const QueryOptions& options,
+    util::ThreadPool& pool) const {
+  std::vector<std::vector<QueryResult>> results(queries.size());
+  util::ParallelFor(&pool, queries.size(),
+                    [&](size_t i) { results[i] = Query(queries[i], options); });
+  return results;
+}
+
+std::vector<std::vector<QueryResult>> SearchContext::QueryBatch(
+    std::span<const std::string> queries, const QueryOptions& options,
+    size_t num_threads) const {
+  if (num_threads == 0) num_threads = util::ThreadPool::HardwareThreads();
+  num_threads = std::min(num_threads, queries.size());
+  if (num_threads <= 1) {
+    // No pool for degenerate batches; same results by construction.
+    std::vector<std::vector<QueryResult>> results;
+    results.reserve(queries.size());
+    for (const std::string& q : queries) results.push_back(Query(q, options));
+    return results;
+  }
+  util::ThreadPool pool(num_threads);
+  return QueryBatch(queries, options, pool);
+}
+
+std::string SearchContext::Render(const QueryResult& result) const {
+  const gds::Gds& gds = subjects_.at(result.subject.relation);
+  return result.os.Render(*db_, gds, &result.selection.nodes);
+}
+
+}  // namespace osum::search

@@ -1,0 +1,144 @@
+// Immutable, shareable query infrastructure + the stateless query path.
+//
+// The paper's size-l OS engine is per-query parallel: a keyword query walks
+// its own t_DS hits and OS trees against structures that never change at
+// query time. SearchContext captures exactly that split — everything built
+// once (database ref, registered G_DSs, inverted index, join back end) is
+// frozen behind a const API, and Query/QueryBatch allocate all per-query
+// state on their own stack. One context therefore serves any number of
+// threads; QueryBatch fans a batch out over a util::ThreadPool and returns
+// results in input order, byte-identical to running Query serially.
+//
+// Thread-safety contract (relied on by QueryBatch and enforced by
+// search_concurrency_test):
+//   - rel::Database, graph::DataGraph, gds::Gds, InvertedIndex: immutable
+//     after their build/annotate phase.
+//   - core::OsBackend: stateless apart from atomic I/O counters (see
+//     os_backend.h).
+//   - SearchContext itself: no non-const member functions after Build().
+#ifndef OSUM_SEARCH_SEARCH_CONTEXT_H_
+#define OSUM_SEARCH_SEARCH_CONTEXT_H_
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/os_backend.h"
+#include "core/os_generator.h"
+#include "core/os_tree.h"
+#include "core/size_l.h"
+#include "gds/gds.h"
+#include "search/inverted_index.h"
+
+namespace osum::util {
+class ThreadPool;
+}  // namespace osum::util
+
+namespace osum::search {
+
+/// One ranked answer: the data subject, its (partial) OS and the size-l
+/// selection over it.
+struct QueryResult {
+  Hit subject;                // the t_DS tuple
+  double subject_importance;  // global importance (ranking key)
+  core::OsTree os;            // the OS the size-l was computed on
+  core::Selection selection;  // the size-l OS
+};
+
+/// How result OSs are ranked against each other.
+enum class ResultRanking {
+  /// By the global importance of t_DS (cheap; computed before OS
+  /// generation, so max_results caps the work).
+  kSubjectImportance,
+  /// By Im(S) of the computed size-l OS — the combined "size-l and top-k
+  /// ranking of OSs" the paper poses as future work (Section 7). Requires
+  /// computing every hit's size-l OS before truncating to max_results.
+  kSummaryImportance,
+};
+
+/// Query-time knobs.
+struct QueryOptions {
+  /// l — the synopsis size. 0 means "return the complete OS".
+  size_t l = 15;
+  /// Maximum number of data subjects to report.
+  size_t max_results = 10;
+  core::SizeLAlgorithm algorithm = core::SizeLAlgorithm::kTopPath;
+  /// Generate a prelim-l OS (Algorithm 4) instead of the complete OS.
+  bool use_prelim = true;
+  ResultRanking ranking = ResultRanking::kSubjectImportance;
+};
+
+/// The frozen query infrastructure. Build once, share freely.
+class SearchContext {
+ public:
+  /// A data-subject relation with its (annotated) G_DS.
+  struct Subject {
+    rel::RelationId relation;
+    gds::Gds gds;
+  };
+
+  /// Builds the inverted index over `subjects` — the only mutating phase.
+  /// `db` and `backend` must outlive the context. Subjects keep their
+  /// registration order for indexing; each relation may appear once.
+  static SearchContext Build(const rel::Database& db, core::OsBackend* backend,
+                             std::vector<Subject> subjects);
+
+  // Movable (so owners can defer construction), not copyable: a context is
+  // meant to be shared by reference, not duplicated.
+  SearchContext(SearchContext&&) = default;
+  SearchContext& operator=(SearchContext&&) = default;
+  SearchContext(const SearchContext&) = delete;
+  SearchContext& operator=(const SearchContext&) = delete;
+
+  /// Runs one keyword query. All per-query state lives on this call's
+  /// stack; safe to call concurrently from any number of threads.
+  std::vector<QueryResult> Query(std::string_view keywords,
+                                 const QueryOptions& options = {}) const;
+
+  /// Executes `queries` across `num_threads` workers (0 = hardware
+  /// concurrency; clamped to the batch size) and returns one result list
+  /// per query, in input order. Deterministic: the output is identical to
+  /// calling Query on each element serially.
+  std::vector<std::vector<QueryResult>> QueryBatch(
+      std::span<const std::string> queries, const QueryOptions& options = {},
+      size_t num_threads = 0) const;
+
+  /// QueryBatch over an existing pool (reused across batches; the caller
+  /// keeps ownership — by-reference so a literal 0 thread count can never
+  /// ambiguously select this overload). Must not be called from a task
+  /// running on `pool` itself — the blocking fan-in would deadlock a fully
+  /// occupied pool (see util::ParallelFor); nested batches need a second
+  /// pool.
+  std::vector<std::vector<QueryResult>> QueryBatch(
+      std::span<const std::string> queries, const QueryOptions& options,
+      util::ThreadPool& pool) const;
+
+  /// Renders one result in the paper's Example 5 format.
+  std::string Render(const QueryResult& result) const;
+
+  const rel::Database& db() const { return *db_; }
+  core::OsBackend* backend() const { return backend_; }
+  const InvertedIndex& index() const { return index_; }
+  const gds::Gds& GdsFor(rel::RelationId relation) const;
+
+  /// Moves the registered subjects back out in registration order, leaving
+  /// the context empty (used by SizeLSearchEngine to seed a
+  /// re-register-then-rebuild cycle on a context it is about to destroy).
+  std::vector<Subject> TakeSubjects() &&;
+
+ private:
+  SearchContext(const rel::Database& db, core::OsBackend* backend)
+      : db_(&db), backend_(backend) {}
+
+  const rel::Database* db_;
+  core::OsBackend* backend_;
+  std::unordered_map<rel::RelationId, gds::Gds> subjects_;
+  std::vector<rel::RelationId> subject_order_;
+  InvertedIndex index_;
+};
+
+}  // namespace osum::search
+
+#endif  // OSUM_SEARCH_SEARCH_CONTEXT_H_

@@ -10,6 +10,7 @@
 #define OSUM_UTIL_STATS_H_
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -30,6 +31,51 @@ struct IoStats {
                    index_probes - o.index_probes};
   }
   void Reset() { *this = IoStats{}; }
+};
+
+/// Thread-safe IoStats twin for access paths shared by concurrent queries
+/// (rel::Database, core::OsBackend). Writers bump the counters with relaxed
+/// atomics — they are pure accounting, never used for synchronization.
+/// Copy/assign snapshot the counters so owners (e.g. rel::Database) remain
+/// movable; copying while writers are active yields a merely approximate
+/// snapshot, same as reading the counters mid-run.
+struct AtomicIoStats {
+  std::atomic<uint64_t> select_calls{0};
+  std::atomic<uint64_t> tuples_read{0};
+  std::atomic<uint64_t> index_probes{0};
+
+  AtomicIoStats() = default;
+  AtomicIoStats(const AtomicIoStats& o) { *this = o; }
+  AtomicIoStats& operator=(const AtomicIoStats& o) {
+    select_calls.store(o.select_calls.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    tuples_read.store(o.tuples_read.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    index_probes.store(o.index_probes.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    return *this;
+  }
+
+  /// One logical SELECT materializing `tuples` tuples via `probes` index
+  /// probes — the single-call form keeps hot paths at three relaxed adds.
+  void CountSelect(uint64_t tuples, uint64_t probes) {
+    select_calls.fetch_add(1, std::memory_order_relaxed);
+    tuples_read.fetch_add(tuples, std::memory_order_relaxed);
+    index_probes.fetch_add(probes, std::memory_order_relaxed);
+  }
+
+  /// Plain-struct snapshot (for diffing with IoStats::operator-).
+  IoStats Snapshot() const {
+    return IoStats{select_calls.load(std::memory_order_relaxed),
+                   tuples_read.load(std::memory_order_relaxed),
+                   index_probes.load(std::memory_order_relaxed)};
+  }
+
+  void Reset() {
+    select_calls.store(0, std::memory_order_relaxed);
+    tuples_read.store(0, std::memory_order_relaxed);
+    index_probes.store(0, std::memory_order_relaxed);
+  }
 };
 
 /// Running summary (mean / min / max / percentiles) of a sample set.

@@ -1,0 +1,76 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <latch>
+#include <utility>
+
+namespace osum::util {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  workers_.reserve(std::max<size_t>(num_threads, 1));
+  for (size_t i = 0; i < std::max<size_t>(num_threads, 1); ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+size_t ThreadPool::HardwareThreads() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and queue drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  const size_t workers = std::min(pool->size(), n);
+  if (workers <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // Shared by reference with the tasks; wait() below keeps the frame alive
+  // until the last count_down.
+  std::atomic<size_t> cursor{0};
+  std::latch done(static_cast<ptrdiff_t>(workers));
+  for (size_t w = 0; w < workers; ++w) {
+    pool->Submit([&cursor, &done, &fn, n] {
+      for (size_t i = cursor.fetch_add(1, std::memory_order_relaxed); i < n;
+           i = cursor.fetch_add(1, std::memory_order_relaxed)) {
+        fn(i);
+      }
+      done.count_down();
+    });
+  }
+  done.wait();
+}
+
+}  // namespace osum::util

@@ -1,0 +1,65 @@
+// Fixed-size worker pool and fan-out/fan-in helpers.
+//
+// Built for the batched query path (search::SearchContext::QueryBatch):
+// queries are embarrassingly parallel against shared immutable structures,
+// so all that is needed is a FIFO pool and a dynamic-scheduling
+// ParallelFor (joined via std::latch). Tasks must not throw — there is no
+// cross-thread exception channel.
+#ifndef OSUM_UTIL_THREAD_POOL_H_
+#define OSUM_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace osum::util {
+
+/// Fixed-size FIFO thread pool. Destruction drains already-submitted tasks,
+/// then joins the workers.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t size() const { return workers_.size(); }
+
+  /// Enqueues `task` for execution on some worker. `task` must not throw.
+  void Submit(std::function<void()> task);
+
+  /// std::thread::hardware_concurrency with a floor of 1 (the standard
+  /// allows it to report 0).
+  static size_t HardwareThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs fn(0), ..., fn(n-1) across the pool's workers with dynamic
+/// scheduling (a shared atomic cursor, so uneven iteration costs balance
+/// out) and blocks until every iteration has finished. `fn` must be safe to
+/// invoke concurrently and must not throw. A pool of size <= 1 degrades to
+/// a serial loop on the calling thread.
+///
+/// Must NOT be called from a task running on `pool` itself: the blocking
+/// wait would occupy a worker while its sub-tasks sit behind it in the
+/// FIFO queue, deadlocking once every worker waits this way. Nested
+/// parallelism needs a second pool.
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace osum::util
+
+#endif  // OSUM_UTIL_THREAD_POOL_H_

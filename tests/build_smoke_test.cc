@@ -10,8 +10,9 @@
 #include "graph/link_types.h"
 #include "importance/object_rank.h"
 #include "relational/database.h"
+#include "db_fixtures.h"
 #include "search/inverted_index.h"
-#include "test_support.h"
+#include "tree_fixtures.h"
 #include "util/string_util.h"
 
 namespace osum {

@@ -8,6 +8,7 @@
 #include "core/size_l.h"
 #include "datasets/dblp.h"
 #include "datasets/tpch.h"
+#include "db_fixtures.h"
 #include "eval/evaluator.h"
 #include "gds/affinity.h"
 #include "search/engine.h"
@@ -16,33 +17,18 @@
 namespace osum {
 namespace {
 
-datasets::Dblp SmallDblp() {
-  datasets::DblpConfig c;
-  c.num_authors = 100;
-  c.num_papers = 350;
-  c.num_conferences = 8;
-  datasets::Dblp d = datasets::BuildDblp(c);
-  datasets::ApplyDblpScores(&d, 1, 0.85);
-  return d;
-}
-
-datasets::Tpch SmallTpch() {
-  datasets::TpchConfig c;
-  c.num_customers = 150;
-  c.num_suppliers = 15;
-  c.num_parts = 200;
-  c.mean_orders_per_customer = 6.0;
-  datasets::Tpch t = datasets::BuildTpch(c);
-  datasets::ApplyTpchScores(&t, 1, 0.85);
-  return t;
-}
+using osum::testing::ScoredDblp;
+using osum::testing::ScoredTpch;
+using osum::testing::SmallDblpConfig;
+using osum::testing::SmallTpchConfig;
 
 // ------------------------------------------------ avoidance-condition toggles
 
 TEST(PrelimToggles, DisablingConditionsNeverShrinksTheTree) {
-  datasets::Dblp d = SmallDblp();
+  ScoredDblp f(SmallDblpConfig());
+  datasets::Dblp& d = f.d;
   gds::Gds gds = datasets::DblpAuthorGds(d);
-  core::DataGraphBackend backend(d.db, d.links, d.data_graph);
+  core::DataGraphBackend& backend = f.backend;
   core::OsGenOptions both, no_ac1, no_ac2, none;
   no_ac1.prelim_use_ac1 = false;
   no_ac2.prelim_use_ac2 = false;
@@ -67,9 +53,10 @@ TEST(PrelimToggles, DisablingConditionsNeverShrinksTheTree) {
 }
 
 TEST(PrelimToggles, AllVariantsContainTopL) {
-  datasets::Dblp d = SmallDblp();
+  ScoredDblp f(SmallDblpConfig());
+  datasets::Dblp& d = f.d;
   gds::Gds gds = datasets::DblpAuthorGds(d);
-  core::DataGraphBackend backend(d.db, d.links, d.data_graph);
+  core::DataGraphBackend& backend = f.backend;
   const size_t l = 8;
   core::OsTree complete = core::GenerateCompleteOs(d.db, gds, &backend, 0);
   std::vector<double> top;
@@ -102,7 +89,8 @@ TEST(PrelimToggles, AllVariantsContainTopL) {
 // ---------------------------------------------------- backend accounting
 
 TEST(BackendAccounting, DatabaseBackendLatencyIsSimulated) {
-  datasets::Dblp d = SmallDblp();
+  ScoredDblp f(SmallDblpConfig());
+  datasets::Dblp& d = f.d;
   gds::Gds gds = datasets::DblpAuthorGds(d);
   core::DatabaseBackend slow(d.db, d.links, /*per_select_micros=*/200.0);
   core::DatabaseBackend fast(d.db, d.links, /*per_select_micros=*/0.0);
@@ -116,9 +104,10 @@ TEST(BackendAccounting, DatabaseBackendLatencyIsSimulated) {
 }
 
 TEST(BackendAccounting, StatsResetWorks) {
-  datasets::Dblp d = SmallDblp();
+  ScoredDblp f(SmallDblpConfig());
+  datasets::Dblp& d = f.d;
   gds::Gds gds = datasets::DblpAuthorGds(d);
-  core::DataGraphBackend backend(d.db, d.links, d.data_graph);
+  core::DataGraphBackend& backend = f.backend;
   core::GenerateCompleteOs(d.db, gds, &backend, 0);
   EXPECT_GT(backend.stats().select_calls, 0u);
   backend.ResetStats();
@@ -126,8 +115,9 @@ TEST(BackendAccounting, StatsResetWorks) {
 }
 
 TEST(BackendAccounting, FetchTopCountsEmptyResults) {
-  datasets::Dblp d = SmallDblp();
-  core::DataGraphBackend backend(d.db, d.links, d.data_graph);
+  ScoredDblp f(SmallDblpConfig());
+  datasets::Dblp& d = f.d;
+  core::DataGraphBackend& backend = f.backend;
   std::vector<rel::TupleId> out;
   backend.ResetStats();
   // Threshold above any importance: empty result, still one SELECT
@@ -141,7 +131,8 @@ TEST(BackendAccounting, FetchTopCountsEmptyResults) {
 // ----------------------------------------------------- automatic G_DS, TPC-H
 
 TEST(AutoGdsTpch, CustomerTreealizationFindsCoreRelations) {
-  datasets::Tpch t = SmallTpch();
+  ScoredTpch f(SmallTpchConfig());
+  datasets::Tpch& t = f.t;
   gds::GdsAutoOptions options;
   options.theta = 0.55;
   options.max_depth = 4;
@@ -161,14 +152,14 @@ TEST(AutoGdsTpch, CustomerTreealizationFindsCoreRelations) {
 }
 
 TEST(AutoGdsTpch, GeneratesUsableOss) {
-  datasets::Tpch t = SmallTpch();
+  ScoredTpch f(SmallTpchConfig());
+  datasets::Tpch& t = f.t;
   gds::GdsAutoOptions options;
   options.theta = 0.6;
   gds::Gds gds =
       gds::BuildGdsAuto(t.db, t.links, t.customer, "Customer", options);
   gds.AnnotateStatistics(t.db);
-  core::DataGraphBackend backend(t.db, t.links, t.data_graph);
-  core::OsTree os = core::GenerateCompleteOs(t.db, gds, &backend, 3);
+  core::OsTree os = core::GenerateCompleteOs(t.db, gds, &f.backend, 3);
   EXPECT_GT(os.size(), 3u);
   core::Selection s = core::SizeLDp(os, 5);
   EXPECT_TRUE(core::IsValidSelection(os, s, 5));
@@ -177,9 +168,10 @@ TEST(AutoGdsTpch, GeneratesUsableOss) {
 // ----------------------------------------------------------- rendering
 
 TEST(Rendering, SelectionRenderListsOnlySelected) {
-  datasets::Dblp d = SmallDblp();
+  ScoredDblp f(SmallDblpConfig());
+  datasets::Dblp& d = f.d;
   gds::Gds gds = datasets::DblpAuthorGds(d);
-  core::DataGraphBackend backend(d.db, d.links, d.data_graph);
+  core::DataGraphBackend& backend = f.backend;
   core::OsTree os = core::GenerateCompleteOs(d.db, gds, &backend, 0);
   core::Selection sel = core::SizeLDp(os, 6);
   std::string text = os.Render(d.db, gds, &sel.nodes);
@@ -191,9 +183,10 @@ TEST(Rendering, SelectionRenderListsOnlySelected) {
 }
 
 TEST(Rendering, DepthShownAsDots) {
-  datasets::Dblp d = SmallDblp();
+  ScoredDblp f(SmallDblpConfig());
+  datasets::Dblp& d = f.d;
   gds::Gds gds = datasets::DblpAuthorGds(d);
-  core::DataGraphBackend backend(d.db, d.links, d.data_graph);
+  core::DataGraphBackend& backend = f.backend;
   core::OsTree os = core::GenerateCompleteOs(d.db, gds, &backend, 3);
   std::string text = os.Render(d.db, gds);
   EXPECT_EQ(text.rfind("Author:", 0), 0u);          // root: no dots
@@ -230,10 +223,17 @@ TEST(RoleNames, DirectSelfFkDisambiguates) {
 // ------------------------------------------------------ evaluator configs
 
 TEST(EvaluatorConfigs, TpchPanelDeterministicAndDistinct) {
-  datasets::Tpch t = SmallTpch();
+  ScoredTpch f(SmallTpchConfig());
+  datasets::Tpch& t = f.t;
   gds::Gds gds = datasets::TpchCustomerGds(t);
-  core::DataGraphBackend backend(t.db, t.links, t.data_graph);
-  core::OsTree os = core::GenerateCompleteOs(t.db, gds, &backend, 2);
+  core::DataGraphBackend& backend = f.backend;
+  // Largest OS among the first customers: the panel needs enough nodes for
+  // distinct size-10 picks regardless of the fixture's cardinalities.
+  core::OsTree os;
+  for (rel::TupleId c = 0; c < 20; ++c) {
+    core::OsTree candidate = core::GenerateCompleteOs(t.db, gds, &backend, c);
+    if (candidate.size() > os.size()) os = std::move(candidate);
+  }
   ASSERT_GT(os.size(), 20u);
   eval::EvaluatorPanel panel(eval::TpchEvaluatorConfig(4));
   std::vector<double> ref = eval::NodeScores(os);
@@ -278,9 +278,9 @@ TEST(MiscCore, EqualWeightsAreDeterministic) {
 }
 
 TEST(MiscCore, SearchEngineOnTpch) {
-  datasets::Tpch t = SmallTpch();
-  core::DataGraphBackend backend(t.db, t.links, t.data_graph);
-  search::SizeLSearchEngine engine(t.db, &backend);
+  ScoredTpch f(SmallTpchConfig());
+  datasets::Tpch& t = f.t;
+  search::SizeLSearchEngine engine(t.db, &f.backend);
   engine.RegisterSubject(t.customer, datasets::TpchCustomerGds(t));
   engine.RegisterSubject(t.supplier, datasets::TpchSupplierGds(t));
   engine.BuildIndex();

@@ -1,5 +1,6 @@
 // Tests for database CSV persistence: quoting, NULL round-trips, whole
 // database save/load equality and error handling.
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -8,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "datasets/dblp.h"
+#include "datasets/tpch.h"
 #include "relational/csv_io.h"
 
 namespace osum::rel {
@@ -118,6 +120,59 @@ TEST(DatabaseCsv, FullDblpRoundTrip) {
   // Indexes were rebuilt: joins answer immediately.
   EXPECT_FALSE(loaded->Children(0, 0).empty() &&
                d.db.Children(0, 0).size() > 0);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DatabaseCsv, FullTpchRoundTrip) {
+  // TPC-H twin of FullDblpRoundTrip: 8 relations, no junctions, doubles in
+  // every monetary column — exercises the numeric formatting paths the
+  // DBLP schema barely touches.
+  datasets::TpchConfig config;
+  config.num_customers = 40;
+  config.num_suppliers = 6;
+  config.num_parts = 50;
+  config.mean_orders_per_customer = 4.0;
+  datasets::Tpch t = datasets::BuildTpch(config);
+
+  std::string dir = TempDir("tpch");
+  ASSERT_TRUE(SaveDatabaseCsv(t.db, dir));
+  auto loaded = LoadDatabaseCsv(dir);
+  ASSERT_TRUE(loaded.has_value());
+
+  ASSERT_EQ(loaded->num_relations(), t.db.num_relations());
+  ASSERT_EQ(loaded->num_foreign_keys(), t.db.num_foreign_keys());
+  EXPECT_EQ(loaded->TotalTuples(), t.db.TotalTuples());
+  for (RelationId r = 0; r < t.db.num_relations(); ++r) {
+    const Relation& a = t.db.relation(r);
+    const Relation& b = loaded->relation(r);
+    ASSERT_EQ(a.name(), b.name());
+    ASSERT_EQ(a.num_tuples(), b.num_tuples());
+    EXPECT_EQ(a.is_junction(), b.is_junction());
+    for (TupleId tu = 0; tu < std::min<TupleId>(5, a.num_tuples()); ++tu) {
+      for (ColumnId c = 0; c < a.schema().num_columns(); ++c) {
+        EXPECT_EQ(ToString(a.value(tu, c)), ToString(b.value(tu, c)))
+            << a.name() << " t=" << tu << " c=" << c;
+      }
+    }
+  }
+  // The reloaded database answers the Customer->Orders join like the
+  // original (indexes rebuilt by the loader).
+  ForeignKeyId order_cust = 0;
+  bool found_order_cust = false;
+  for (ForeignKeyId fk = 0; fk < t.db.num_foreign_keys(); ++fk) {
+    if (t.db.foreign_key(fk).child == t.orders &&
+        t.db.foreign_key(fk).parent == t.customer) {
+      order_cust = fk;
+      found_order_cust = true;
+    }
+  }
+  ASSERT_TRUE(found_order_cust);
+  for (TupleId c = 0; c < 5; ++c) {
+    auto a = t.db.Children(order_cust, c);
+    auto b = loaded->Children(order_cust, c);
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()))
+        << "customer " << c;
+  }
   std::filesystem::remove_all(dir);
 }
 

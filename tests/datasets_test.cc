@@ -7,13 +7,13 @@
 #include "datasets/dblp.h"
 #include "datasets/settings.h"
 #include "datasets/tpch.h"
-#include "test_support.h"
+#include "db_fixtures.h"
 
 namespace osum::datasets {
 namespace {
 
 // The exact cardinalities (150 authors, 600 papers, ...) are asserted by the
-// schema tests; the configs live in test_support so integration-style suites
+// schema tests; the configs live in db_fixtures so integration-style suites
 // reuse them.
 using osum::testing::SmallDblpConfig;
 using osum::testing::SmallTpchConfig;

@@ -1,0 +1,52 @@
+#include "db_fixtures.h"
+
+namespace osum::testing {
+
+datasets::DblpConfig SmallDblpConfig() {
+  datasets::DblpConfig c;
+  c.num_authors = 150;
+  c.num_papers = 600;
+  c.num_conferences = 10;
+  return c;
+}
+
+datasets::DblpConfig MediumDblpConfig() {
+  datasets::DblpConfig c;
+  c.num_authors = 400;
+  c.num_papers = 1600;
+  c.num_conferences = 16;
+  return c;
+}
+
+datasets::TpchConfig SmallTpchConfig() {
+  datasets::TpchConfig c;
+  c.num_customers = 120;
+  c.num_suppliers = 12;
+  c.num_parts = 160;
+  c.mean_orders_per_customer = 6.0;
+  c.mean_lineitems_per_order = 3.0;
+  return c;
+}
+
+datasets::TpchConfig MediumTpchConfig() {
+  datasets::TpchConfig c;
+  c.num_customers = 300;
+  c.num_suppliers = 25;
+  c.num_parts = 400;
+  c.mean_orders_per_customer = 8.0;
+  return c;
+}
+
+ScoredDblp::ScoredDblp(const datasets::DblpConfig& config, int ga,
+                       double damping)
+    : d(datasets::BuildDblp(config)), backend(d.db, d.links, d.data_graph) {
+  datasets::ApplyDblpScores(&d, ga, damping);
+}
+
+ScoredTpch::ScoredTpch(const datasets::TpchConfig& config, int ga,
+                       double damping)
+    : t(datasets::BuildTpch(config)), backend(t.db, t.links, t.data_graph) {
+  datasets::ApplyTpchScores(&t, ga, damping);
+}
+
+}  // namespace osum::testing

@@ -1,0 +1,48 @@
+// Database-backed test fixtures: the canonical synthetic-database configs
+// and scored dataset + backend bundles shared by the integration-style
+// suites. Links osum::datasets — core-only suites should use
+// tree_fixtures.h instead so they stay free of dataset dependencies.
+#ifndef OSUM_TESTS_DB_FIXTURES_H_
+#define OSUM_TESTS_DB_FIXTURES_H_
+
+#include "core/os_backend.h"
+#include "datasets/dblp.h"
+#include "datasets/tpch.h"
+
+namespace osum::testing {
+
+/// The cardinalities the suites have always used: Small fits unit tests
+/// (datasets_test asserts these exact counts), Medium feeds the
+/// integration-style statistical claims.
+datasets::DblpConfig SmallDblpConfig();
+datasets::DblpConfig MediumDblpConfig();
+datasets::TpchConfig SmallTpchConfig();
+datasets::TpchConfig MediumTpchConfig();
+
+/// BuildDblp + ApplyDblpScores + a DataGraphBackend bound to the result —
+/// the preamble repeated by every integration-style test. Immovable because
+/// `backend` holds references into `d`.
+struct ScoredDblp {
+  explicit ScoredDblp(const datasets::DblpConfig& config, int ga = 1,
+                      double damping = 0.85);
+  ScoredDblp(const ScoredDblp&) = delete;
+  ScoredDblp& operator=(const ScoredDblp&) = delete;
+
+  datasets::Dblp d;
+  core::DataGraphBackend backend;
+};
+
+/// TPC-H twin of ScoredDblp.
+struct ScoredTpch {
+  explicit ScoredTpch(const datasets::TpchConfig& config, int ga = 1,
+                      double damping = 0.85);
+  ScoredTpch(const ScoredTpch&) = delete;
+  ScoredTpch& operator=(const ScoredTpch&) = delete;
+
+  datasets::Tpch t;
+  core::DataGraphBackend backend;
+};
+
+}  // namespace osum::testing
+
+#endif  // OSUM_TESTS_DB_FIXTURES_H_

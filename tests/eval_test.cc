@@ -5,39 +5,27 @@
 #include "core/os_backend.h"
 #include "core/os_generator.h"
 #include "datasets/dblp.h"
+#include "db_fixtures.h"
 #include "eval/evaluator.h"
 #include "eval/snippet.h"
-#include "test_support.h"
+#include "tree_fixtures.h"
 
 namespace osum::eval {
 namespace {
 
-using datasets::ApplyDblpScores;
-using datasets::BuildDblp;
-using datasets::Dblp;
 using datasets::DblpAuthorGds;
-using datasets::DblpConfig;
 using osum::testing::MakeTree;
+using osum::testing::ScoredDblp;
+using osum::testing::SmallDblpConfig;
 
 struct EvalFixture {
-  Dblp d;
+  ScoredDblp scored;
   gds::Gds gds;
   core::OsTree os;  // Christos's complete OS under GA1-d1
 
-  EvalFixture() : d(MakeDblp()) {
-    gds = DblpAuthorGds(d);
-    core::DataGraphBackend backend(d.db, d.links, d.data_graph);
-    os = core::GenerateCompleteOs(d.db, gds, &backend, 0);
-  }
-
-  static Dblp MakeDblp() {
-    DblpConfig c;
-    c.num_authors = 150;
-    c.num_papers = 500;
-    c.num_conferences = 8;
-    Dblp d = BuildDblp(c);
-    ApplyDblpScores(&d, 1, 0.85);
-    return d;
+  EvalFixture() : scored(SmallDblpConfig()) {
+    gds = DblpAuthorGds(scored.d);
+    os = core::GenerateCompleteOs(scored.d.db, gds, &scored.backend, 0);
   }
 };
 

@@ -10,7 +10,7 @@
 #include "core/word_budget.h"
 #include "datasets/dblp.h"
 #include "search/engine.h"
-#include "test_support.h"
+#include "tree_fixtures.h"
 #include "util/string_util.h"
 
 namespace osum::core {

@@ -8,7 +8,7 @@
 #include "datasets/dblp.h"
 #include "datasets/tpch.h"
 #include "eval/evaluator.h"
-#include "test_support.h"
+#include "db_fixtures.h"
 #include "util/rng.h"
 
 namespace osum {

@@ -2,7 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "core/os_tree.h"
-#include "test_support.h"
+#include "tree_fixtures.h"
 
 namespace osum::core {
 namespace {

@@ -5,7 +5,7 @@
 
 #include "core/multi_l.h"
 #include "core/size_l.h"
-#include "test_support.h"
+#include "tree_fixtures.h"
 
 namespace osum::core {
 namespace {

@@ -6,7 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "core/size_l.h"
-#include "test_support.h"
+#include "tree_fixtures.h"
 
 namespace osum::core {
 namespace {

@@ -1,8 +1,10 @@
-// Shared fixtures for the gtest suites: the paper's worked-example OS trees
-// (Figures 4, 5 and 6), random-tree generators for property tests, synthetic
-// mini-database builders, and golden comparators for OS trees / selections.
-#ifndef OSUM_TESTS_TEST_SUPPORT_H_
-#define OSUM_TESTS_TEST_SUPPORT_H_
+// Core-only test fixtures: the paper's worked-example OS trees (Figures 4,
+// 5 and 6), random-tree generators for property tests, and golden
+// comparators for OS trees / selections. Pure osum::core — suites that only
+// exercise the size-l algorithms link this without dragging in datasets.
+// Database-backed fixtures live in db_fixtures.h.
+#ifndef OSUM_TESTS_TREE_FIXTURES_H_
+#define OSUM_TESTS_TREE_FIXTURES_H_
 
 #include <cstddef>
 #include <utility>
@@ -10,11 +12,8 @@
 
 #include <gtest/gtest.h>
 
-#include "core/os_backend.h"
 #include "core/os_tree.h"
 #include "core/size_l.h"
-#include "datasets/dblp.h"
-#include "datasets/tpch.h"
 #include "util/rng.h"
 
 namespace osum::testing {
@@ -76,40 +75,6 @@ core::OsTree RandomMonotoneTree(util::Rng* rng, size_t n);
                                                std::vector<int> want_paper_ids,
                                                double want_importance = -1.0);
 
-// ------------------------------------------------ synthetic mini databases
-
-/// The cardinalities the suites have always used: Small fits unit tests
-/// (datasets_test asserts these exact counts), Medium feeds the
-/// integration-style statistical claims.
-datasets::DblpConfig SmallDblpConfig();
-datasets::DblpConfig MediumDblpConfig();
-datasets::TpchConfig SmallTpchConfig();
-datasets::TpchConfig MediumTpchConfig();
-
-/// BuildDblp + ApplyDblpScores + a DataGraphBackend bound to the result —
-/// the preamble repeated by every integration-style test. Immovable because
-/// `backend` holds references into `d`.
-struct ScoredDblp {
-  explicit ScoredDblp(const datasets::DblpConfig& config, int ga = 1,
-                      double damping = 0.85);
-  ScoredDblp(const ScoredDblp&) = delete;
-  ScoredDblp& operator=(const ScoredDblp&) = delete;
-
-  datasets::Dblp d;
-  core::DataGraphBackend backend;
-};
-
-/// TPC-H twin of ScoredDblp.
-struct ScoredTpch {
-  explicit ScoredTpch(const datasets::TpchConfig& config, int ga = 1,
-                      double damping = 0.85);
-  ScoredTpch(const ScoredTpch&) = delete;
-  ScoredTpch& operator=(const ScoredTpch&) = delete;
-
-  datasets::Tpch t;
-  core::DataGraphBackend backend;
-};
-
 }  // namespace osum::testing
 
-#endif  // OSUM_TESTS_TEST_SUPPORT_H_
+#endif  // OSUM_TESTS_TREE_FIXTURES_H_

@@ -1,8 +1,11 @@
 // Unit tests for osum::util — RNG determinism, distributions, summaries,
-// string helpers and the table printer.
+// string helpers, the table printer and the thread-pool primitives.
+#include <atomic>
 #include <cmath>
 #include <set>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -10,6 +13,7 @@
 #include "util/stats.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
+#include "util/thread_pool.h"
 
 namespace osum::util {
 namespace {
@@ -162,6 +166,57 @@ TEST(IoStats, DiffAndReset) {
   EXPECT_EQ(d.index_probes, 15u);
   a.Reset();
   EXPECT_EQ(a.select_calls, 0u);
+}
+
+TEST(AtomicIoStats, CountSnapshotReset) {
+  AtomicIoStats s;
+  s.CountSelect(/*tuples=*/5, /*probes=*/1);
+  s.CountSelect(/*tuples=*/0, /*probes=*/1);
+  IoStats snap = s.Snapshot();
+  EXPECT_EQ(snap.select_calls, 2u);
+  EXPECT_EQ(snap.tuples_read, 5u);
+  EXPECT_EQ(snap.index_probes, 2u);
+  s.Reset();
+  EXPECT_EQ(s.Snapshot().select_calls, 0u);
+}
+
+TEST(AtomicIoStats, ConcurrentCountsDontDropIncrements) {
+  AtomicIoStats s;
+  constexpr int kThreads = 4, kPerThread = 10'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&s] {
+      for (int i = 0; i < kPerThread; ++i) s.CountSelect(2, 1);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  IoStats snap = s.Snapshot();
+  EXPECT_EQ(snap.select_calls, uint64_t{kThreads} * kPerThread);
+  EXPECT_EQ(snap.tuples_read, uint64_t{kThreads} * kPerThread * 2);
+}
+
+TEST(ThreadPool, RunsAllSubmittedTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&ran] { ran.fetch_add(1); });
+    }
+  }  // destructor drains the queue before joining
+  EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  ParallelFor(&pool, hits.size(),
+              [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1);
+  // Degenerate sizes.
+  ParallelFor(&pool, 0, [](size_t) { FAIL() << "n=0 must not invoke fn"; });
+  std::atomic<int> one{0};
+  ParallelFor(&pool, 1, [&one](size_t) { one.fetch_add(1); });
+  EXPECT_EQ(one.load(), 1);
 }
 
 TEST(StringUtil, ToLower) {
