@@ -1,12 +1,16 @@
 // Shared plumbing for the figure-reproduction benches: dataset builders,
-// subject pickers and score utilities.
+// subject pickers, score utilities, and the machine-readable `--json`
+// output mode every driver supports (checked-in baselines live under
+// bench/baselines/ so perf PRs can diff against this container's numbers).
 #ifndef OSUM_BENCH_BENCH_COMMON_H_
 #define OSUM_BENCH_BENCH_COMMON_H_
 
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/os_backend.h"
@@ -20,6 +24,110 @@
 #include "util/timer.h"
 
 namespace osum::bench {
+
+/// Machine-readable bench output: flat {section, label, metric, value}
+/// rows written as one JSON document. Drivers call FromArgs(argc, argv)
+/// once, Add() next to every table cell worth tracking, and Write() before
+/// exiting. Without `--json <path>` on the command line the report is
+/// inert (Add/Write are no-ops), so the human tables stay the default.
+class JsonReport {
+ public:
+  /// Recognizes `--json <path>` (and `--json=<path>`) anywhere in argv.
+  static JsonReport FromArgs(int argc, char** argv, std::string bench_name) {
+    JsonReport report;
+    report.bench_ = std::move(bench_name);
+    for (int i = 1; i < argc; ++i) {
+      std::string_view arg = argv[i];
+      if (arg == "--json" && i + 1 < argc) {
+        report.path_ = argv[i + 1];
+      } else if (arg.rfind("--json=", 0) == 0) {
+        report.path_ = std::string(arg.substr(7));
+      }
+    }
+    return report;
+  }
+
+  bool active() const { return !path_.empty(); }
+
+  void Add(std::string_view section, std::string_view label,
+           std::string_view metric, double value) {
+    if (!active()) return;
+    rows_.push_back(Row{std::string(section), std::string(label),
+                        std::string(metric), value});
+  }
+
+  /// Writes the document; returns false (after printing to stderr) when
+  /// the path cannot be written. No-op true when inactive.
+  bool Write() const {
+    if (!active()) return true;
+    std::ofstream out(path_);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write --json path %s\n",
+                   path_.c_str());
+      return false;
+    }
+    out << "{\n  \"bench\": \"" << Escape(bench_) << "\",\n  \"rows\": [";
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      const Row& r = rows_[i];
+      out << (i == 0 ? "" : ",") << "\n    {\"section\": \""
+          << Escape(r.section) << "\", \"label\": \"" << Escape(r.label)
+          << "\", \"metric\": \"" << Escape(r.metric) << "\", \"value\": "
+          << Number(r.value) << "}";
+    }
+    out << "\n  ]\n}\n";
+    out.flush();
+    if (!out) {
+      std::fprintf(stderr, "error: short write to --json path %s\n",
+                   path_.c_str());
+      return false;
+    }
+    std::printf("wrote %zu json rows to %s\n", rows_.size(), path_.c_str());
+    return true;
+  }
+
+ private:
+  struct Row {
+    std::string section, label, metric;
+    double value;
+  };
+
+  // Labels are bench-controlled ASCII; escaping covers the JSON-breaking
+  // characters anyway so a stray quote cannot corrupt the document.
+  static std::string Escape(std::string_view s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      if (static_cast<unsigned char>(c) < 0x20) {
+        out += ' ';
+      } else {
+        out += c;
+      }
+    }
+    return out;
+  }
+
+  // JSON has no NaN/Inf literals; timings can legitimately divide by ~0.
+  static std::string Number(double v) {
+    if (!std::isfinite(v)) return "null";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    return buf;
+  }
+
+  std::string bench_;
+  std::string path_;
+  std::vector<Row> rows_;
+};
+
+/// True when `--tiny` is on the command line: drivers shrink datasets and
+/// reps so scripts/ci.sh can smoke the bench + JSON plumbing in seconds.
+inline bool TinyFromArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--tiny") return true;
+  }
+  return false;
+}
 
 /// The paper's l sweep in Figures 9 and 10.
 inline std::vector<size_t> LSweep() { return {5, 10, 15, 20, 25, 30, 35, 40,

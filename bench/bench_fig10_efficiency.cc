@@ -43,7 +43,8 @@ std::string Ms(double seconds) {
 
 void RunTimingSubfigure(const std::string& title, const rel::Database& db,
                         const gds::Gds& gds, core::OsBackend* backend,
-                        const std::vector<rel::TupleId>& subjects) {
+                        const std::vector<rel::TupleId>& subjects,
+                        bench::JsonReport* json) {
   util::PrintHeading(
       std::cout,
       title + " (Aver|OS|=" +
@@ -98,6 +99,12 @@ void RunTimingSubfigure(const std::string& title, const rel::Database& db,
                   enum_aborted_p ? ">" + Ms(t_enum_p) + " (cap)"
                                  : Ms(t_enum_p),
                   Ms(t_dp), Ms(t_bu_c), Ms(t_bu_p), Ms(t_tp_c), Ms(t_tp_p)});
+    std::string label = "l=" + std::to_string(l);
+    json->Add(title, label, "dp_knapsack_complete_ms", t_dp * 1e3);
+    json->Add(title, label, "bottom_up_complete_ms", t_bu_c * 1e3);
+    json->Add(title, label, "bottom_up_prelim_ms", t_bu_p * 1e3);
+    json->Add(title, label, "top_path_complete_ms", t_tp_c * 1e3);
+    json->Add(title, label, "top_path_prelim_ms", t_tp_p * 1e3);
   }
   table.Print(std::cout);
 }
@@ -105,8 +112,10 @@ void RunTimingSubfigure(const std::string& title, const rel::Database& db,
 }  // namespace
 }  // namespace osum
 
-int main() {
+int main(int argc, char** argv) {
   using namespace osum;
+  bench::JsonReport json =
+      bench::JsonReport::FromArgs(argc, argv, "bench_fig10_efficiency");
   std::cout << "Figure 10: efficiency (size-l computation cost, excluding "
                "OS generation unless stated)\n";
 
@@ -132,13 +141,13 @@ int main() {
       PickLargestSubjects(t.db, supplier_gds, &tpch_backend, 80, 2, 10);
 
   RunTimingSubfigure("Figure 10(a): DBLP Author", d.db, author_gds,
-                     &dblp_backend, authors);
+                     &dblp_backend, authors, &json);
   RunTimingSubfigure("Figure 10(b): DBLP Paper", d.db, paper_gds,
-                     &dblp_backend, papers);
+                     &dblp_backend, papers, &json);
   RunTimingSubfigure("Figure 10(c): TPC-H Customer", t.db, customer_gds,
-                     &tpch_backend, customers);
+                     &tpch_backend, customers, &json);
   RunTimingSubfigure("Figure 10(d): TPC-H Supplier", t.db, supplier_gds,
-                     &tpch_backend, suppliers);
+                     &tpch_backend, suppliers, &json);
 
   // ---- (e) scalability with |OS|, l = 10.
   {
@@ -170,6 +179,10 @@ int main() {
                     st.aborted ? ">" + Ms(t_enum) + " (cap)" : Ms(t_enum),
                     Ms(t_dp), Ms(t_bu_c), Ms(t_bu_p), Ms(t_tp_c),
                     Ms(t_tp_p)});
+      std::string label = "|OS|=" + std::to_string(complete.size());
+      json.Add("Figure 10(e)", label, "dp_knapsack_ms", t_dp * 1e3);
+      json.Add("Figure 10(e)", label, "bottom_up_complete_ms", t_bu_c * 1e3);
+      json.Add("Figure 10(e)", label, "top_path_complete_ms", t_tp_c * 1e3);
     }
     table.Print(std::cout);
   }
@@ -252,12 +265,17 @@ int main() {
                     tp_50});
     }
     table.Print(std::cout);
+    double ratio = gen_complete_db / std::max(gen_complete_graph, 1e-9);
     std::printf("\nspeedups: data-graph generation is %.1fx faster than "
-                "database generation.\n",
-                gen_complete_db / std::max(gen_complete_graph, 1e-9));
+                "database generation.\n", ratio);
+    json.Add("Figure 10(f)", "generation", "complete_graph_ms",
+             gen_complete_graph * 1e3);
+    json.Add("Figure 10(f)", "generation", "complete_db_ms",
+             gen_complete_db * 1e3);
+    json.Add("Figure 10(f)", "generation", "db_over_graph_ratio", ratio);
   }
 
   std::cout << "\npaper shape check: DP explodes with l and |OS|; greedies "
                "stay in milliseconds; prelim-l cheaper everywhere.\n";
-  return 0;
+  return json.Write() ? 0 : 1;
 }

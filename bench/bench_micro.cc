@@ -3,6 +3,9 @@
 // prelim-l generation and ObjectRank iterations.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "core/os_backend.h"
 #include "core/os_generator.h"
 #include "core/size_l.h"
@@ -138,4 +141,35 @@ BENCHMARK(BM_DataGraphBuild);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN: the repo-wide `--json <path>`
+// flag (see bench::JsonReport in bench_common.h) maps onto
+// google-benchmark's own JSON reporter so bench_micro baselines land in
+// the same bench/baselines/ workflow as the table drivers.
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv, argv + argc);
+  std::vector<std::string> translated;
+  translated.reserve(args.size() + 1);
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--json" && i + 1 < args.size()) {
+      translated.push_back("--benchmark_out=" + args[++i]);
+      translated.push_back("--benchmark_out_format=json");
+    } else if (args[i].rfind("--json=", 0) == 0) {
+      translated.push_back("--benchmark_out=" + args[i].substr(7));
+      translated.push_back("--benchmark_out_format=json");
+    } else if (args[i] == "--tiny") {
+      // Smoke mode: one fast iteration per benchmark.
+      translated.push_back("--benchmark_min_time=0.01");
+    } else {
+      translated.push_back(args[i]);
+    }
+  }
+  std::vector<char*> cargv;
+  cargv.reserve(translated.size());
+  for (std::string& a : translated) cargv.push_back(a.data());
+  int cargc = static_cast<int>(cargv.size());
+  benchmark::Initialize(&cargc, cargv.data());
+  if (benchmark::ReportUnrecognizedArguments(cargc, cargv.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -14,6 +14,9 @@
 // and cross-checks that the batched results match serial execution. True
 // speedup requires physical cores; on a 1-CPU host the table degenerates
 // to ~1.0x.
+//
+// Flags: --json <path> (machine-readable rows, see bench::JsonReport),
+// --tiny (shrunken datasets for the CI smoke).
 #include <iostream>
 #include <string>
 #include <vector>
@@ -60,7 +63,7 @@ double Checksum(const std::vector<std::vector<search::QueryResult>>& batch) {
 
 void RunSweep(const std::string& title, const search::SearchContext& ctx,
               const std::vector<std::string>& queries,
-              const search::QueryOptions& options) {
+              const search::QueryOptions& options, bench::JsonReport* json) {
   util::PrintHeading(std::cout, title + " (" + std::to_string(queries.size()) +
                                     " queries, l=" +
                                     std::to_string(options.l) + ", backend=" +
@@ -88,7 +91,13 @@ void RunSweep(const std::string& title, const search::SearchContext& ctx,
                   util::FormatDouble(static_cast<double>(queries.size()) / secs, 0),
                   util::FormatDouble(base_s / secs, 2),
                   matches ? "yes" : "NO"});
+    std::string label = std::to_string(threads) + "T";
+    json->Add(title, label, "wall_ms", secs * 1e3);
+    json->Add(title, label, "qps",
+              static_cast<double>(queries.size()) / secs);
+    json->Add(title, label, "speedup_vs_1t", base_s / secs);
   }
+  json->Add(title, "serial", "wall_ms", serial_s * 1e3);
   table.AddRow({"serial", util::FormatDouble(serial_s * 1e3, 1),
                 util::FormatDouble(static_cast<double>(queries.size()) / serial_s, 0),
                 util::FormatDouble(base_s / serial_s, 2), "-"});
@@ -96,11 +105,11 @@ void RunSweep(const std::string& title, const search::SearchContext& ctx,
   std::cout << "\n";
 }
 
-void BenchDblp() {
+void BenchDblp(bool tiny, bench::JsonReport* json) {
   datasets::DblpConfig config;
-  config.num_authors = 800;
-  config.num_papers = 3200;
-  config.num_conferences = 20;
+  config.num_authors = tiny ? 120 : 800;
+  config.num_papers = tiny ? 480 : 3200;
+  config.num_conferences = tiny ? 8 : 20;
   datasets::Dblp d = datasets::BuildDblp(config);
   datasets::ApplyDblpScores(&d, 1, 0.85);
   core::DataGraphBackend backend(d.db, d.links, d.data_graph);
@@ -114,7 +123,7 @@ void BenchDblp() {
   // Surnames of the most prolific authors (largest OSs) + common title
   // terms: the worst-case mix the paper's Section 6 timings are about.
   std::vector<std::string> base;
-  for (rel::TupleId t = 0; t < 24; ++t) {
+  for (rel::TupleId t = 0; t < (tiny ? 8u : 24u); ++t) {
     std::string name = d.db.relation(d.author).StringValue(t, 0);
     base.push_back(name.substr(name.rfind(' ') + 1));
   }
@@ -124,15 +133,15 @@ void BenchDblp() {
   search::QueryOptions options;
   options.l = 15;
   options.max_results = 5;
-  RunSweep("DBLP mix, data-graph back end", ctx, RepeatMix(base, 96),
-           options);
+  RunSweep("DBLP mix, data-graph back end", ctx,
+           RepeatMix(base, tiny ? 16 : 96), options, json);
 }
 
-void BenchTpch() {
+void BenchTpch(bool tiny, bench::JsonReport* json) {
   datasets::TpchConfig config;
-  config.num_customers = 600;
-  config.num_suppliers = 40;
-  config.num_parts = 800;
+  config.num_customers = tiny ? 80 : 600;
+  config.num_suppliers = tiny ? 10 : 40;
+  config.num_parts = tiny ? 120 : 800;
   datasets::Tpch t = datasets::BuildTpch(config);
   datasets::ApplyTpchScores(&t, 1, 0.85);
   core::DatabaseBackend backend(t.db, t.links, /*per_select_micros=*/8.0);
@@ -144,10 +153,10 @@ void BenchTpch() {
       search::SearchContext::Build(t.db, &backend, std::move(subjects));
 
   std::vector<std::string> base;
-  for (rel::TupleId c = 0; c < 24; ++c) {
+  for (rel::TupleId c = 0; c < (tiny ? 8u : 24u); ++c) {
     base.push_back(t.db.relation(t.customer).StringValue(c, 0));
   }
-  for (rel::TupleId s = 0; s < 8; ++s) {
+  for (rel::TupleId s = 0; s < (tiny ? 2u : 8u); ++s) {
     base.push_back(t.db.relation(t.supplier).StringValue(s, 0));
   }
 
@@ -155,16 +164,19 @@ void BenchTpch() {
   options.l = 10;
   options.max_results = 3;
   RunSweep("TPC-H mix, simulated-latency database back end", ctx,
-           RepeatMix(base, 64), options);
+           RepeatMix(base, tiny ? 12 : 64), options, json);
 }
 
 }  // namespace
 }  // namespace osum
 
-int main() {
+int main(int argc, char** argv) {
+  osum::bench::JsonReport json =
+      osum::bench::JsonReport::FromArgs(argc, argv, "bench_throughput");
+  bool tiny = osum::bench::TinyFromArgs(argc, argv);
   std::cout << "hardware threads: " << osum::util::ThreadPool::HardwareThreads()
             << "\n\n";
-  osum::BenchDblp();
-  osum::BenchTpch();
-  return 0;
+  osum::BenchDblp(tiny, &json);
+  osum::BenchTpch(tiny, &json);
+  return json.Write() ? 0 : 1;
 }

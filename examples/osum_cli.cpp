@@ -8,11 +8,16 @@
 //   query <keywords> [l]       ranked size-l OSs (Example 5 format)
 //   json <keywords> [l]        same, as JSON (first result only)
 //   budget <keywords> <words>  word-budget summary (Section 7 future work)
+//   serve <keywords> [l]       query via the serving layer; shows HIT/MISS
+//                              and the observed latency (repeat a query to
+//                              watch the result cache kick in)
+//   metrics                    serving-layer snapshot: hit/miss counters,
+//                              cache occupancy, latency percentiles
 //   save <dir>                 export the database as CSV + catalog
 //   help
 //
 // Example:
-//   ./osum_cli "build dblp; query faloutsos 10; budget faloutsos 40"
+//   ./osum_cli "build dblp; serve faloutsos 10; serve faloutsos 10; metrics"
 #include <cstdio>
 #include <iostream>
 #include <memory>
@@ -28,7 +33,9 @@
 #include "datasets/tpch.h"
 #include "relational/csv_io.h"
 #include "search/engine.h"
+#include "serve/query_service.h"
 #include "util/string_util.h"
+#include "util/timer.h"
 
 namespace {
 
@@ -40,6 +47,16 @@ struct Session {
   std::optional<datasets::Tpch> tpch;
   std::unique_ptr<core::DataGraphBackend> backend;
   std::unique_ptr<search::SizeLSearchEngine> engine;
+  // Serving layer, created lazily on the first `serve` command and torn
+  // down before the engine it borrows from whenever a new db is built.
+  std::unique_ptr<serve::QueryService> service;
+
+  serve::QueryService& Service() {
+    if (!service) {
+      service = std::make_unique<serve::QueryService>(engine->context());
+    }
+    return *service;
+  }
 
   const rel::Database* db() const {
     if (dblp.has_value()) return &dblp->db;
@@ -48,6 +65,7 @@ struct Session {
   }
 
   bool BuildDblp() {
+    service.reset();  // borrows the engine's context: drop it first
     dblp = datasets::BuildDblp();
     tpch.reset();
     datasets::ApplyDblpScores(&*dblp, 1, 0.85);
@@ -64,6 +82,7 @@ struct Session {
   }
 
   bool BuildTpch() {
+    service.reset();  // borrows the engine's context: drop it first
     tpch = datasets::BuildTpch();
     dblp.reset();
     datasets::ApplyTpchScores(&*tpch, 1, 0.85);
@@ -91,6 +110,9 @@ void PrintHelp() {
       "  query <keywords...> [l]    ranked size-l OSs\n"
       "  json <keywords...> [l]     first result as JSON\n"
       "  budget <keywords...> <w>   word-budget summary (~w words)\n"
+      "  serve <keywords...> [l]    query via the serving layer (HIT/MISS +\n"
+      "                             latency; repeat to watch the cache)\n"
+      "  metrics                    serving-layer counters + latencies\n"
       "  save <dir>                 export database as CSV\n"
       "  help");
 }
@@ -161,6 +183,58 @@ void RunCommand(Session& session, const std::string& line) {
     }
     rel::RelationId r = db.GetRelationId(args[1]);
     std::cout << session.engine->GdsFor(r).ToString(db);
+    return;
+  }
+  if (cmd == "serve") {
+    auto [keywords, number] = SplitTrailingNumber(args, 1);
+    if (keywords.empty()) {
+      std::puts("usage: serve <keywords...> [l]");
+      return;
+    }
+    search::QueryOptions options;
+    options.l = number.value_or(15);
+    serve::QueryService& service = session.Service();
+    uint64_t misses_before = service.metrics().cache.misses;
+    util::WallTimer timer;
+    serve::ResultPtr cached = service.Query(keywords, options);
+    double micros = timer.ElapsedMicros();
+    bool miss = service.metrics().cache.misses > misses_before;
+    std::printf("[%s, %.1f us] %zu result(s)\n", miss ? "MISS" : "HIT",
+                micros, cached->results.size());
+    for (const auto& r : cached->results) {
+      std::printf("  importance %.2f, |OS|=%zu, selection %zu node(s)\n",
+                  r.subject_importance, r.os.size(), r.selection.nodes.size());
+    }
+    return;
+  }
+  if (cmd == "metrics") {
+    if (session.service == nullptr) {
+      std::puts("serving layer idle; run 'serve <keywords>' first");
+      return;
+    }
+    serve::Metrics m = session.service->metrics();
+    std::printf(
+        "queries %llu | hits %llu, misses %llu, coalesced %llu | "
+        "entries %llu (~%llu bytes), evictions %llu, epoch %llu\n",
+        static_cast<unsigned long long>(m.queries),
+        static_cast<unsigned long long>(m.cache.hits),
+        static_cast<unsigned long long>(m.cache.misses),
+        static_cast<unsigned long long>(m.cache.coalesced_waits),
+        static_cast<unsigned long long>(m.cache.entries),
+        static_cast<unsigned long long>(m.cache.approx_bytes),
+        static_cast<unsigned long long>(m.cache.evictions),
+        static_cast<unsigned long long>(m.cache.epoch));
+    auto line = [](const char* label, const util::Summary& s) {
+      if (s.count() == 0) {
+        std::printf("  %-12s (no samples)\n", label);
+      } else {
+        std::printf("  %-12s p50 %.1f us, p99 %.1f us, max %.1f us\n", label,
+                    s.Percentile(50.0), s.Percentile(99.0), s.Max());
+      }
+    };
+    line("latency", m.latency_us);
+    line("  hits", m.hit_latency_us);
+    line("  misses", m.miss_latency_us);
     return;
   }
   if (cmd == "query" || cmd == "json" || cmd == "budget") {
@@ -235,7 +309,8 @@ int main(int argc, char** argv) {
   // Demo script when run without arguments.
   for (const char* cmd :
        {"build dblp", "stats", "gds Author", "query faloutsos 8",
-        "budget faloutsos 40"}) {
+        "budget faloutsos 40", "serve faloutsos 8", "serve faloutsos 8",
+        "metrics"}) {
     std::printf("\n$ %s\n", cmd);
     RunCommand(session, cmd);
   }

@@ -3,9 +3,13 @@
 #   1. Release            — the configuration benchmarks are run in
 #   2. Debug + ASan/UBSan — catches what optimized builds hide
 #   3. Debug + TSan       — proves the concurrent query path (QueryBatch
-#      over a shared SearchContext) races on nothing; runs the search-
-#      labeled suites, which include the concurrency stress aggregate
-#      (labeled search;slow).
+#      over a shared SearchContext) and the serving layer (QueryService +
+#      sharded ResultCache) race on nothing; runs the search- and serve-
+#      labeled suites, which include the concurrency/stampede stress
+#      aggregates (labeled search;slow / serve;slow).
+# The release lane also smokes the bench `--json` output mode: bench_cache
+# runs at --tiny sizes and its JSON must parse (and the bench itself exits
+# nonzero if the >=10x hot-hit speedup gate fails).
 # Usage: scripts/ci.sh            (JOBS=<n> to override parallelism)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -31,10 +35,20 @@ run_config() {
 }
 
 run_config build-release -- -DCMAKE_BUILD_TYPE=Release
+
+# Bench JSON smoke: tiny sizes, but the output must be well-formed JSON
+# (python parses it strictly) and the bench's own speedup gate must pass —
+# a missing/malformed file fails the lane, mirroring --no-tests=error.
+echo "==== bench --json smoke (bench_cache --tiny) ===="
+smoke_json="build-release/bench_cache_smoke.json"
+build-release/bench/bench_cache --tiny --json "${smoke_json}"
+python3 -m json.tool "${smoke_json}" > /dev/null
+echo "bench JSON smoke ok: ${smoke_json}"
+
 run_config build-asan -- -DCMAKE_BUILD_TYPE=Debug -DOSUM_SANITIZE=address
 # Benches and examples are never executed under TSan; skip their
 # instrumented compile.
-run_config build-tsan -L search -- \
+run_config build-tsan -L 'search|serve' -- \
            -DCMAKE_BUILD_TYPE=Debug -DOSUM_SANITIZE=thread \
            -DOSUM_BUILD_BENCHMARKS=OFF -DOSUM_BUILD_EXAMPLES=OFF
 echo "==== ci.sh: all configurations green ===="

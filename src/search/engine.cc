@@ -14,12 +14,11 @@ void SizeLSearchEngine::RegisterSubject(rel::RelationId relation,
                                         gds::Gds gds) {
   assert(gds.root_relation() == relation);
   if (context_.has_value()) {
-    // Re-register after a build: move the registration list back out of
-    // the now-stale context before destroying it, so the next BuildIndex
-    // covers all subjects. Subjects are stored once — here before a
-    // build, inside the context after.
-    subjects_ = std::move(*context_).TakeSubjects();
-    context_.reset();
+    // The old behavior silently destroyed the live context, dangling any
+    // thread (or serve::QueryService) that borrowed it via context().
+    throw std::logic_error(
+        "SizeLSearchEngine::RegisterSubject called after BuildIndex: the "
+        "frozen SearchContext may be shared; build a new engine instead");
   }
   subjects_.push_back(SearchContext::Subject{relation, std::move(gds)});
 }

@@ -27,7 +27,12 @@ class SizeLSearchEngine {
   SizeLSearchEngine(const rel::Database& db, core::OsBackend* backend);
 
   /// Registers a data-subject relation with its G_DS. The G_DS must be
-  /// annotated (importance present) before prelim-l queries.
+  /// annotated (importance present) before prelim-l queries. Throws
+  /// std::logic_error if called after BuildIndex: the live SearchContext
+  /// may be borrowed by worker threads or a serve::QueryService, and
+  /// silently destroying it (the old behavior) left them dangling. To
+  /// re-register, construct a fresh engine (and RebindContext any service
+  /// borrowing the old context).
   void RegisterSubject(rel::RelationId relation, gds::Gds gds);
 
   /// Builds the inverted index over all registered subject relations and
@@ -35,9 +40,9 @@ class SizeLSearchEngine {
   void BuildIndex();
 
   /// The immutable context built by BuildIndex — share this (by reference)
-  /// with worker threads. Valid until the next RegisterSubject or
-  /// BuildIndex call (RegisterSubject destroys the now-stale context
-  /// immediately), so quiesce workers before re-registering.
+  /// with worker threads or a serve::QueryService. Stays valid for the
+  /// engine's lifetime: RegisterSubject refuses to run once a context
+  /// exists, so the reference can never be invalidated under a borrower.
   const SearchContext& context() const;
 
   /// Runs a keyword query; results ranked by subject global importance.

@@ -4,9 +4,33 @@
 #include <cassert>
 #include <utility>
 
+#include "util/string_util.h"
 #include "util/thread_pool.h"
 
 namespace osum::search {
+
+std::string QueryOptions::CacheKeyFragment() const {
+  std::string out;
+  out += "l=" + std::to_string(l);
+  out += ";max=" + std::to_string(max_results);
+  out += ";alg=" + std::to_string(static_cast<int>(algorithm));
+  out += ";prelim=" + std::to_string(use_prelim ? 1 : 0);
+  out += ";rank=" + std::to_string(static_cast<int>(ranking));
+  return out;
+}
+
+std::string CanonicalQueryKey(std::string_view keywords,
+                              const QueryOptions& options) {
+  std::vector<std::string> tokens = util::TokenizeWords(keywords);
+  std::sort(tokens.begin(), tokens.end());
+  tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
+  // 0x1f/0x1e cannot appear in tokens ([a-z0-9] only), so the key is
+  // collision-free between keyword sets and against the options fragment.
+  std::string key = util::Join(tokens, "\x1f");
+  key += '\x1e';
+  key += options.CacheKeyFragment();
+  return key;
+}
 
 SearchContext SearchContext::Build(const rel::Database& db,
                                    core::OsBackend* backend,

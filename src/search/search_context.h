@@ -68,7 +68,21 @@ struct QueryOptions {
   /// Generate a prelim-l OS (Algorithm 4) instead of the complete OS.
   bool use_prelim = true;
   ResultRanking ranking = ResultRanking::kSubjectImportance;
+
+  /// Canonical serialization of every result-affecting knob, for result
+  /// caching (serve::ResultCache): two QueryOptions produce byte-identical
+  /// Query output on the same context iff their fragments compare equal.
+  /// New knobs MUST be added here or cached results go stale silently.
+  std::string CacheKeyFragment() const;
 };
+
+/// Full cache identity of one (keywords, options) query against a frozen
+/// context: the normalized keyword *set* (tokenized exactly like
+/// InvertedIndex::SearchQuery, then sorted and deduplicated — AND semantics
+/// make order and multiplicity irrelevant) joined with the options
+/// fragment. "Christos  Faloutsos" and "faloutsos christos" share one key.
+std::string CanonicalQueryKey(std::string_view keywords,
+                              const QueryOptions& options);
 
 /// The frozen query infrastructure. Build once, share freely.
 class SearchContext {
@@ -124,8 +138,10 @@ class SearchContext {
   const gds::Gds& GdsFor(rel::RelationId relation) const;
 
   /// Moves the registered subjects back out in registration order, leaving
-  /// the context empty (used by SizeLSearchEngine to seed a
-  /// re-register-then-rebuild cycle on a context it is about to destroy).
+  /// the context empty — the deliberate rebuild flow: take the subjects
+  /// from a context you are about to discard, extend the set, Build a
+  /// fresh one, and RebindContext any serve::QueryService borrowing the
+  /// old context before destroying it.
   std::vector<Subject> TakeSubjects() &&;
 
  private:

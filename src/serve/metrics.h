@@ -1,0 +1,51 @@
+// Observability snapshots for the serving layer.
+//
+// Counters answer "is the cache earning its memory?" (hit rate, coalesced
+// stampedes, eviction pressure) and the latency summaries answer "what do
+// callers actually experience?" — split by hit/miss because the two
+// populations differ by orders of magnitude (a hit is a mutex + pointer
+// copy; a miss is full OS generation, ~65x more expensive still on the
+// database back end, paper Figure 10(f)).
+#ifndef OSUM_SERVE_METRICS_H_
+#define OSUM_SERVE_METRICS_H_
+
+#include <cstdint>
+
+#include "util/stats.h"
+
+namespace osum::serve {
+
+/// Point-in-time counters of one ResultCache. Monotonic except
+/// entries/bytes (current occupancy) and epoch.
+struct CacheMetrics {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  /// Lookups that found another thread already computing the same key and
+  /// waited for its result instead of recomputing (stampede protection).
+  uint64_t coalesced_waits = 0;
+  uint64_t evictions = 0;
+  /// Completed computations whose insert was discarded because the epoch
+  /// moved (context rebuilt) or the key was already filled meanwhile.
+  uint64_t discarded_inserts = 0;
+  /// Current occupancy.
+  uint64_t entries = 0;
+  uint64_t approx_bytes = 0;
+  /// Invalidation epoch (bumped by ResultCache::BumpEpoch).
+  uint64_t epoch = 0;
+};
+
+/// Snapshot of one QueryService: cache counters + per-query wall latency
+/// (microseconds) observed at the service boundary, overall and split by
+/// cache outcome. Latency summaries are bounded reservoirs (most recent
+/// samples), so Percentile stays O(window log window).
+struct Metrics {
+  CacheMetrics cache;
+  uint64_t queries = 0;
+  util::Summary latency_us;       // all queries
+  util::Summary hit_latency_us;   // served from cache (incl. coalesced)
+  util::Summary miss_latency_us;  // computed by this call
+};
+
+}  // namespace osum::serve
+
+#endif  // OSUM_SERVE_METRICS_H_

@@ -1,0 +1,137 @@
+#include "serve/query_service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/timer.h"
+
+namespace osum::serve {
+
+void QueryService::LatencyRing::Add(double v, size_t window) {
+  if (window == 0) return;
+  if (samples.size() < window) {
+    samples.push_back(v);
+  } else {
+    samples[next] = v;
+  }
+  next = (next + 1) % window;
+}
+
+util::Summary QueryService::LatencyRing::Snapshot() const {
+  util::Summary s;
+  for (double v : samples) s.Add(v);
+  return s;
+}
+
+QueryService::QueryService(const search::SearchContext& context,
+                           ServiceOptions options)
+    : options_(options),
+      context_(&context),
+      cache_(options.cache),
+      pool_(options.num_threads == 0 ? util::ThreadPool::HardwareThreads()
+                                     : options.num_threads) {}
+
+ResultPtr QueryService::Query(std::string_view keywords,
+                              const search::QueryOptions& options) {
+  util::WallTimer timer;
+  std::string key = search::CanonicalQueryKey(keywords, options);
+  bool computed = false;
+  // GetOrCompute runs `compute` inline within this frame, so capturing the
+  // caller's `keywords` view is safe — and keeps the hit path free of the
+  // string copy it would never use.
+  ResultPtr result = cache_.GetOrCompute(key, [&]() -> CachedResult {
+    computed = true;
+    // The pointer is loaded inside the compute callback, i.e. after
+    // GetOrCompute captured its epoch. Together with RebindContext's
+    // swap-then-bump order this makes a stale (old-context) result under a
+    // current epoch impossible: an old pointer implies the bump has not
+    // happened yet, so the entry is wiped by the bump's clear.
+    const search::SearchContext* ctx =
+        context_.load(std::memory_order_acquire);
+    CachedResult out;
+    out.results = ctx->Query(keywords, options);
+    out.approx_bytes = ApproxResultBytes(out.results);
+    return out;
+  });
+  RecordLatency(/*hit=*/!computed, timer.ElapsedMicros());
+  return result;
+}
+
+std::future<ResultPtr> QueryService::SubmitAsync(std::string keywords,
+                                                 search::QueryOptions options) {
+  return pool_.SubmitWithFuture(
+      [this, keywords = std::move(keywords), options]() -> ResultPtr {
+        return Query(keywords, options);
+      });
+}
+
+void QueryService::Submit(std::string keywords, search::QueryOptions options,
+                          std::function<void(ResultPtr)> callback) {
+  pool_.Submit([this, keywords = std::move(keywords), options,
+                callback = std::move(callback)] {
+    // ThreadPool tasks must not throw (no try/catch in WorkerLoop), and
+    // unlike SubmitAsync there is no future to carry a query exception —
+    // deliver failure as a null result instead of terminating the process.
+    ResultPtr result;
+    try {
+      result = Query(keywords, options);
+    } catch (...) {
+      result = nullptr;
+    }
+    callback(std::move(result));
+  });
+}
+
+std::vector<ResultPtr> QueryService::QueryBatch(
+    std::span<const std::string> queries,
+    const search::QueryOptions& options) {
+  std::vector<ResultPtr> out(queries.size());
+  std::vector<size_t> miss_indices;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    util::WallTimer timer;
+    std::string key = search::CanonicalQueryKey(queries[i], options);
+    out[i] = cache_.Lookup(key);
+    if (out[i] != nullptr) {
+      RecordLatency(/*hit=*/true, timer.ElapsedMicros());
+    } else {
+      miss_indices.push_back(i);
+    }
+  }
+  if (miss_indices.empty()) return out;
+  // Duplicates among the misses coalesce inside GetOrCompute: one worker
+  // computes, the rest wait on the in-flight future.
+  util::ParallelFor(&pool_, miss_indices.size(), [&](size_t j) {
+    size_t i = miss_indices[j];
+    out[i] = Query(queries[i], options);
+  });
+  return out;
+}
+
+void QueryService::RebindContext(const search::SearchContext& context) {
+  // Swap first, then bump. A racing query that still computes against the
+  // old pointer necessarily captured a pre-bump epoch, so its insert is
+  // either rejected (epoch moved) or wiped by the bump's clear — after
+  // BumpEpoch returns, stale results are unreachable (see result_cache.h).
+  context_.store(&context, std::memory_order_release);
+  cache_.BumpEpoch();
+}
+
+void QueryService::RecordLatency(bool hit, double micros) {
+  std::lock_guard<std::mutex> lock(latency_mu_);
+  ++queries_;
+  all_latency_.Add(micros, options_.latency_window);
+  (hit ? hit_latency_ : miss_latency_).Add(micros, options_.latency_window);
+}
+
+Metrics QueryService::metrics() const {
+  Metrics m;
+  m.cache = cache_.metrics();
+  std::lock_guard<std::mutex> lock(latency_mu_);
+  m.queries = queries_;
+  m.latency_us = all_latency_.Snapshot();
+  m.hit_latency_us = hit_latency_.Snapshot();
+  m.miss_latency_us = miss_latency_.Snapshot();
+  return m;
+}
+
+}  // namespace osum::serve

@@ -1,0 +1,138 @@
+// The async query-serving layer: a frozen SearchContext fronted by a
+// thread pool and a stampede-safe result cache.
+//
+// QueryService is what a production deployment would put between user
+// traffic and the engine: callers submit keyword queries and get futures
+// (SubmitAsync), fire-and-forget callbacks (Submit), or cache-aware
+// synchronous/batched answers (Query / QueryBatch). Every path shares one
+// ResultCache keyed by search::CanonicalQueryKey, so skewed workloads —
+// the realistic shape of keyword traffic — collapse onto one computation
+// per distinct (keyword set, options) pair.
+//
+// Lifetime and threading contract:
+//   - The service *borrows* its SearchContext; the caller keeps it alive
+//     (SizeLSearchEngine::RegisterSubject now throws after BuildIndex
+//     precisely so a borrowed context cannot be destroyed under a
+//     service). All public methods are thread-safe.
+//   - When the context is rebuilt, call RebindContext(new_ctx) BEFORE
+//     destroying the old one: it swaps the pointer and bumps the cache
+//     epoch, so once it returns no result computed against the stale
+//     context is ever served.
+//   - Callbacks passed to Submit run on worker threads and must not throw
+//     (util::ThreadPool contract). They must not call QueryBatch (its
+//     blocking fan-in would deadlock a fully occupied pool); Query and
+//     SubmitAsync are safe from callbacks.
+#ifndef OSUM_SERVE_QUERY_SERVICE_H_
+#define OSUM_SERVE_QUERY_SERVICE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "search/search_context.h"
+#include "serve/metrics.h"
+#include "serve/result_cache.h"
+#include "util/thread_pool.h"
+
+namespace osum::serve {
+
+struct ServiceOptions {
+  /// Worker threads for SubmitAsync/Submit/QueryBatch. 0 = hardware
+  /// concurrency.
+  size_t num_threads = 0;
+  ResultCacheOptions cache;
+  /// Per-outcome latency reservoir size (most recent samples kept).
+  size_t latency_window = 4096;
+};
+
+class QueryService {
+ public:
+  /// `context` must outlive the service (or be swapped out via
+  /// RebindContext before it dies).
+  explicit QueryService(const search::SearchContext& context,
+                        ServiceOptions options = {});
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Cache-aware synchronous query — the path every other entry point
+  /// rides on. Hit: shared pointer to the cached immutable result list.
+  /// Miss: computes inline (coalescing concurrent misses for the same
+  /// key), publishes, returns. Results are byte-identical to
+  /// SearchContext::Query with the same arguments.
+  ResultPtr Query(std::string_view keywords,
+                  const search::QueryOptions& options = {});
+
+  /// Async submission: the query runs on the service's pool; the future
+  /// resolves to the same value Query would return.
+  std::future<ResultPtr> SubmitAsync(std::string keywords,
+                                     search::QueryOptions options = {});
+
+  /// Fire-and-forget: `callback` is invoked on a worker thread with the
+  /// result, or with nullptr if the query threw (there is no future to
+  /// carry the exception). The callback must not throw and must not block
+  /// on other QueryService batched calls.
+  void Submit(std::string keywords, search::QueryOptions options,
+              std::function<void(ResultPtr)> callback);
+
+  /// Cache-aware batch, results in input order: hits are answered inline
+  /// from the cache, misses fan out over the pool (duplicates within the
+  /// batch coalesce onto one computation). Blocks until every answer is
+  /// ready. Must not be called from a worker callback (see header note).
+  std::vector<ResultPtr> QueryBatch(std::span<const std::string> queries,
+                                    const search::QueryOptions& options = {});
+
+  /// Atomically redirects future queries to `context` and invalidates the
+  /// cache. Once this returns, no cached result computed against the
+  /// previous context can be served; the caller may then destroy it.
+  void RebindContext(const search::SearchContext& context);
+
+  /// Drops cached entries without invalidating (memory relief).
+  void ClearCache() { cache_.Clear(); }
+
+  const search::SearchContext& context() const {
+    return *context_.load(std::memory_order_acquire);
+  }
+  size_t num_threads() const { return pool_.size(); }
+
+  /// Counters + latency reservoir snapshot (see serve/metrics.h).
+  Metrics metrics() const;
+
+ private:
+  /// Fixed-capacity reservoir of the most recent samples (guarded by
+  /// latency_mu_); keeps metrics() bounded under sustained traffic.
+  struct LatencyRing {
+    std::vector<double> samples;
+    size_t next = 0;
+
+    void Add(double v, size_t window);
+    util::Summary Snapshot() const;
+  };
+
+  void RecordLatency(bool hit, double micros);
+
+  const ServiceOptions options_;
+  std::atomic<const search::SearchContext*> context_;
+  ResultCache cache_;
+
+  mutable std::mutex latency_mu_;
+  uint64_t queries_ = 0;
+  LatencyRing all_latency_;
+  LatencyRing hit_latency_;
+  LatencyRing miss_latency_;
+
+  // Last member on purpose: destroyed first, so the pool drains queued
+  // tasks (which touch cache_/context_/latency rings) while the rest of
+  // the service is still alive.
+  util::ThreadPool pool_;
+};
+
+}  // namespace osum::serve
+
+#endif  // OSUM_SERVE_QUERY_SERVICE_H_

@@ -1,0 +1,180 @@
+#include "serve/result_cache.h"
+
+#include <bit>
+#include <utility>
+
+namespace osum::serve {
+namespace {
+
+// Entry-count / byte budgets are per shard; give every shard at least
+// room for one entry so a cache is never vacuously empty.
+size_t PerShard(size_t total, size_t shards) {
+  size_t per = total / shards;
+  return per == 0 ? 1 : per;
+}
+
+}  // namespace
+
+size_t ApproxResultBytes(const std::vector<search::QueryResult>& results) {
+  size_t bytes = sizeof(CachedResult) +
+                 results.capacity() * sizeof(search::QueryResult);
+  for (const search::QueryResult& r : results) {
+    bytes += r.os.size() * sizeof(core::OsNode);
+    for (const core::OsNode& n : r.os.nodes()) {
+      bytes += n.children.size() * sizeof(core::OsNodeId);
+    }
+    bytes += r.selection.nodes.size() * sizeof(core::OsNodeId);
+  }
+  return bytes;
+}
+
+ResultCache::ResultCache(ResultCacheOptions options)
+    : num_shards_(std::bit_ceil(std::max<size_t>(options.num_shards, 1))),
+      max_entries_per_shard_(PerShard(std::max<size_t>(options.max_entries, 1),
+                                      num_shards_)),
+      max_bytes_per_shard_(PerShard(std::max<size_t>(options.max_bytes, 1),
+                                    num_shards_)) {
+  shards_.reserve(num_shards_);
+  for (size_t i = 0; i < num_shards_; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+std::string ResultCache::InternalKey(uint64_t epoch,
+                                     const std::string& key) const {
+  // 0x1d separates the epoch prefix from the caller key (which itself uses
+  // only 0x1e/0x1f as separators, see search::CanonicalQueryKey).
+  std::string ikey = std::to_string(epoch);
+  ikey += '\x1d';
+  ikey += key;
+  return ikey;
+}
+
+ResultCache::Shard& ResultCache::ShardFor(const std::string& internal_key) {
+  size_t h = std::hash<std::string_view>{}(internal_key);
+  return *shards_[h & (num_shards_ - 1)];
+}
+
+void ResultCache::EvictOverBudget(Shard* shard) {
+  while (shard->lru.size() > 1 &&
+         (shard->lru.size() > max_entries_per_shard_ ||
+          shard->bytes > max_bytes_per_shard_)) {
+    const Entry& victim = shard->lru.back();
+    shard->bytes -= victim.bytes;
+    shard->map.erase(std::string_view(victim.key));
+    shard->lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+ResultPtr ResultCache::Lookup(const std::string& key) {
+  std::string ikey = InternalKey(epoch(), key);
+  Shard& shard = ShardFor(ikey);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(std::string_view(ikey));
+  if (it == shard.map.end()) return nullptr;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second->value;
+}
+
+ResultPtr ResultCache::GetOrCompute(
+    const std::string& key, const std::function<CachedResult()>& compute) {
+  const uint64_t epoch_at_start = epoch();
+  std::string ikey = InternalKey(epoch_at_start, key);
+  Shard& shard = ShardFor(ikey);
+
+  std::shared_ptr<std::promise<ResultPtr>> promise;
+  {
+    std::unique_lock<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(std::string_view(ikey));
+    if (it != shard.map.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second->value;
+    }
+    auto inflight = shard.inflight.find(ikey);
+    if (inflight != shard.inflight.end()) {
+      // Someone else is computing this key right now; wait for their
+      // result outside the lock. The computing thread is guaranteed to be
+      // actively running `compute` (it is never queued), so this wait
+      // always makes progress even from thread-pool workers.
+      std::shared_future<ResultPtr> future = inflight->second;
+      coalesced_waits_.fetch_add(1, std::memory_order_relaxed);
+      lock.unlock();
+      return future.get();
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    promise = std::make_shared<std::promise<ResultPtr>>();
+    shard.inflight.emplace(ikey, promise->get_future().share());
+  }
+
+  ResultPtr value;
+  try {
+    value = std::make_shared<const CachedResult>(compute());
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      shard.inflight.erase(ikey);
+    }
+    promise->set_exception(std::current_exception());
+    throw;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.inflight.erase(ikey);
+    // Publish only if the epoch still matches (a context rebuild must not
+    // resurrect results computed against the old context) and nobody
+    // filled the key meanwhile (cannot normally happen — coalescing — but
+    // cheap to keep watertight).
+    if (epoch_.load(std::memory_order_acquire) == epoch_at_start &&
+        shard.map.find(std::string_view(ikey)) == shard.map.end()) {
+      size_t entry_bytes = value->approx_bytes + ikey.size();
+      shard.lru.push_front(Entry{std::move(ikey), value, entry_bytes});
+      shard.map.emplace(std::string_view(shard.lru.front().key),
+                        shard.lru.begin());
+      shard.bytes += entry_bytes;
+      EvictOverBudget(&shard);
+    } else {
+      discarded_inserts_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  promise->set_value(value);
+  return value;
+}
+
+void ResultCache::Clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->map.clear();
+    shard->lru.clear();
+    shard->bytes = 0;
+  }
+}
+
+uint64_t ResultCache::BumpEpoch() {
+  uint64_t next = epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  // Old-epoch entries are unreachable already (epoch-prefixed keys); the
+  // clear releases their memory.
+  Clear();
+  return next;
+}
+
+CacheMetrics ResultCache::metrics() const {
+  CacheMetrics m;
+  m.hits = hits_.load(std::memory_order_relaxed);
+  m.misses = misses_.load(std::memory_order_relaxed);
+  m.coalesced_waits = coalesced_waits_.load(std::memory_order_relaxed);
+  m.evictions = evictions_.load(std::memory_order_relaxed);
+  m.discarded_inserts = discarded_inserts_.load(std::memory_order_relaxed);
+  m.epoch = epoch();
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    m.entries += shard->lru.size();
+    m.approx_bytes += shard->bytes;
+  }
+  return m;
+}
+
+}  // namespace osum::serve

@@ -1,0 +1,148 @@
+// Sharded, stampede-safe LRU cache of ranked query results.
+//
+// The serving-layer answer to skewed keyword workloads: whole ranked result
+// lists are cached behind canonical (keyword set, options) keys
+// (search::CanonicalQueryKey), so a repeated query costs a mutex + a
+// shared_ptr copy instead of OS generation + size-l computation — on the
+// database back end a ~65x-amplified saving (paper Figure 10(f)). Design:
+//   - Values are immutable shared_ptr<const CachedResult>: a hit hands the
+//     caller a reference into the cache that stays valid after eviction,
+//     so no copying and no lifetime coupling.
+//   - Shards (power of two, independently mutexed) keep the hot path
+//     contention-free; keys are partitioned by hash, LRU order and budgets
+//     are per shard.
+//   - Capacity is bounded twice: entry count and approximate bytes
+//     (CachedResult::approx_bytes + key size). Either limit evicts from
+//     the shard's LRU tail. The entry just inserted is never evicted by
+//     its own insert, so one oversized result can transiently exceed the
+//     byte budget (and is then evicted by the next insert).
+//   - Stampede protection: concurrent GetOrCompute misses for one key
+//     coalesce onto a single computation via a per-key in-flight
+//     shared_future. The computing caller runs `compute` inline on its own
+//     thread (never queued), so waiters can always make progress — safe
+//     even when every waiter is a thread-pool worker.
+//   - Invalidation: Clear drops memory; BumpEpoch is the correctness
+//     barrier for context rebuilds. Internal keys are epoch-prefixed, so
+//     post-bump lookups can never see pre-bump values or join pre-bump
+//     in-flight computations; completed stale computations are discarded
+//     at insert time. After BumpEpoch returns, no value produced under an
+//     older epoch is ever served.
+#ifndef OSUM_SERVE_RESULT_CACHE_H_
+#define OSUM_SERVE_RESULT_CACHE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "search/search_context.h"
+#include "serve/metrics.h"
+
+namespace osum::serve {
+
+/// One immutable cached answer: the ranked result list plus its estimated
+/// heap footprint (what the byte budget charges).
+struct CachedResult {
+  std::vector<search::QueryResult> results;
+  size_t approx_bytes = 0;
+};
+
+/// How results travel through the serving layer: shared, const, detached
+/// from the cache's own lifetime bookkeeping.
+using ResultPtr = std::shared_ptr<const CachedResult>;
+
+/// Conservative heap-footprint estimate of a result list (QueryResult
+/// shells + OS node arenas + children lists + selections), for
+/// CachedResult::approx_bytes.
+size_t ApproxResultBytes(const std::vector<search::QueryResult>& results);
+
+struct ResultCacheOptions {
+  /// Rounded up to a power of two; minimum 1. Use 1 in tests that assert
+  /// global LRU order.
+  size_t num_shards = 8;
+  /// Whole-cache entry cap, split evenly across shards (minimum 1 each).
+  size_t max_entries = 1024;
+  /// Whole-cache approximate-byte cap, split evenly across shards.
+  size_t max_bytes = 64ull << 20;
+};
+
+class ResultCache {
+ public:
+  explicit ResultCache(ResultCacheOptions options = {});
+
+  // Shards hold mutexes and in-flight futures; the cache is a fixture, not
+  // a value.
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// The serving hot path. Returns the cached value for `key` (refreshing
+  /// its recency), joins an in-flight computation of the same key, or runs
+  /// `compute` inline and publishes the result. `compute` may throw — the
+  /// exception propagates to this caller and to every coalesced waiter,
+  /// and nothing is cached.
+  ResultPtr GetOrCompute(const std::string& key,
+                         const std::function<CachedResult()>& compute);
+
+  /// Pure lookup: the cached value (counts a hit, refreshes recency) or
+  /// nullptr. Counts no miss and never joins in-flight computations — the
+  /// cheap first pass of the batched path.
+  ResultPtr Lookup(const std::string& key);
+
+  /// Drops every committed entry (memory relief, not invalidation:
+  /// computations already in flight may still publish afterwards).
+  void Clear();
+
+  /// Invalidation barrier: advances the epoch and drops every committed
+  /// entry. Once this returns, values produced under older epochs are
+  /// unreachable (epoch-prefixed keys) and their late inserts are
+  /// discarded. Returns the new epoch.
+  uint64_t BumpEpoch();
+
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  CacheMetrics metrics() const;
+
+ private:
+  struct Entry {
+    std::string key;  // epoch-prefixed internal key
+    ResultPtr value;
+    size_t bytes = 0;  // approx_bytes + key size
+  };
+  using Lru = std::list<Entry>;
+
+  struct Shard {
+    std::mutex mu;
+    Lru lru;  // front = most recently used
+    std::unordered_map<std::string_view, Lru::iterator> map;
+    std::unordered_map<std::string, std::shared_future<ResultPtr>> inflight;
+    size_t bytes = 0;
+  };
+
+  std::string InternalKey(uint64_t epoch, const std::string& key) const;
+  Shard& ShardFor(const std::string& internal_key);
+  /// Caller holds shard.mu. Evicts from the LRU tail until both per-shard
+  /// budgets hold, never touching the front (most recent) entry.
+  void EvictOverBudget(Shard* shard);
+
+  const size_t num_shards_;
+  const size_t max_entries_per_shard_;
+  const size_t max_bytes_per_shard_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> epoch_{0};
+
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> coalesced_waits_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> discarded_inserts_{0};
+};
+
+}  // namespace osum::serve
+
+#endif  // OSUM_SERVE_RESULT_CACHE_H_

@@ -12,8 +12,12 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
+#include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace osum::util {
@@ -32,6 +36,22 @@ class ThreadPool {
 
   /// Enqueues `task` for execution on some worker. `task` must not throw.
   void Submit(std::function<void()> task);
+
+  /// Enqueues `fn` and returns a future for its result (the asynchronous
+  /// submission path of serve::QueryService). Unlike Submit, `fn` may
+  /// throw: the exception is captured in the future and rethrown by
+  /// get(). Blocking on the future from a task running on this same pool
+  /// is subject to the ParallelFor deadlock caveat below — the producer
+  /// task must already be running, not queued behind the waiter.
+  template <typename Fn>
+  auto SubmitWithFuture(Fn fn) -> std::future<std::invoke_result_t<Fn>> {
+    using Result = std::invoke_result_t<Fn>;
+    auto task =
+        std::make_shared<std::packaged_task<Result()>>(std::move(fn));
+    std::future<Result> future = task->get_future();
+    Submit([task] { (*task)(); });
+    return future;
+  }
 
   /// std::thread::hardware_concurrency with a floor of 1 (the standard
   /// allows it to report 0).

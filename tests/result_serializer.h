@@ -1,0 +1,39 @@
+// Exact serialization of search results, shared by the concurrency and
+// serving-layer suites: two result lists serialize identically iff they
+// are byte-identical (every field of every node/selection, doubles in
+// hexfloat), so EXPECT_EQ on these strings is the headline equivalence
+// invariant for both QueryBatch-vs-serial and cache-hit-vs-recompute.
+#ifndef OSUM_TESTS_RESULT_SERIALIZER_H_
+#define OSUM_TESTS_RESULT_SERIALIZER_H_
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "search/search_context.h"
+
+namespace osum::testing {
+
+inline std::string Serialize(
+    const std::vector<search::QueryResult>& results) {
+  std::ostringstream out;
+  out << std::hexfloat;
+  for (const search::QueryResult& r : results) {
+    out << "subject " << r.subject.relation << ':' << r.subject.tuple << '@'
+        << r.subject_importance << '\n';
+    out << "os";
+    for (size_t i = 0; i < r.os.size(); ++i) {
+      const core::OsNode& n = r.os.node(static_cast<core::OsNodeId>(i));
+      out << ' ' << n.parent << '/' << n.gds_node << '/' << n.relation << '/'
+          << n.tuple << '/' << n.depth << '/' << n.local_importance;
+    }
+    out << "\nselection " << r.selection.importance;
+    for (core::OsNodeId id : r.selection.nodes) out << ' ' << id;
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace osum::testing
+
+#endif  // OSUM_TESTS_RESULT_SERIALIZER_H_

@@ -4,7 +4,6 @@
 // expose zero mutable shared state (run under TSan via
 // `OSUM_SANITIZE=thread`, see scripts/ci.sh).
 #include <atomic>
-#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -13,6 +12,7 @@
 
 #include "core/os_backend.h"
 #include "db_fixtures.h"
+#include "result_serializer.h"
 #include "search/search_context.h"
 #include "util/thread_pool.h"
 
@@ -21,30 +21,9 @@ namespace {
 
 using osum::testing::ScoredDblp;
 using osum::testing::ScoredTpch;
+using osum::testing::Serialize;
 using osum::testing::SmallDblpConfig;
 using osum::testing::SmallTpchConfig;
-
-/// Serializes a result list exactly: every field of every node/selection,
-/// doubles in hexfloat. Two result lists serialize identically iff they are
-/// byte-identical, so EXPECT_EQ on these strings is the headline invariant.
-std::string Serialize(const std::vector<QueryResult>& results) {
-  std::ostringstream out;
-  out << std::hexfloat;
-  for (const QueryResult& r : results) {
-    out << "subject " << r.subject.relation << ':' << r.subject.tuple << '@'
-        << r.subject_importance << '\n';
-    out << "os";
-    for (size_t i = 0; i < r.os.size(); ++i) {
-      const core::OsNode& n = r.os.node(static_cast<core::OsNodeId>(i));
-      out << ' ' << n.parent << '/' << n.gds_node << '/' << n.relation << '/'
-          << n.tuple << '/' << n.depth << '/' << n.local_importance;
-    }
-    out << "\nselection " << r.selection.importance;
-    for (core::OsNodeId id : r.selection.nodes) out << ' ' << id;
-    out << '\n';
-  }
-  return out.str();
-}
 
 /// A deterministic DBLP keyword mix: prolific-author surnames (big OSs,
 /// multiple hits per query) + title terms + a no-hit probe.

@@ -1,4 +1,6 @@
 // Tests for the inverted index and the end-to-end size-l search engine.
+#include <stdexcept>
+
 #include <gtest/gtest.h>
 
 #include "core/os_backend.h"
@@ -160,6 +162,45 @@ TEST(Engine, RenderShowsSubjectAndIndentation) {
   std::string text = f.engine.Render(results[0]);
   EXPECT_NE(text.find("Author: Christos Faloutsos"), std::string::npos);
   EXPECT_NE(text.find("..Paper:"), std::string::npos);
+}
+
+TEST(Engine, RegisterSubjectAfterBuildIndexThrows) {
+  // The documented foot-gun, now loud: re-registering would destroy the
+  // live SearchContext under anyone who borrowed it (worker threads,
+  // serve::QueryService), so the engine refuses.
+  SearchFixture f;
+  const SearchContext* before = &f.engine.context();
+  EXPECT_THROW(f.engine.RegisterSubject(f.d.author, DblpAuthorGds(f.d)),
+               std::logic_error);
+  // The context survived untouched and still answers queries.
+  EXPECT_EQ(&f.engine.context(), before);
+  EXPECT_FALSE(f.engine.Query("faloutsos").empty());
+}
+
+TEST(CanonicalQueryKey, NormalizesKeywordSetAndSeparatesOptions) {
+  QueryOptions a;  // defaults
+  // Case, order, duplicates and separators collapse onto one key.
+  EXPECT_EQ(CanonicalQueryKey("Christos  Faloutsos", a),
+            CanonicalQueryKey("faloutsos, christos CHRISTOS", a));
+  // Distinct keyword sets split.
+  EXPECT_NE(CanonicalQueryKey("christos", a),
+            CanonicalQueryKey("christos faloutsos", a));
+  // Every result-affecting knob splits the key.
+  QueryOptions b = a;
+  b.l = a.l + 1;
+  EXPECT_NE(CanonicalQueryKey("x", a), CanonicalQueryKey("x", b));
+  b = a;
+  b.max_results = a.max_results + 1;
+  EXPECT_NE(CanonicalQueryKey("x", a), CanonicalQueryKey("x", b));
+  b = a;
+  b.algorithm = core::SizeLAlgorithm::kBottomUp;
+  EXPECT_NE(CanonicalQueryKey("x", a), CanonicalQueryKey("x", b));
+  b = a;
+  b.use_prelim = !a.use_prelim;
+  EXPECT_NE(CanonicalQueryKey("x", a), CanonicalQueryKey("x", b));
+  b = a;
+  b.ranking = ResultRanking::kSummaryImportance;
+  EXPECT_NE(CanonicalQueryKey("x", a), CanonicalQueryKey("x", b));
 }
 
 TEST(Engine, AlgorithmsAllProduceValidResults) {

@@ -1,0 +1,263 @@
+// QueryService end-to-end: cached results must be byte-identical to
+// uncached SearchContext::Query on both join back ends, the async paths
+// (future + callback) must agree with the sync path, the batched path must
+// be cache-aware, and rebinding a rebuilt context must invalidate — a
+// stale context can never serve cached results.
+#include <atomic>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/os_backend.h"
+#include "db_fixtures.h"
+#include "result_serializer.h"
+#include "search/engine.h"
+#include "serve/query_service.h"
+
+namespace osum::serve {
+namespace {
+
+using osum::testing::ScoredDblp;
+using osum::testing::Serialize;
+using osum::testing::SmallDblpConfig;
+
+search::SearchContext BuildDblpContext(const datasets::Dblp& d,
+                                       core::OsBackend* backend) {
+  std::vector<search::SearchContext::Subject> subjects;
+  subjects.push_back({d.author, datasets::DblpAuthorGds(d)});
+  subjects.push_back({d.paper, datasets::DblpPaperGds(d)});
+  return search::SearchContext::Build(d.db, backend, std::move(subjects));
+}
+
+ServiceOptions SmallService() {
+  ServiceOptions o;
+  o.num_threads = 3;
+  o.cache.num_shards = 2;
+  return o;
+}
+
+/// The headline invariant on one backend: miss computes, hit returns the
+/// same immutable object, both byte-identical to an uncached Query.
+void ExpectHitMatchesRecompute(const search::SearchContext& ctx) {
+  QueryService service(ctx, SmallService());
+  search::QueryOptions options;
+  options.l = 10;
+  options.max_results = 4;
+
+  const std::string query = "faloutsos";
+  std::string golden = Serialize(ctx.Query(query, options));
+
+  ResultPtr first = service.Query(query, options);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(Serialize(first->results), golden);
+  EXPECT_EQ(service.metrics().cache.misses, 1u);
+
+  ResultPtr second = service.Query(query, options);
+  // A hit is the same immutable object, not a recompute.
+  EXPECT_EQ(second.get(), first.get());
+  EXPECT_EQ(Serialize(second->results), golden);
+  Metrics m = service.metrics();
+  EXPECT_EQ(m.cache.misses, 1u);
+  EXPECT_EQ(m.cache.hits, 1u);
+  EXPECT_EQ(m.queries, 2u);
+  EXPECT_GT(first->approx_bytes, 0u);
+}
+
+TEST(QueryServiceEquivalence, HitMatchesRecomputeDataGraphBackend) {
+  ScoredDblp f(SmallDblpConfig());
+  search::SearchContext ctx = BuildDblpContext(f.d, &f.backend);
+  ExpectHitMatchesRecompute(ctx);
+}
+
+TEST(QueryServiceEquivalence, HitMatchesRecomputeDatabaseBackend) {
+  ScoredDblp f(SmallDblpConfig());
+  core::DatabaseBackend backend(f.d.db, f.d.links, /*per_select_micros=*/0.0);
+  search::SearchContext ctx = BuildDblpContext(f.d, &backend);
+  ExpectHitMatchesRecompute(ctx);
+}
+
+TEST(QueryServiceEquivalence, KeywordNormalizationSharesOneEntry) {
+  ScoredDblp f(SmallDblpConfig());
+  search::SearchContext ctx = BuildDblpContext(f.d, &f.backend);
+  QueryService service(ctx, SmallService());
+  ResultPtr a = service.Query("Christos  Faloutsos");
+  ResultPtr b = service.Query("faloutsos christos");
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(service.metrics().cache.misses, 1u);
+  // Different options are different entries.
+  search::QueryOptions other;
+  other.l = 7;
+  ResultPtr c = service.Query("christos faloutsos", other);
+  EXPECT_NE(c.get(), a.get());
+  EXPECT_EQ(service.metrics().cache.misses, 2u);
+}
+
+TEST(QueryServiceAsync, FutureAndCallbackAgreeWithSync) {
+  ScoredDblp f(SmallDblpConfig());
+  search::SearchContext ctx = BuildDblpContext(f.d, &f.backend);
+  QueryService service(ctx, SmallService());
+  search::QueryOptions options;
+  options.l = 8;
+
+  std::string golden = Serialize(ctx.Query("databases", options));
+
+  std::future<ResultPtr> fut = service.SubmitAsync("databases", options);
+  ResultPtr from_future = fut.get();
+  ASSERT_NE(from_future, nullptr);
+  EXPECT_EQ(Serialize(from_future->results), golden);
+
+  std::promise<ResultPtr> delivered;
+  service.Submit("databases", options,
+                 [&](ResultPtr r) { delivered.set_value(std::move(r)); });
+  ResultPtr from_callback = delivered.get_future().get();
+  ASSERT_NE(from_callback, nullptr);
+  EXPECT_EQ(Serialize(from_callback->results), golden);
+  // The async paths share the cache: one compute total.
+  EXPECT_EQ(service.metrics().cache.misses, 1u);
+}
+
+TEST(QueryServiceBatch, CacheAwareAndInputOrdered) {
+  ScoredDblp f(SmallDblpConfig());
+  search::SearchContext ctx = BuildDblpContext(f.d, &f.backend);
+  QueryService service(ctx, SmallService());
+  search::QueryOptions options;
+  options.l = 9;
+  options.max_results = 3;
+
+  // Duplicates on purpose: they must coalesce, not recompute.
+  std::vector<std::string> queries = {"faloutsos", "databases", "mining",
+                                      "faloutsos", "power law",
+                                      "nosuchkeywordanywhere", "databases"};
+  std::vector<ResultPtr> batch = service.QueryBatch(queries, options);
+  ASSERT_EQ(batch.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_NE(batch[i], nullptr) << queries[i];
+    EXPECT_EQ(Serialize(batch[i]->results),
+              Serialize(ctx.Query(queries[i], options)))
+        << queries[i];
+  }
+  Metrics after_first = service.metrics();
+  EXPECT_EQ(after_first.cache.misses, 5u);  // distinct queries only
+
+  // Re-running the batch is pure hits — no new computes.
+  std::vector<ResultPtr> again = service.QueryBatch(queries, options);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(again[i].get(), batch[i].get()) << queries[i];
+  }
+  EXPECT_EQ(service.metrics().cache.misses, 5u);
+}
+
+TEST(QueryServiceEpoch, RebindAfterRebuildNeverServesStaleResults) {
+  ScoredDblp f(SmallDblpConfig());
+
+  // Engine #1 registers only Author; its context misses paper subjects.
+  search::SizeLSearchEngine engine1(f.d.db, &f.backend);
+  engine1.RegisterSubject(f.d.author, datasets::DblpAuthorGds(f.d));
+  engine1.BuildIndex();
+
+  QueryService service(engine1.context(), SmallService());
+  search::QueryOptions options;
+  options.l = 8;
+  options.max_results = 6;
+
+  ResultPtr stale = service.Query("databases", options);
+  std::string stale_bytes = Serialize(stale->results);
+
+  // The context is rebuilt richer (Author + Paper) in a fresh engine —
+  // the old engine would throw on re-registration (see search_test).
+  search::SizeLSearchEngine engine2(f.d.db, &f.backend);
+  engine2.RegisterSubject(f.d.author, datasets::DblpAuthorGds(f.d));
+  engine2.RegisterSubject(f.d.paper, datasets::DblpPaperGds(f.d));
+  engine2.BuildIndex();
+
+  service.RebindContext(engine2.context());
+  EXPECT_EQ(&service.context(), &engine2.context());
+  EXPECT_EQ(service.metrics().cache.epoch, 1u);
+  EXPECT_EQ(service.metrics().cache.entries, 0u);
+
+  ResultPtr fresh = service.Query("databases", options);
+  std::string fresh_bytes = Serialize(fresh->results);
+  EXPECT_EQ(fresh_bytes, Serialize(engine2.context().Query("databases",
+                                                           options)));
+  // The richer context genuinely changes the answer, so serving the old
+  // entry would have been observable — and did not happen.
+  EXPECT_NE(fresh_bytes, stale_bytes);
+  EXPECT_EQ(service.metrics().cache.misses, 2u);
+}
+
+TEST(QueryServiceMetrics, LatencyReservoirsPopulate) {
+  ScoredDblp f(SmallDblpConfig());
+  search::SearchContext ctx = BuildDblpContext(f.d, &f.backend);
+  QueryService service(ctx, SmallService());
+  for (int i = 0; i < 3; ++i) service.Query("faloutsos");
+  Metrics m = service.metrics();
+  EXPECT_EQ(m.queries, 3u);
+  EXPECT_EQ(m.latency_us.count(), 3u);
+  EXPECT_EQ(m.miss_latency_us.count(), 1u);
+  EXPECT_EQ(m.hit_latency_us.count(), 2u);
+  EXPECT_GE(m.latency_us.Percentile(99.0), m.latency_us.Percentile(50.0));
+  // Misses do strictly more work than hits on this dataset.
+  EXPECT_GT(m.miss_latency_us.Max(), 0.0);
+}
+
+// TSan canary for the full serving stack: many driver threads hammer one
+// service (sync + async + batch, overlapping keys) while the pool computes
+// misses. Verifies every answer against precomputed goldens.
+TEST(ServeConcurrencyStress, MixedTrafficOneService) {
+  ScoredDblp f(SmallDblpConfig());
+  core::DatabaseBackend backend(f.d.db, f.d.links, /*per_select_micros=*/0.0);
+  search::SearchContext ctx = BuildDblpContext(f.d, &backend);
+  ServiceOptions so;
+  so.num_threads = 4;
+  so.cache.num_shards = 4;
+  so.cache.max_entries = 16;  // small: force concurrent eviction too
+  QueryService service(ctx, so);
+
+  search::QueryOptions options;
+  options.l = 8;
+  options.max_results = 3;
+  std::vector<std::string> mix = {"faloutsos",  "databases", "mining",
+                                  "power law",  "clustering", "graphs",
+                                  "christos faloutsos", "streams"};
+  std::vector<std::string> golden;
+  golden.reserve(mix.size());
+  for (const std::string& q : mix) {
+    golden.push_back(Serialize(ctx.Query(q, options)));
+  }
+
+  std::atomic<int> mismatches{0};
+  auto check = [&](size_t qi, const ResultPtr& r) {
+    if (r == nullptr || Serialize(r->results) != golden[qi]) {
+      mismatches.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+
+  constexpr size_t kDrivers = 4;
+  constexpr int kRounds = 6;
+  std::vector<std::thread> drivers;
+  drivers.reserve(kDrivers);
+  for (size_t w = 0; w < kDrivers; ++w) {
+    drivers.emplace_back([&, w] {
+      for (int round = 0; round < kRounds; ++round) {
+        size_t qi = (round + w) % mix.size();
+        check(qi, service.Query(mix[qi], options));
+        auto fut = service.SubmitAsync(mix[(qi + 1) % mix.size()], options);
+        check((qi + 1) % mix.size(), fut.get());
+        if (w == 0 && round == kRounds / 2) service.ClearCache();
+      }
+    });
+  }
+  for (std::thread& t : drivers) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  Metrics m = service.metrics();
+  EXPECT_EQ(m.queries,
+            static_cast<uint64_t>(kDrivers) * kRounds * 2);
+  EXPECT_EQ(m.cache.hits + m.cache.misses + m.cache.coalesced_waits,
+            m.queries);
+}
+
+}  // namespace
+}  // namespace osum::serve

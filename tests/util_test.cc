@@ -2,8 +2,10 @@
 // string helpers, the table printer and the thread-pool primitives.
 #include <atomic>
 #include <cmath>
+#include <future>
 #include <set>
 #include <sstream>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -204,6 +206,20 @@ TEST(ThreadPool, RunsAllSubmittedTasks) {
     }
   }  // destructor drains the queue before joining
   EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(ThreadPool, SubmitWithFutureReturnsValuesAndExceptions) {
+  ThreadPool pool(2);
+  std::future<int> value = pool.SubmitWithFuture([] { return 41 + 1; });
+  EXPECT_EQ(value.get(), 42);
+
+  std::future<void> done = pool.SubmitWithFuture([] {});
+  done.get();  // completes without value
+
+  // Unlike Submit, futures carry exceptions to the caller.
+  std::future<int> boom = pool.SubmitWithFuture(
+      []() -> int { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(boom.get(), std::runtime_error);
 }
 
 TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
