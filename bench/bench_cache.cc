@@ -16,6 +16,7 @@
 // exactly where the paper says generation is most expensive.
 //
 // Flags: --json <path> (bench::JsonReport rows), --tiny (CI smoke sizes).
+#include <algorithm>
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -31,11 +32,18 @@ namespace osum {
 namespace {
 
 /// Distinct query mix: prolific-author surnames (large OSs) + title terms.
+/// Surnames are drawn from a small name pool, so collisions are likely —
+/// dedupe, or a repeated surname's "cold miss" would really be a cache hit.
 std::vector<std::string> DblpMix(const datasets::Dblp& d, size_t surnames) {
   std::vector<std::string> mix;
-  for (rel::TupleId t = 0; t < surnames; ++t) {
+  for (rel::TupleId t = 0; mix.size() < surnames &&
+                           t < d.db.relation(d.author).num_tuples();
+       ++t) {
     std::string name = d.db.relation(d.author).StringValue(t, 0);
-    mix.push_back(name.substr(name.rfind(' ') + 1));
+    std::string surname = name.substr(name.rfind(' ') + 1);
+    if (std::find(mix.begin(), mix.end(), surname) == mix.end()) {
+      mix.push_back(std::move(surname));
+    }
   }
   mix.insert(mix.end(), {"databases", "mining", "graphs", "clustering"});
   return mix;

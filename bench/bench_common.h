@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/os_backend.h"
+#include "core/os_export.h"
 #include "core/os_generator.h"
 #include "core/os_tree.h"
 #include "core/size_l.h"
@@ -91,20 +92,10 @@ class JsonReport {
     double value;
   };
 
-  // Labels are bench-controlled ASCII; escaping covers the JSON-breaking
-  // characters anyway so a stray quote cannot corrupt the document.
+  // Labels are bench-controlled ASCII, but escape anyway so a stray quote
+  // cannot corrupt the document; reuses the tested core escaper.
   static std::string Escape(std::string_view s) {
-    std::string out;
-    out.reserve(s.size());
-    for (char c : s) {
-      if (c == '"' || c == '\\') out += '\\';
-      if (static_cast<unsigned char>(c) < 0x20) {
-        out += ' ';
-      } else {
-        out += c;
-      }
-    }
-    return out;
+    return core::JsonEscape(std::string(s));
   }
 
   // JSON has no NaN/Inf literals; timings can legitimately divide by ~0.

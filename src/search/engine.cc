@@ -56,7 +56,7 @@ std::vector<std::vector<QueryResult>> SizeLSearchEngine::QueryBatch(
 
 std::string SizeLSearchEngine::Render(const QueryResult& result) const {
   // Context-free on purpose: rendering only needs the G_DS, so it works
-  // for results held across a RegisterSubject/BuildIndex cycle.
+  // both before BuildIndex (via subjects_) and after (via the context).
   return result.os.Render(db_, GdsFor(result.subject.relation),
                           &result.selection.nodes);
 }

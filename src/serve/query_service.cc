@@ -23,10 +23,22 @@ util::Summary QueryService::LatencyRing::Snapshot() const {
   return s;
 }
 
+QueryService::PinnedContext::PinnedContext(QueryService* service)
+    : service_(service) {
+  std::lock_guard<std::mutex> lock(service_->context_mu_);
+  binding_ = service_->binding_.get();
+  ++binding_->pins;
+}
+
+QueryService::PinnedContext::~PinnedContext() {
+  std::lock_guard<std::mutex> lock(service_->context_mu_);
+  if (--binding_->pins == 0) service_->context_cv_.notify_all();
+}
+
 QueryService::QueryService(const search::SearchContext& context,
                            ServiceOptions options)
     : options_(options),
-      context_(&context),
+      binding_(new Binding{&context, 0}),
       cache_(options.cache),
       pool_(options.num_threads == 0 ? util::ThreadPool::HardwareThreads()
                                      : options.num_threads) {}
@@ -41,13 +53,15 @@ ResultPtr QueryService::Query(std::string_view keywords,
   // string copy it would never use.
   ResultPtr result = cache_.GetOrCompute(key, [&]() -> CachedResult {
     computed = true;
-    // The pointer is loaded inside the compute callback, i.e. after
+    // The context is pinned inside the compute callback, i.e. after
     // GetOrCompute captured its epoch. Together with RebindContext's
     // swap-then-bump order this makes a stale (old-context) result under a
-    // current epoch impossible: an old pointer implies the bump has not
-    // happened yet, so the entry is wiped by the bump's clear.
-    const search::SearchContext* ctx =
-        context_.load(std::memory_order_acquire);
+    // current epoch impossible: an old pin implies the bump has not
+    // happened yet, so the entry is wiped by the bump's clear. The pin
+    // also keeps the context destroyable-safe: RebindContext does not
+    // return (and so the caller cannot destroy the old context) until
+    // every pin on it is released.
+    PinnedContext ctx(this);
     CachedResult out;
     out.results = ctx->Query(keywords, options);
     out.approx_bytes = ApproxResultBytes(out.results);
@@ -99,21 +113,41 @@ std::vector<ResultPtr> QueryService::QueryBatch(
   }
   if (miss_indices.empty()) return out;
   // Duplicates among the misses coalesce inside GetOrCompute: one worker
-  // computes, the rest wait on the in-flight future.
+  // computes, the rest wait on the in-flight future. Query can throw, but
+  // ParallelFor's contract says fn must not (no cross-thread exception
+  // channel) — capture the first failure and rethrow it after the fan-in.
+  std::mutex error_mu;
+  std::exception_ptr first_error;
   util::ParallelFor(&pool_, miss_indices.size(), [&](size_t j) {
     size_t i = miss_indices[j];
-    out[i] = Query(queries[i], options);
+    try {
+      out[i] = Query(queries[i], options);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mu);
+      if (!first_error) first_error = std::current_exception();
+    }
   });
+  if (first_error) std::rethrow_exception(first_error);
   return out;
 }
 
 void QueryService::RebindContext(const search::SearchContext& context) {
-  // Swap first, then bump. A racing query that still computes against the
-  // old pointer necessarily captured a pre-bump epoch, so its insert is
-  // either rejected (epoch moved) or wiped by the bump's clear — after
-  // BumpEpoch returns, stale results are unreachable (see result_cache.h).
-  context_.store(&context, std::memory_order_release);
+  std::unique_ptr<Binding> old;
+  {
+    std::lock_guard<std::mutex> lock(context_mu_);
+    old = std::move(binding_);
+    binding_.reset(new Binding{&context, 0});
+  }
+  // Swap first, then bump. A racing query that pinned the old binding
+  // necessarily captured a pre-bump epoch, so its insert is either
+  // rejected (epoch moved) or wiped by the bump's clear — after BumpEpoch
+  // returns, stale results are unreachable (see result_cache.h).
   cache_.BumpEpoch();
+  // Drain. No new pin can reach `old` (binding_ no longer points to it),
+  // so wait for the in-flight ones to release; only once the count hits
+  // zero is the documented "caller may now destroy the old context" safe.
+  std::unique_lock<std::mutex> lock(context_mu_);
+  context_cv_.wait(lock, [&] { return old->pins == 0; });
 }
 
 void QueryService::RecordLatency(bool hit, double micros) {

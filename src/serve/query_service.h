@@ -15,9 +15,11 @@
 //     precisely so a borrowed context cannot be destroyed under a
 //     service). All public methods are thread-safe.
 //   - When the context is rebuilt, call RebindContext(new_ctx) BEFORE
-//     destroying the old one: it swaps the pointer and bumps the cache
-//     epoch, so once it returns no result computed against the stale
-//     context is ever served.
+//     destroying the old one: it swaps the pointer, bumps the cache
+//     epoch, and blocks until every in-flight query still executing
+//     against the old context has finished — once it returns, the old
+//     context is unreferenced by the service and no result computed
+//     against it is ever served, so the caller may destroy it.
 //   - Callbacks passed to Submit run on worker threads and must not throw
 //     (util::ThreadPool contract). They must not call QueryBatch (its
 //     blocking fan-in would deadlock a fully occupied pool); Query and
@@ -25,10 +27,11 @@
 #ifndef OSUM_SERVE_QUERY_SERVICE_H_
 #define OSUM_SERVE_QUERY_SERVICE_H_
 
-#include <atomic>
+#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <string>
@@ -84,20 +87,28 @@ class QueryService {
   /// Cache-aware batch, results in input order: hits are answered inline
   /// from the cache, misses fan out over the pool (duplicates within the
   /// batch coalesce onto one computation). Blocks until every answer is
-  /// ready. Must not be called from a worker callback (see header note).
+  /// ready. If any miss computation throws, the remaining misses still run
+  /// and the first exception is rethrown on the calling thread. Must not
+  /// be called from a worker callback (see header note).
   std::vector<ResultPtr> QueryBatch(std::span<const std::string> queries,
                                     const search::QueryOptions& options = {});
 
-  /// Atomically redirects future queries to `context` and invalidates the
-  /// cache. Once this returns, no cached result computed against the
-  /// previous context can be served; the caller may then destroy it.
+  /// Atomically redirects future queries to `context`, invalidates the
+  /// cache, and drains: blocks until every in-flight query still executing
+  /// against the previous context has finished. Once this returns, the
+  /// previous context is unreferenced by the service and no cached result
+  /// computed against it can be served; the caller may then destroy it.
   void RebindContext(const search::SearchContext& context);
 
   /// Drops cached entries without invalidating (memory relief).
   void ClearCache() { cache_.Clear(); }
 
+  /// The currently bound context. The reference itself is not pinned —
+  /// it stays valid only under the caller's own lifetime coordination
+  /// (no concurrent RebindContext-then-destroy).
   const search::SearchContext& context() const {
-    return *context_.load(std::memory_order_acquire);
+    std::lock_guard<std::mutex> lock(context_mu_);
+    return *binding_->ctx;
   }
   size_t num_threads() const { return pool_.size(); }
 
@@ -105,6 +116,32 @@ class QueryService {
   Metrics metrics() const;
 
  private:
+  /// The bound context plus the number of queries currently executing
+  /// against it (both guarded by context_mu_). Queries pin the binding
+  /// for the duration of a compute; RebindContext retires a binding only
+  /// after its pins drain to zero, so "the caller may destroy the old
+  /// context once RebindContext returns" is safe, not just documented.
+  struct Binding {
+    const search::SearchContext* ctx = nullptr;
+    size_t pins = 0;
+  };
+
+  /// RAII pin on the currently bound context: between construction and
+  /// destruction the pinned context cannot be retired by RebindContext,
+  /// so it is safe to query even while a rebind is in progress.
+  class PinnedContext {
+   public:
+    explicit PinnedContext(QueryService* service);
+    ~PinnedContext();
+    PinnedContext(const PinnedContext&) = delete;
+    PinnedContext& operator=(const PinnedContext&) = delete;
+    const search::SearchContext* operator->() const { return binding_->ctx; }
+
+   private:
+    QueryService* const service_;
+    Binding* binding_;
+  };
+
   /// Fixed-capacity reservoir of the most recent samples (guarded by
   /// latency_mu_); keeps metrics() bounded under sustained traffic.
   struct LatencyRing {
@@ -118,7 +155,11 @@ class QueryService {
   void RecordLatency(bool hit, double micros);
 
   const ServiceOptions options_;
-  std::atomic<const search::SearchContext*> context_;
+
+  mutable std::mutex context_mu_;
+  mutable std::condition_variable context_cv_;  // signaled when pins hit 0
+  std::unique_ptr<Binding> binding_;
+
   ResultCache cache_;
 
   mutable std::mutex latency_mu_;

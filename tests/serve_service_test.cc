@@ -4,7 +4,12 @@
 // be cache-aware, and rebinding a rebuilt context must invalidate — a
 // stale context can never serve cached results.
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <future>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -38,6 +43,66 @@ ServiceOptions SmallService() {
   o.cache.num_shards = 2;
   return o;
 }
+
+/// Delegating back end that can hold every join call on a gate (to keep a
+/// query deterministically in flight) or fail it (to make Query throw) —
+/// the levers the rebind-drain and batch-exception tests need.
+class GatedBackend : public core::OsBackend {
+ public:
+  explicit GatedBackend(core::OsBackend* inner) : inner_(inner) {}
+
+  const char* name() const override { return "gated"; }
+
+  void Fetch(graph::LinkTypeId link, rel::FkDirection dir,
+             rel::TupleId parent_tuple,
+             std::vector<rel::TupleId>* out) override {
+    Enter();
+    inner_->Fetch(link, dir, parent_tuple, out);
+  }
+  void FetchTop(graph::LinkTypeId link, rel::FkDirection dir,
+                rel::TupleId parent_tuple, size_t limit,
+                double min_importance,
+                std::vector<rel::TupleId>* out) override {
+    Enter();
+    inner_->FetchTop(link, dir, parent_tuple, limit, min_importance, out);
+  }
+
+  void FailJoins(bool fail) { fail_.store(fail); }
+  void CloseGate() {
+    std::lock_guard<std::mutex> lock(mu_);
+    gate_closed_ = true;
+  }
+  void OpenGate() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      gate_closed_ = false;
+    }
+    cv_.notify_all();
+  }
+  /// Blocks until some join call is parked on the closed gate.
+  void WaitUntilBlocked() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return waiting_ > 0; });
+  }
+
+ private:
+  void Enter() {
+    if (fail_.load()) throw std::runtime_error("injected join failure");
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!gate_closed_) return;
+    ++waiting_;
+    cv_.notify_all();
+    cv_.wait(lock, [&] { return !gate_closed_; });
+    --waiting_;
+  }
+
+  core::OsBackend* inner_;
+  std::atomic<bool> fail_{false};
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool gate_closed_ = false;
+  int waiting_ = 0;
+};
 
 /// The headline invariant on one backend: miss computes, hit returns the
 /// same immutable object, both byte-identical to an uncached Query.
@@ -186,6 +251,90 @@ TEST(QueryServiceEpoch, RebindAfterRebuildNeverServesStaleResults) {
   // entry would have been observable — and did not happen.
   EXPECT_NE(fresh_bytes, stale_bytes);
   EXPECT_EQ(service.metrics().cache.misses, 2u);
+}
+
+// The lifetime half of the RebindContext contract: it must not return
+// while a query is still executing against the old context, because the
+// caller is entitled to destroy that context the moment it returns.
+TEST(QueryServiceEpoch, RebindDrainsInFlightQueriesBeforeReturning) {
+  ScoredDblp f(SmallDblpConfig());
+  GatedBackend gated(&f.backend);
+  auto old_ctx = std::make_unique<search::SearchContext>(
+      BuildDblpContext(f.d, &gated));
+  search::SearchContext new_ctx = BuildDblpContext(f.d, &f.backend);
+
+  QueryService service(*old_ctx, SmallService());
+  search::QueryOptions options;
+  options.l = 8;
+
+  gated.CloseGate();
+  std::future<ResultPtr> inflight = service.SubmitAsync("databases", options);
+  gated.WaitUntilBlocked();  // the miss has pinned old_ctx and is computing
+
+  std::atomic<bool> rebound{false};
+  std::thread rebinder([&] {
+    service.RebindContext(new_ctx);
+    rebound.store(true);
+  });
+  // While the old context is pinned, RebindContext must stay blocked.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(rebound.load());
+
+  gated.OpenGate();
+  rebinder.join();
+  EXPECT_TRUE(rebound.load());
+  // The query drained before RebindContext returned, so its future is
+  // already satisfied and destroying the old context now is safe (the
+  // sanitizer lanes would flag a use-after-free here otherwise).
+  ResultPtr r = inflight.get();
+  ASSERT_NE(r, nullptr);
+  old_ctx.reset();
+
+  EXPECT_EQ(&service.context(), &new_ctx);
+  ResultPtr fresh = service.Query("databases", options);
+  ASSERT_NE(fresh, nullptr);
+  EXPECT_EQ(Serialize(fresh->results),
+            Serialize(new_ctx.Query("databases", options)));
+}
+
+// A throwing miss inside the batch fan-out must surface on the calling
+// thread (ParallelFor tasks themselves must not throw — an escaped
+// exception would terminate the process), and must not poison the service.
+TEST(QueryServiceBatch, MissExceptionRethrownOnCallingThread) {
+  ScoredDblp f(SmallDblpConfig());
+  GatedBackend gated(&f.backend);
+  search::SearchContext ctx = BuildDblpContext(f.d, &gated);
+  QueryService service(ctx, SmallService());
+  search::QueryOptions options;
+  options.l = 8;
+
+  // Warm one key so the failing batch mixes cache hits with bad misses.
+  ResultPtr warm = service.Query("faloutsos", options);
+  ASSERT_NE(warm, nullptr);
+
+  gated.FailJoins(true);
+  std::vector<std::string> queries = {"faloutsos", "databases", "mining"};
+  EXPECT_THROW(service.QueryBatch(queries, options), std::runtime_error);
+
+  // Submit's contrasting convention: no future to carry the exception, so
+  // the callback receives nullptr instead.
+  std::promise<ResultPtr> delivered;
+  service.Submit("power law", options,
+                 [&](ResultPtr r) { delivered.set_value(std::move(r)); });
+  EXPECT_EQ(delivered.get_future().get(), nullptr);
+
+  // Failures cached nothing: once joins heal, the same batch succeeds and
+  // still reuses the pre-failure entry.
+  gated.FailJoins(false);
+  std::vector<ResultPtr> batch = service.QueryBatch(queries, options);
+  ASSERT_EQ(batch.size(), queries.size());
+  EXPECT_EQ(batch[0].get(), warm.get());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_NE(batch[i], nullptr) << queries[i];
+    EXPECT_EQ(Serialize(batch[i]->results),
+              Serialize(ctx.Query(queries[i], options)))
+        << queries[i];
+  }
 }
 
 TEST(QueryServiceMetrics, LatencyReservoirsPopulate) {
