@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "api/query.h"
 #include "bench_common.h"
 #include "core/os_backend.h"
 #include "serve/query_service.h"
@@ -77,11 +78,12 @@ double RunColdVsHot(const std::string& backend_name,
 
   util::Summary miss_us, hit_us;
   for (const std::string& q : mix) {
+    api::QueryRequest request = api::QueryRequest(q).WithOptions(options);
     util::WallTimer timer;
-    service.Query(q, options);
+    service.Execute(request);
     miss_us.Add(timer.ElapsedMicros());
     // Steady-state hit: median of several repeats.
-    double hot = bench::MedianSeconds([&] { service.Query(q, options); },
+    double hot = bench::MedianSeconds([&] { service.Execute(request); },
                                       5) * 1e6;
     hit_us.Add(hot);
   }
@@ -115,17 +117,22 @@ void RunSkewedWorkload(const std::string& backend_name,
                                     std::to_string(mix.size()) +
                                     " distinct), backend=" + backend_name);
   std::vector<size_t> schedule = SkewedSchedule(mix.size(), requests);
+  std::vector<api::QueryRequest> mix_requests;
+  mix_requests.reserve(mix.size());
+  for (const std::string& q : mix) {
+    mix_requests.push_back(api::QueryRequest(q).WithOptions(options));
+  }
 
   // Uncached reference: every request recomputes.
   util::WallTimer uncached_timer;
-  for (size_t qi : schedule) ctx.Query(mix[qi], options);
+  for (size_t qi : schedule) ctx.Execute(mix_requests[qi]);
   double uncached_s = uncached_timer.ElapsedSeconds();
 
   serve::ServiceOptions so;
   so.num_threads = 1;
   serve::QueryService service(ctx, so);
   util::WallTimer cached_timer;
-  for (size_t qi : schedule) service.Query(mix[qi], options);
+  for (size_t qi : schedule) service.Execute(mix_requests[qi]);
   double cached_s = cached_timer.ElapsedSeconds();
 
   serve::Metrics m = service.metrics();

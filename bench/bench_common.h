@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <string>
 #include <string_view>
@@ -34,15 +35,27 @@ namespace osum::bench {
 class JsonReport {
  public:
   /// Recognizes `--json <path>` (and `--json=<path>`) anywhere in argv.
+  /// `--json` without a path is a usage error: exits non-zero instead of
+  /// silently writing nothing (CI would read the stale previous report).
   static JsonReport FromArgs(int argc, char** argv, std::string bench_name) {
     JsonReport report;
     report.bench_ = std::move(bench_name);
     for (int i = 1; i < argc; ++i) {
       std::string_view arg = argv[i];
-      if (arg == "--json" && i + 1 < argc) {
-        report.path_ = argv[i + 1];
+      if (arg == "--json") {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "error: --json requires a path argument\n"
+                               "usage: %s [--tiny] [--json <path>]\n",
+                       argv[0]);
+          std::exit(2);
+        }
+        report.path_ = argv[++i];
       } else if (arg.rfind("--json=", 0) == 0) {
         report.path_ = std::string(arg.substr(7));
+        if (report.path_.empty()) {
+          std::fprintf(stderr, "error: --json= requires a path argument\n");
+          std::exit(2);
+        }
       }
     }
     return report;

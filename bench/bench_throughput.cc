@@ -1,10 +1,11 @@
 // Concurrent query throughput over a shared immutable SearchContext.
 //
-// The scaling claim behind SearchContext::QueryBatch: size-l keyword
+// The scaling claim behind SearchContext::ExecuteBatch: size-l keyword
 // queries are per-query parallel (each walks its own t_DS hits and OS
 // trees against read-only structures), so batching them over a thread pool
-// should scale with cores. This driver builds one context per dataset and
-// sweeps the worker count over a fixed keyword mix:
+// should scale with cores. This driver speaks the api layer's
+// QueryRequest/QueryResponse contract end to end; it builds one context
+// per dataset and sweeps the worker count over a fixed keyword mix:
 //   - DBLP mix: author surnames + paper-title terms (hits with large OSs,
 //     CPU-bound on OS generation + size-l).
 //   - TPC-H mix: customer/supplier names against the simulated-latency
@@ -21,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "api/query.h"
 #include "bench_common.h"
 #include "search/search_context.h"
 #include "util/string_util.h"
@@ -48,12 +50,26 @@ std::vector<std::string> RepeatMix(std::vector<std::string> base,
   return mix;
 }
 
-/// Fingerprint of a result batch: selection importances and OS sizes are
-/// enough to detect any cross-thread divergence.
-double Checksum(const std::vector<std::vector<search::QueryResult>>& batch) {
+/// The string mix as api requests — what the sweep actually executes.
+std::vector<api::QueryRequest> ToRequests(
+    const std::vector<std::string>& queries,
+    const search::QueryOptions& options) {
+  std::vector<api::QueryRequest> requests;
+  requests.reserve(queries.size());
+  for (const std::string& q : queries) {
+    requests.push_back(api::QueryRequest(q).WithOptions(options));
+  }
+  return requests;
+}
+
+/// Fingerprint of a response batch: selection importances and OS sizes are
+/// enough to detect any cross-thread divergence. A non-OK response (there
+/// should be none in this mix) poisons the sum.
+double Checksum(const std::vector<api::QueryResponse>& batch) {
   double sum = 0.0;
-  for (const auto& results : batch) {
-    for (const search::QueryResult& r : results) {
+  for (const api::QueryResponse& response : batch) {
+    if (!response.ok()) return -1.0;
+    for (const api::QueryResult& r : response.result_list()) {
       sum += r.selection.importance + static_cast<double>(r.os.size()) +
              static_cast<double>(r.subject.tuple);
     }
@@ -68,14 +84,15 @@ void RunSweep(const std::string& title, const search::SearchContext& ctx,
                                     " queries, l=" +
                                     std::to_string(options.l) + ", backend=" +
                                     ctx.backend()->name() + ")");
+  std::vector<api::QueryRequest> requests = ToRequests(queries, options);
 
-  // Serial reference: the plain Query loop QueryBatch must reproduce.
+  // Serial reference: the plain Execute loop ExecuteBatch must reproduce.
   double serial_s = bench::MedianSeconds(
       [&] {
-        for (const std::string& q : queries) ctx.Query(q, options);
+        for (const api::QueryRequest& r : requests) ctx.Execute(r);
       },
       kReps);
-  double reference = Checksum(ctx.QueryBatch(queries, options, size_t{1}));
+  double reference = Checksum(ctx.ExecuteBatch(requests, size_t{1}));
 
   util::TablePrinter table(
       {"threads", "wall ms", "queries/s", "speedup vs 1T", "matches serial"});
@@ -83,10 +100,10 @@ void RunSweep(const std::string& title, const search::SearchContext& ctx,
   for (size_t threads : kThreadSweep) {
     util::ThreadPool pool(threads);
     double secs = bench::MedianSeconds(
-        [&] { ctx.QueryBatch(queries, options, pool); }, kReps);
+        [&] { ctx.ExecuteBatch(requests, pool); }, kReps);
     if (threads == kThreadSweep.front()) base_s = secs;
     bool matches =
-        Checksum(ctx.QueryBatch(queries, options, pool)) == reference;
+        Checksum(ctx.ExecuteBatch(requests, pool)) == reference;
     table.AddRow({std::to_string(threads), util::FormatDouble(secs * 1e3, 1),
                   util::FormatDouble(static_cast<double>(queries.size()) / secs, 0),
                   util::FormatDouble(base_s / secs, 2),

@@ -6,6 +6,11 @@
 //   stats                      database and data-graph statistics
 //   gds <relation>             print the annotated G_DS of a data subject
 //   query <keywords> [l]       ranked size-l OSs (Example 5 format)
+//   query --wire json|binary <keywords> [l]
+//                              the full api::QueryResponse on the wire:
+//                              canonical JSON document, or the v1 binary
+//                              format as hex (pipe through `xxd -r -p`
+//                              for raw bytes)
 //   json <keywords> [l]        same, as JSON (first result only)
 //   budget <keywords> <words>  word-budget summary (Section 7 future work)
 //   serve <keywords> [l]       query via the serving layer; shows HIT/MISS
@@ -26,6 +31,8 @@
 #include <string>
 #include <vector>
 
+#include "api/codec.h"
+#include "api/query.h"
 #include "core/os_backend.h"
 #include "core/os_export.h"
 #include "core/word_budget.h"
@@ -108,6 +115,8 @@ void PrintHelp() {
       "  stats                      database statistics\n"
       "  gds <relation>             print an annotated G_DS\n"
       "  query <keywords...> [l]    ranked size-l OSs\n"
+      "  query --wire json|binary <keywords...> [l]\n"
+      "                             full QueryResponse as a wire document\n"
       "  json <keywords...> [l]     first result as JSON\n"
       "  budget <keywords...> <w>   word-budget summary (~w words)\n"
       "  serve <keywords...> [l]    query via the serving layer (HIT/MISS +\n"
@@ -191,17 +200,20 @@ void RunCommand(Session& session, const std::string& line) {
       std::puts("usage: serve <keywords...> [l]");
       return;
     }
-    search::QueryOptions options;
-    options.l = number.value_or(15);
-    serve::QueryService& service = session.Service();
-    uint64_t misses_before = service.metrics().cache.misses;
-    util::WallTimer timer;
-    serve::ResultPtr cached = service.Query(keywords, options);
-    double micros = timer.ElapsedMicros();
-    bool miss = service.metrics().cache.misses > misses_before;
-    std::printf("[%s, %.1f us] %zu result(s)\n", miss ? "MISS" : "HIT",
-                micros, cached->results.size());
-    for (const auto& r : cached->results) {
+    // The typed surface reports the cache outcome itself — no more
+    // diffing miss counters around the call.
+    api::QueryResponse response = session.Service().Execute(
+        api::QueryRequest(keywords).WithL(number.value_or(15)));
+    if (!response.ok()) {
+      std::printf("error: %s\n", response.status.ToString().c_str());
+      return;
+    }
+    std::printf("[%s, %.1f us, epoch %llu] %zu result(s)\n",
+                response.stats.cache_hit ? "HIT" : "MISS",
+                response.stats.compute_micros,
+                static_cast<unsigned long long>(response.stats.epoch),
+                response.result_list().size());
+    for (const auto& r : response.result_list()) {
       std::printf("  importance %.2f, |OS|=%zu, selection %zu node(s)\n",
                   r.subject_importance, r.os.size(), r.selection.nodes.size());
     }
@@ -238,15 +250,39 @@ void RunCommand(Session& session, const std::string& line) {
     return;
   }
   if (cmd == "query" || cmd == "json" || cmd == "budget") {
-    auto [keywords, number] = SplitTrailingNumber(args, 1);
+    size_t from = 1;
+    std::string wire;
+    if (cmd == "query" && args.size() > 1 && args[1] == "--wire") {
+      if (args.size() < 3 || (args[2] != "json" && args[2] != "binary")) {
+        std::puts("usage: query --wire json|binary <keywords...> [l]");
+        return;
+      }
+      wire = args[2];
+      from = 3;
+    }
+    auto [keywords, number] = SplitTrailingNumber(args, from);
     if (keywords.empty()) {
       std::printf("usage: %s <keywords...> [number]\n", cmd.c_str());
       return;
     }
-    search::QueryOptions options;
-    options.l = cmd == "budget" ? 0 : number.value_or(15);
-    if (cmd == "budget") options.l = 0;  // need the complete OS
-    auto results = session.engine->Query(keywords, options);
+    api::QueryRequest request(keywords);
+    // budget needs the complete OS; l selects the synopsis otherwise.
+    request.WithL(cmd == "budget" ? 0 : number.value_or(15));
+    api::QueryResponse response = session.engine->Execute(request);
+    if (!wire.empty()) {
+      // The wire forms carry failures and empty answers as data.
+      if (wire == "json") {
+        std::cout << api::ResponseToJson(response) << "\n";
+      } else {
+        std::cout << api::ToHex(api::EncodeResponse(response)) << "\n";
+      }
+      return;
+    }
+    if (!response.ok()) {
+      std::printf("error: %s\n", response.status.ToString().c_str());
+      return;
+    }
+    const api::ResultList& results = response.result_list();
     if (results.empty()) {
       std::puts("no results");
       return;
@@ -310,7 +346,7 @@ int main(int argc, char** argv) {
   for (const char* cmd :
        {"build dblp", "stats", "gds Author", "query faloutsos 8",
         "budget faloutsos 40", "serve faloutsos 8", "serve faloutsos 8",
-        "metrics"}) {
+        "query --wire json faloutsos 5", "metrics"}) {
     std::printf("\n$ %s\n", cmd);
     RunCommand(session, cmd);
   }

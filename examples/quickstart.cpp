@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "api/query.h"
 #include "core/os_backend.h"
 #include "datasets/dblp.h"
 #include "search/engine.h"
@@ -44,30 +45,34 @@ int main() {
   std::cout << "Author G_DS (affinity, max, mmax annotations):\n"
             << engine.GdsFor(dblp.author).ToString(dblp.db) << "\n";
 
-  // 4. Q1 = "Faloutsos" with l = 15 (the paper's Example 5).
-  search::QueryOptions options;
-  options.l = 15;
-  options.algorithm = core::SizeLAlgorithm::kTopPath;
-  timer.Reset();
-  auto results = engine.Query("Faloutsos", options);
-  double ms = timer.ElapsedMillis();
+  // 4. Q1 = "Faloutsos" with l = 15 (the paper's Example 5), through the
+  // public request/response contract: a fluent request in, a status-typed
+  // response (ranked size-l OSs + compute metadata) out.
+  api::QueryRequest q1 = api::QueryRequest("Faloutsos")
+                             .WithL(15)
+                             .WithAlgorithm(core::SizeLAlgorithm::kTopPath);
+  api::QueryResponse response = engine.Execute(q1);
+  if (!response.ok()) {
+    std::printf("query failed: %s\n", response.status.ToString().c_str());
+    return 1;
+  }
 
   std::printf("Q1 \"Faloutsos\", l=%zu -> %zu size-l OSs (%.1f ms):\n\n",
-              options.l, results.size(), ms);
-  for (const auto& r : results) {
+              q1.options().l, response.result_list().size(),
+              response.stats.compute_micros / 1e3);
+  for (const auto& r : response.result_list()) {
     std::printf("--- |OS|=%zu tuples, size-%zu importance %.2f ---\n",
-                r.os.size(), options.l, r.selection.importance);
+                r.os.size(), q1.options().l, r.selection.importance);
     std::cout << engine.Render(r) << "\n";
   }
 
   // 5. Contrast with the complete OS (Example 4): just report its size.
-  search::QueryOptions full;
-  full.l = 0;
-  auto complete = engine.Query("christos faloutsos", full);
-  if (!complete.empty()) {
+  api::QueryResponse complete =
+      engine.Execute(api::QueryRequest("christos faloutsos").WithL(0));
+  if (complete.ok() && !complete.result_list().empty()) {
     std::printf("(the complete OS for Christos has %zu tuples -- "
                 "the size-15 OS above is the synopsis)\n",
-                complete[0].os.size());
+                complete.result_list()[0].os.size());
   }
   return 0;
 }

@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench --json run against a checked-in baseline.
+
+Both files are bench::JsonReport documents:
+
+    {"bench": "<name>", "rows": [{"section": ..., "label": ...,
+                                  "metric": ..., "value": ...}, ...]}
+
+Rows are matched on (section, label, metric). For each matched row the
+ratio fresh/baseline is reported, flagged when it falls outside the
+tolerance band [1/(1+tol), 1+tol] in the metric's bad direction (QPS and
+speedups regress downward, wall times and latencies regress upward;
+unknown metrics flag both directions). Rows present on only one side are
+reported as added/missing.
+
+By default the script is a REPORT: it always exits 0, so CI can surface
+perf drift without going red on a noisy container (the checked-in
+baselines come from the reference container and a --tiny smoke run will
+differ wildly — that mismatch is itself useful signal that the plumbing
+works). Pass --strict to exit 1 when any row regresses, for dedicated
+perf lanes.
+
+Usage:
+    scripts/bench_diff.py BASELINE.json FRESH.json [--tolerance 0.5]
+                          [--strict]
+"""
+
+import argparse
+import json
+import sys
+
+# Metric-name fragments that tell us which direction is a regression.
+HIGHER_IS_BETTER = ("qps", "speedup", "hit_rate")
+LOWER_IS_BETTER = ("_ms", "_us", "wall", "latency", "mean", "p50", "p99",
+                   "max")
+
+
+def direction(metric: str) -> str:
+    m = metric.lower()
+    if any(tag in m for tag in HIGHER_IS_BETTER):
+        return "higher"
+    if any(tag in m for tag in LOWER_IS_BETTER):
+        return "lower"
+    return "both"
+
+
+def load_rows(path: str) -> dict:
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    rows = {}
+    for row in doc.get("rows", []):
+        key = (row["section"], row["label"], row["metric"])
+        rows[key] = row["value"]
+    return doc.get("bench", "?"), rows
+
+
+def classify(key, base, fresh, tolerance):
+    """Returns (ratio, verdict) where verdict is ok/regressed/improved."""
+    if base is None or fresh is None:
+        return None, "incomparable"
+    if base == 0:
+        return None, "ok" if fresh == 0 else "incomparable"
+    ratio = fresh / base
+    low, high = 1.0 / (1.0 + tolerance), 1.0 + tolerance
+    within = low <= ratio <= high
+    if within:
+        return ratio, "ok"
+    better = direction(key[2])
+    if better == "higher":
+        return ratio, "regressed" if ratio < low else "improved"
+    if better == "lower":
+        return ratio, "regressed" if ratio > high else "improved"
+    return ratio, "regressed"  # unknown metric: any drift is suspect
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="Diff a fresh bench --json run against a baseline.")
+    parser.add_argument("baseline", help="checked-in baseline JSON")
+    parser.add_argument("fresh", help="fresh --json output")
+    parser.add_argument("--tolerance", type=float, default=0.5,
+                        help="allowed relative drift per row "
+                             "(0.5 = ±50%%; default %(default)s)")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit 1 when any row regresses "
+                             "(default: report only, always exit 0)")
+    args = parser.parse_args()
+
+    base_name, base = load_rows(args.baseline)
+    fresh_name, fresh = load_rows(args.fresh)
+    if base_name != fresh_name:
+        print(f"note: comparing different benches: "
+              f"{base_name!r} vs {fresh_name!r}")
+
+    regressed = improved = ok = 0
+    print(f"bench_diff: {args.fresh} vs baseline {args.baseline} "
+          f"(tolerance ±{args.tolerance * 100:.0f}%)")
+    header = f"{'section/label/metric':58} {'baseline':>12} " \
+             f"{'fresh':>12} {'ratio':>7}  verdict"
+    print(header)
+    print("-" * len(header))
+    for key in sorted(set(base) | set(fresh)):
+        name = "/".join(key)
+        if key not in fresh:
+            print(f"{name:58} {base[key]:12.4g} {'-':>12} {'-':>7}  missing")
+            continue
+        if key not in base:
+            print(f"{name:58} {'-':>12} {fresh[key]:12.4g} {'-':>7}  added")
+            continue
+        ratio, verdict = classify(key, base[key], fresh[key], args.tolerance)
+        ratio_s = f"{ratio:7.2f}" if ratio is not None else "      -"
+        flag = "" if verdict == "ok" else "  <--"
+        print(f"{name:58} {base[key]:12.4g} {fresh[key]:12.4g} "
+              f"{ratio_s}  {verdict}{flag}")
+        if verdict == "regressed":
+            regressed += 1
+        elif verdict == "improved":
+            improved += 1
+        else:
+            ok += 1
+
+    print(f"\nsummary: {ok} within band, {improved} improved, "
+          f"{regressed} regressed")
+    if args.strict and regressed > 0:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

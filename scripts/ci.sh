@@ -7,9 +7,13 @@
 #      sharded ResultCache) race on nothing; runs the search- and serve-
 #      labeled suites, which include the concurrency/stampede stress
 #      aggregates (labeled search;slow / serve;slow).
-# The release lane also smokes the bench `--json` output mode: bench_cache
-# runs at --tiny sizes and its JSON must parse (and the bench itself exits
-# nonzero if the >=10x hot-hit speedup gate fails).
+# The release lane also smokes the bench `--json` output mode (bench_cache
+# runs at --tiny sizes and its JSON must parse; the bench itself exits
+# nonzero if the >=10x hot-hit speedup gate fails), diffs that run against
+# the checked-in baseline as a NON-FATAL report (scripts/bench_diff.py —
+# tiny-vs-reference numbers differ by design; the report proves the diff
+# plumbing), and smokes the api wire format: `osum_cli query --wire json`
+# must produce a document Python's json module parses.
 # Usage: scripts/ci.sh            (JOBS=<n> to override parallelism)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -44,6 +48,31 @@ smoke_json="build-release/bench_cache_smoke.json"
 build-release/bench/bench_cache --tiny --json "${smoke_json}"
 python3 -m json.tool "${smoke_json}" > /dev/null
 echo "bench JSON smoke ok: ${smoke_json}"
+
+# Non-fatal perf-drift report: --tiny numbers are not comparable to the
+# reference-container baseline, but the diff proves rows match up and the
+# tolerance plumbing works. Dedicated perf lanes run this with --strict on
+# full-size output instead.
+echo "==== bench_diff report (non-fatal, tiny vs reference baseline) ===="
+python3 scripts/bench_diff.py bench/baselines/bench_cache.json \
+        "${smoke_json}" || echo "bench_diff reported issues (non-fatal)"
+
+# Wire-format smoke: the CLI's canonical JSON response must parse with a
+# strict parser. The CLI prints a build banner first, so parse from the
+# first '{'.
+echo "==== api wire smoke (osum_cli query --wire json) ===="
+wire_out="build-release/cli_wire_smoke.out"
+build-release/examples/osum_cli "build dblp; query --wire json faloutsos 6" \
+        > "${wire_out}"
+python3 - "${wire_out}" <<'PY'
+import json, sys
+text = open(sys.argv[1], encoding="utf-8").read()
+doc = json.loads(text[text.index("{"):])
+assert doc["kind"] == "query_response" and doc["v"] == 1, doc
+assert doc["status"]["code"] == 0 and doc["results"], doc["status"]
+print(f"wire smoke ok: {len(doc['results'])} result(s), "
+      f"status {doc['status']['code']}")
+PY
 
 run_config build-asan -- -DCMAKE_BUILD_TYPE=Debug -DOSUM_SANITIZE=address
 # Benches and examples are never executed under TSan; skip their

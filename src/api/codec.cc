@@ -1,0 +1,1083 @@
+#include "api/codec.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "core/os_export.h"
+
+namespace osum::api {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Binary primitives. Explicit byte shifts, not memcpy of host integers, so
+// the format is identical on any endianness.
+// ---------------------------------------------------------------------------
+
+constexpr char kMagic[4] = {'O', 'S', 'U', 'M'};
+constexpr uint8_t kKindRequest = 1;
+constexpr uint8_t kKindResponse = 2;
+
+void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU16(std::string* out, uint16_t v) {
+  for (int i = 0; i < 2; ++i) PutU8(out, static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) PutU8(out, static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) PutU8(out, static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void PutI32(std::string* out, int32_t v) {
+  PutU32(out, static_cast<uint32_t>(v));
+}
+
+void PutF64(std::string* out, double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+void PutStr(std::string* out, std::string_view s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+/// Bounds-checked little-endian reader. The first failure latches: every
+/// subsequent read returns zero values, and the caller checks ok() once at
+/// the end (or wherever a count needs validating before use).
+class Reader {
+ public:
+  explicit Reader(std::string_view bytes) : bytes_(bytes) {}
+
+  bool ok() const { return error_.empty(); }
+  const std::string& error() const { return error_; }
+  size_t remaining() const { return bytes_.size() - pos_; }
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+
+  void Fail(std::string message) {
+    if (error_.empty()) {
+      error_ = std::move(message);
+      error_ += " (offset " + std::to_string(pos_) + ")";
+    }
+  }
+
+  uint8_t U8() {
+    if (!Need(1)) return 0;
+    return static_cast<uint8_t>(bytes_[pos_++]);
+  }
+  uint16_t U16() { return ReadLe<uint16_t>(2); }
+  uint32_t U32() { return ReadLe<uint32_t>(4); }
+  uint64_t U64() { return ReadLe<uint64_t>(8); }
+  int32_t I32() { return static_cast<int32_t>(U32()); }
+  double F64() {
+    uint64_t bits = U64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  std::string Str() {
+    uint32_t len = U32();
+    if (!Need(len)) return {};
+    std::string s(bytes_.substr(pos_, len));
+    pos_ += len;
+    return s;
+  }
+
+  /// Validates an element count against the bytes actually left: a count
+  /// that could not possibly be backed by `min_bytes_each` payload is
+  /// corrupt, and rejecting it here keeps hostile lengths from turning
+  /// into huge allocations.
+  bool CheckCount(uint64_t count, size_t min_bytes_each, const char* what) {
+    if (!ok()) return false;
+    if (count > remaining() / min_bytes_each) {
+      Fail(std::string(what) + " count " + std::to_string(count) +
+           " exceeds remaining payload");
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  bool Need(size_t n) {
+    if (!ok()) return false;
+    if (remaining() < n) {
+      Fail("truncated input: need " + std::to_string(n) + " more byte(s)");
+      return false;
+    }
+    return true;
+  }
+
+  template <typename T>
+  T ReadLe(size_t n) {
+    if (!Need(n)) return 0;
+    uint64_t v = 0;
+    for (size_t i = 0; i < n; ++i) {
+      v |= static_cast<uint64_t>(static_cast<uint8_t>(bytes_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += n;
+    return static_cast<T>(v);
+  }
+
+  std::string_view bytes_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+void PutHeader(std::string* out, uint8_t kind) {
+  out->append(kMagic, sizeof(kMagic));
+  PutU16(out, kWireVersion);
+  PutU8(out, kind);
+}
+
+/// Checks magic/version/kind; on success the reader sits at the payload.
+Status ReadHeader(Reader* r, uint8_t want_kind) {
+  char magic[4];
+  for (char& c : magic) c = static_cast<char>(r->U8());
+  if (!r->ok()) return Status::CodecError(r->error());
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::CodecError("bad magic: not an OSUM wire document");
+  }
+  uint16_t version = r->U16();
+  if (r->ok() && version != kWireVersion) {
+    return Status::CodecError("unsupported wire version " +
+                              std::to_string(version) + " (expected " +
+                              std::to_string(kWireVersion) + ")");
+  }
+  uint8_t kind = r->U8();
+  if (!r->ok()) return Status::CodecError(r->error());
+  if (kind != want_kind) {
+    return Status::CodecError(
+        "wrong document kind " + std::to_string(kind) + " (expected " +
+        std::to_string(want_kind) + ")");
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Enum range checks (wire values are attacker-controlled).
+// ---------------------------------------------------------------------------
+
+StatusOr<core::SizeLAlgorithm> AlgorithmFromWire(uint64_t v) {
+  if (v > static_cast<uint64_t>(core::SizeLAlgorithm::kBruteForce)) {
+    return Status::CodecError("unknown algorithm id " + std::to_string(v));
+  }
+  return static_cast<core::SizeLAlgorithm>(v);
+}
+
+StatusOr<ResultRanking> RankingFromWire(uint64_t v) {
+  if (v > static_cast<uint64_t>(ResultRanking::kSummaryImportance)) {
+    return Status::CodecError("unknown ranking id " + std::to_string(v));
+  }
+  return static_cast<ResultRanking>(v);
+}
+
+StatusOr<StatusCode> StatusCodeFromWire(uint64_t v) {
+  if (v > static_cast<uint64_t>(StatusCode::kInternal)) {
+    return Status::CodecError("unknown status code " + std::to_string(v));
+  }
+  return static_cast<StatusCode>(v);
+}
+
+// ---------------------------------------------------------------------------
+// Result payloads (shared between binary encode/decode).
+// ---------------------------------------------------------------------------
+
+void EncodeResult(std::string* out, const QueryResult& r) {
+  PutU32(out, r.subject.relation);
+  PutU64(out, r.subject.tuple);
+  PutF64(out, r.subject_importance);
+  PutU32(out, static_cast<uint32_t>(r.os.size()));
+  for (size_t i = 0; i < r.os.size(); ++i) {
+    const core::OsNode& n = r.os.node(static_cast<core::OsNodeId>(i));
+    PutI32(out, n.parent);
+    PutI32(out, n.gds_node);
+    PutU32(out, n.relation);
+    PutU64(out, n.tuple);
+    PutI32(out, n.depth);
+    PutF64(out, n.local_importance);
+  }
+  PutF64(out, r.selection.importance);
+  PutU32(out, static_cast<uint32_t>(r.selection.nodes.size()));
+  for (core::OsNodeId id : r.selection.nodes) PutI32(out, id);
+}
+
+// Per-element minimum encoded sizes, for Reader::CheckCount.
+constexpr size_t kMinResultBytes = 4 + 8 + 8 + 4 + 8 + 4;  // empty os/sel
+constexpr size_t kMinNodeBytes = 4 + 4 + 4 + 8 + 4 + 8;
+
+bool DecodeResult(Reader* r, QueryResult* out) {
+  out->subject.relation = r->U32();
+  uint64_t subject_tuple = r->U64();
+  if (r->ok() && subject_tuple > 0xFFFFFFFFull) {
+    r->Fail("subject tuple id out of range");
+    return false;
+  }
+  out->subject.tuple = static_cast<rel::TupleId>(subject_tuple);
+  out->subject_importance = r->F64();
+  uint32_t num_nodes = r->U32();
+  if (!r->CheckCount(num_nodes, kMinNodeBytes, "os node")) return false;
+  for (uint32_t i = 0; i < num_nodes; ++i) {
+    int32_t parent = r->I32();
+    int32_t gds_node = r->I32();
+    uint32_t relation = r->U32();
+    uint64_t tuple = r->U64();
+    int32_t depth = r->I32();
+    double importance = r->F64();
+    if (!r->ok()) return false;
+    if (tuple > 0xFFFFFFFFull) {
+      r->Fail("os node tuple id out of range");
+      return false;
+    }
+    // Rebuild through AddRoot/AddChild so the children lists and the BFS
+    // invariant (parent index < child index) are restored exactly; the
+    // encoded parent/depth must describe a well-formed arena.
+    if (i == 0) {
+      if (parent != core::kNoOsNode || depth != 0) {
+        r->Fail("malformed os: node 0 must be the root");
+        return false;
+      }
+      out->os.AddRoot(gds_node, relation, static_cast<rel::TupleId>(tuple),
+                      importance);
+    } else {
+      if (parent < 0 || static_cast<uint32_t>(parent) >= i) {
+        r->Fail("malformed os: node " + std::to_string(i) +
+                " has parent " + std::to_string(parent));
+        return false;
+      }
+      core::OsNodeId id =
+          out->os.AddChild(parent, gds_node, relation,
+                           static_cast<rel::TupleId>(tuple), importance);
+      if (out->os.node(id).depth != depth) {
+        r->Fail("malformed os: node " + std::to_string(i) +
+                " encodes depth " + std::to_string(depth) +
+                " but its parent implies " +
+                std::to_string(out->os.node(id).depth));
+        return false;
+      }
+    }
+  }
+  out->selection.importance = r->F64();
+  uint32_t num_selected = r->U32();
+  if (!r->CheckCount(num_selected, 4, "selection node")) return false;
+  out->selection.nodes.reserve(num_selected);
+  for (uint32_t i = 0; i < num_selected; ++i) {
+    int32_t id = r->I32();
+    if (!r->ok()) return false;
+    if (id < 0 || static_cast<uint32_t>(id) >= num_nodes) {
+      r->Fail("malformed selection: node id " + std::to_string(id) +
+              " outside the os arena");
+      return false;
+    }
+    out->selection.nodes.push_back(id);
+  }
+  return r->ok();
+}
+
+// ---------------------------------------------------------------------------
+// JSON emission. One canonical, single-line form: fixed field order, %.17g
+// doubles (parses back bit-exact for finite values; non-finite doubles are
+// emitted as null and decode to NaN — binary is the canonical format).
+// ---------------------------------------------------------------------------
+
+std::string JsonDouble(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string JsonString(const std::string& s) {
+  return "\"" + core::JsonEscape(s) + "\"";
+}
+
+void AppendResultJson(std::string* out, const QueryResult& r) {
+  *out += "{\"subject\":{\"relation\":" + std::to_string(r.subject.relation) +
+          ",\"tuple\":" + std::to_string(r.subject.tuple) + "}";
+  *out += ",\"importance\":" + JsonDouble(r.subject_importance);
+  *out += ",\"os\":[";
+  for (size_t i = 0; i < r.os.size(); ++i) {
+    const core::OsNode& n = r.os.node(static_cast<core::OsNodeId>(i));
+    if (i > 0) *out += ",";
+    *out += "[" + std::to_string(n.parent) + "," +
+            std::to_string(n.gds_node) + "," + std::to_string(n.relation) +
+            "," + std::to_string(n.tuple) + "," + std::to_string(n.depth) +
+            "," + JsonDouble(n.local_importance) + "]";
+  }
+  *out += "],\"selection\":{\"importance\":" +
+          JsonDouble(r.selection.importance) + ",\"nodes\":[";
+  for (size_t i = 0; i < r.selection.nodes.size(); ++i) {
+    if (i > 0) *out += ",";
+    *out += std::to_string(r.selection.nodes[i]);
+  }
+  *out += "]}}";
+}
+
+// ---------------------------------------------------------------------------
+// JSON parsing: a minimal recursive-descent parser for the documents this
+// codec emits (and hand-written equivalents). Depth-limited; every failure
+// is a typed kCodecError, never a crash.
+// ---------------------------------------------------------------------------
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> items;                            // kArray
+  std::vector<std::pair<std::string, JsonValue>> fields;   // kObject
+
+  const JsonValue* Find(std::string_view key) const {
+    for (const auto& [k, v] : fields) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  StatusOr<JsonValue> Parse() {
+    JsonValue v;
+    if (!ParseValue(&v, 0)) return Status::CodecError(Error());
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      Fail("trailing characters after JSON document");
+      return Status::CodecError(Error());
+    }
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  std::string Error() const {
+    return error_ + " (offset " + std::to_string(pos_) + ")";
+  }
+  void Fail(std::string message) {
+    if (error_.empty()) error_ = std::move(message);
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    Fail(std::string("expected '") + c + "'");
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) == lit) {
+      pos_ += lit.size();
+      return true;
+    }
+    Fail("unrecognized literal");
+    return false;
+  }
+
+  bool ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) {
+      Fail("nesting too deep");
+      return false;
+    }
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      Fail("unexpected end of input");
+      return false;
+    }
+    char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"':
+        out->type = JsonValue::Type::kString;
+        return ParseString(&out->str);
+      case 't':
+        out->type = JsonValue::Type::kBool;
+        out->boolean = true;
+        return ConsumeLiteral("true");
+      case 'f':
+        out->type = JsonValue::Type::kBool;
+        out->boolean = false;
+        return ConsumeLiteral("false");
+      case 'n':
+        out->type = JsonValue::Type::kNull;
+        return ConsumeLiteral("null");
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ParseObject(JsonValue* out, int depth) {
+    out->type = JsonValue::Type::kObject;
+    if (!Consume('{')) return false;
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipSpace();
+      std::string key;
+      if (!ParseString(&key)) return false;
+      if (!Consume(':')) return false;
+      JsonValue value;
+      if (!ParseValue(&value, depth + 1)) return false;
+      out->fields.emplace_back(std::move(key), std::move(value));
+      SkipSpace();
+      if (pos_ >= text_.size()) {
+        Fail("unterminated object");
+        return false;
+      }
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      return Consume('}');
+    }
+  }
+
+  bool ParseArray(JsonValue* out, int depth) {
+    out->type = JsonValue::Type::kArray;
+    if (!Consume('[')) return false;
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue value;
+      if (!ParseValue(&value, depth + 1)) return false;
+      out->items.push_back(std::move(value));
+      SkipSpace();
+      if (pos_ >= text_.size()) {
+        Fail("unterminated array");
+        return false;
+      }
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      return Consume(']');
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      Fail("expected string");
+      return false;
+    }
+    ++pos_;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            Fail("truncated \\u escape");
+            return false;
+          }
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+            else {
+              Fail("bad \\u escape");
+              return false;
+            }
+          }
+          // UTF-8 encode the BMP codepoint (surrogate pairs are not
+          // emitted by this codec; lone surrogates encode their raw value).
+          if (cp < 0x80) {
+            out->push_back(static_cast<char>(cp));
+          } else if (cp < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+            out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          }
+          break;
+        }
+        default:
+          Fail("unknown escape");
+          return false;
+      }
+    }
+    Fail("unterminated string");
+    return false;
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      Fail("expected value");
+      return false;
+    }
+    std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    double v = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      Fail("malformed number");
+      return false;
+    }
+    out->type = JsonValue::Type::kNumber;
+    out->number = v;
+    return true;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+// Checked double -> integer conversions. strtod happily produces values
+// (1e300, inf) whose conversion to an integer type is undefined behavior,
+// so every numeric field must pass through one of these — the codec's
+// "hostile input decodes to kCodecError, never a crash" guarantee depends
+// on it.
+
+bool JsonToU64(double d, uint64_t* out) {
+  // 2^64 exactly; d must be strictly below it (and finite, integral, >= 0).
+  if (!std::isfinite(d) || d < 0 || d != std::floor(d) ||
+      d >= 18446744073709551616.0) {
+    return false;
+  }
+  *out = static_cast<uint64_t>(d);
+  return true;
+}
+
+bool JsonToU32(double d, uint32_t* out) {
+  uint64_t v = 0;
+  if (!JsonToU64(d, &v) || v > 0xFFFFFFFFull) return false;
+  *out = static_cast<uint32_t>(v);
+  return true;
+}
+
+bool JsonToI32(double d, int32_t* out) {
+  if (!std::isfinite(d) || d != std::floor(d) || d < -2147483648.0 ||
+      d > 2147483647.0) {
+    return false;
+  }
+  *out = static_cast<int32_t>(d);
+  return true;
+}
+
+// Typed field extraction: each getter fails (kCodecError through the bool
+// return) when the field is missing or has the wrong JSON type.
+
+bool GetNumber(const JsonValue& obj, std::string_view key, double* out,
+               std::string* err) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr || v->type != JsonValue::Type::kNumber) {
+    // A non-finite double is emitted as null; surface it as NaN rather
+    // than a decode failure so JSON stays total over encoder outputs.
+    if (v != nullptr && v->type == JsonValue::Type::kNull) {
+      *out = std::nan("");
+      return true;
+    }
+    *err = "missing or non-numeric field \"" + std::string(key) + "\"";
+    return false;
+  }
+  *out = v->number;
+  return true;
+}
+
+bool GetU64(const JsonValue& obj, std::string_view key, uint64_t* out,
+            std::string* err) {
+  double d = 0.0;
+  if (!GetNumber(obj, key, &d, err)) return false;
+  if (!JsonToU64(d, out)) {
+    *err = "field \"" + std::string(key) +
+           "\" is not a non-negative integer in range";
+    return false;
+  }
+  return true;
+}
+
+bool GetBool(const JsonValue& obj, std::string_view key, bool* out,
+             std::string* err) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr || v->type != JsonValue::Type::kBool) {
+    *err = "missing or non-boolean field \"" + std::string(key) + "\"";
+    return false;
+  }
+  *out = v->boolean;
+  return true;
+}
+
+bool GetString(const JsonValue& obj, std::string_view key, std::string* out,
+               std::string* err) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr || v->type != JsonValue::Type::kString) {
+    *err = "missing or non-string field \"" + std::string(key) + "\"";
+    return false;
+  }
+  *out = v->str;
+  return true;
+}
+
+const JsonValue* GetTyped(const JsonValue& obj, std::string_view key,
+                          JsonValue::Type type, const char* what,
+                          std::string* err) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr || v->type != type) {
+    *err = std::string("missing or mistyped field \"") + std::string(key) +
+           "\" (expected " + what + ")";
+    return nullptr;
+  }
+  return v;
+}
+
+/// Checks the {"v":1,"kind":...} envelope shared by both document kinds.
+Status CheckJsonEnvelope(const JsonValue& doc, std::string_view kind) {
+  std::string err;
+  uint64_t v = 0;
+  if (!GetU64(doc, "v", &v, &err)) return Status::CodecError(err);
+  if (v != kWireVersion) {
+    return Status::CodecError("unsupported wire version " +
+                              std::to_string(v));
+  }
+  std::string k;
+  if (!GetString(doc, "kind", &k, &err)) return Status::CodecError(err);
+  if (k != kind) {
+    return Status::CodecError("wrong document kind \"" + k + "\" (expected \"" +
+                              std::string(kind) + "\")");
+  }
+  return Status::Ok();
+}
+
+StatusOr<QueryResult> ResultFromJson(const JsonValue& v) {
+  std::string err;
+  if (v.type != JsonValue::Type::kObject) {
+    return Status::CodecError("result entries must be objects");
+  }
+  QueryResult r;
+  const JsonValue* subject = GetTyped(v, "subject", JsonValue::Type::kObject,
+                                      "object", &err);
+  if (subject == nullptr) return Status::CodecError(err);
+  uint64_t relation = 0, tuple = 0;
+  if (!GetU64(*subject, "relation", &relation, &err) ||
+      !GetU64(*subject, "tuple", &tuple, &err) ||
+      relation > 0xFFFFFFFFull || tuple > 0xFFFFFFFFull) {
+    return Status::CodecError(err.empty() ? "subject id out of range" : err);
+  }
+  r.subject.relation = static_cast<rel::RelationId>(relation);
+  r.subject.tuple = static_cast<rel::TupleId>(tuple);
+  if (!GetNumber(v, "importance", &r.subject_importance, &err)) {
+    return Status::CodecError(err);
+  }
+
+  const JsonValue* os = GetTyped(v, "os", JsonValue::Type::kArray, "array",
+                                 &err);
+  if (os == nullptr) return Status::CodecError(err);
+  for (size_t i = 0; i < os->items.size(); ++i) {
+    const JsonValue& node = os->items[i];
+    if (node.type != JsonValue::Type::kArray || node.items.size() != 6) {
+      return Status::CodecError("os nodes must be 6-element arrays");
+    }
+    for (size_t f = 0; f < 5; ++f) {
+      if (node.items[f].type != JsonValue::Type::kNumber) {
+        return Status::CodecError("os node fields must be numbers");
+      }
+    }
+    double importance = node.items[5].type == JsonValue::Type::kNull
+                            ? std::nan("")
+                            : node.items[5].number;
+    if (node.items[5].type != JsonValue::Type::kNumber &&
+        node.items[5].type != JsonValue::Type::kNull) {
+      return Status::CodecError("os node fields must be numbers");
+    }
+    int32_t parent = 0, gds_node = 0, depth = 0;
+    uint32_t relation_id = 0, tuple_id = 0;
+    if (!JsonToI32(node.items[0].number, &parent) ||
+        !JsonToI32(node.items[1].number, &gds_node) ||
+        !JsonToU32(node.items[2].number, &relation_id) ||
+        !JsonToU32(node.items[3].number, &tuple_id) ||
+        !JsonToI32(node.items[4].number, &depth)) {
+      return Status::CodecError("os node field out of range");
+    }
+    if (i == 0) {
+      if (parent != core::kNoOsNode || depth != 0) {
+        return Status::CodecError("malformed os: node 0 must be the root");
+      }
+      r.os.AddRoot(gds_node, relation_id, static_cast<rel::TupleId>(tuple_id),
+                   importance);
+    } else {
+      if (parent < 0 || static_cast<size_t>(parent) >= i) {
+        return Status::CodecError("malformed os: node " + std::to_string(i) +
+                                  " has parent " + std::to_string(parent));
+      }
+      core::OsNodeId id =
+          r.os.AddChild(parent, gds_node, relation_id,
+                        static_cast<rel::TupleId>(tuple_id), importance);
+      if (r.os.node(id).depth != depth) {
+        return Status::CodecError("malformed os: inconsistent depth at node " +
+                                  std::to_string(i));
+      }
+    }
+  }
+
+  const JsonValue* selection = GetTyped(v, "selection",
+                                        JsonValue::Type::kObject, "object",
+                                        &err);
+  if (selection == nullptr) return Status::CodecError(err);
+  if (!GetNumber(*selection, "importance", &r.selection.importance, &err)) {
+    return Status::CodecError(err);
+  }
+  const JsonValue* nodes = GetTyped(*selection, "nodes",
+                                    JsonValue::Type::kArray, "array", &err);
+  if (nodes == nullptr) return Status::CodecError(err);
+  for (const JsonValue& id : nodes->items) {
+    if (id.type != JsonValue::Type::kNumber) {
+      return Status::CodecError("selection node ids must be numbers");
+    }
+    int32_t node_id = 0;
+    if (!JsonToI32(id.number, &node_id)) {
+      return Status::CodecError("selection node id out of range");
+    }
+    if (node_id < 0 || static_cast<size_t>(node_id) >= r.os.size()) {
+      return Status::CodecError("malformed selection: node id " +
+                                std::to_string(node_id) +
+                                " outside the os arena");
+    }
+    r.selection.nodes.push_back(node_id);
+  }
+  return r;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Binary entry points
+// ---------------------------------------------------------------------------
+
+std::string EncodeRequest(const QueryRequest& request) {
+  std::string out;
+  PutHeader(&out, kKindRequest);
+  PutStr(&out, request.keywords());
+  const QueryOptions& o = request.options();
+  PutU64(&out, o.l);
+  PutU64(&out, o.max_results);
+  PutU8(&out, static_cast<uint8_t>(o.algorithm));
+  PutU8(&out, o.use_prelim ? 1 : 0);
+  PutU8(&out, static_cast<uint8_t>(o.ranking));
+  return out;
+}
+
+StatusOr<QueryRequest> DecodeRequest(std::string_view bytes) {
+  Reader r(bytes);
+  Status header = ReadHeader(&r, kKindRequest);
+  if (!header.ok()) return header;
+  std::string keywords = r.Str();
+  QueryOptions o;
+  o.l = r.U64();
+  o.max_results = r.U64();
+  uint8_t algorithm = r.U8();
+  uint8_t use_prelim = r.U8();
+  uint8_t ranking = r.U8();
+  if (!r.ok()) return Status::CodecError(r.error());
+  if (!r.AtEnd()) return Status::CodecError("trailing bytes after request");
+  StatusOr<core::SizeLAlgorithm> alg = AlgorithmFromWire(algorithm);
+  if (!alg.ok()) return alg.status();
+  StatusOr<ResultRanking> rank = RankingFromWire(ranking);
+  if (!rank.ok()) return rank.status();
+  o.algorithm = *alg;
+  o.use_prelim = use_prelim != 0;
+  o.ranking = *rank;
+  return QueryRequest(std::move(keywords), o);
+}
+
+std::string EncodeResponse(const QueryResponse& response) {
+  std::string out;
+  PutHeader(&out, kKindResponse);
+  PutU8(&out, static_cast<uint8_t>(response.status.code()));
+  PutStr(&out, response.status.message());
+  PutU8(&out, response.stats.cache_hit ? 1 : 0);
+  PutF64(&out, response.stats.compute_micros);
+  PutU64(&out, response.stats.epoch);
+  const ResultList& results = response.result_list();
+  PutU32(&out, static_cast<uint32_t>(results.size()));
+  for (const QueryResult& r : results) EncodeResult(&out, r);
+  return out;
+}
+
+StatusOr<QueryResponse> DecodeResponse(std::string_view bytes) {
+  Reader r(bytes);
+  Status header = ReadHeader(&r, kKindResponse);
+  if (!header.ok()) return header;
+  uint8_t code = r.U8();
+  std::string message = r.Str();
+  QueryResponse out;
+  out.stats.cache_hit = r.U8() != 0;
+  out.stats.compute_micros = r.F64();
+  out.stats.epoch = r.U64();
+  uint32_t num_results = r.U32();
+  if (!r.CheckCount(num_results, kMinResultBytes, "result")) {
+    return Status::CodecError(r.error());
+  }
+  auto results = std::make_shared<ResultList>();
+  results->reserve(num_results);
+  for (uint32_t i = 0; i < num_results; ++i) {
+    QueryResult result;
+    if (!DecodeResult(&r, &result)) return Status::CodecError(r.error());
+    results->push_back(std::move(result));
+  }
+  if (!r.ok()) return Status::CodecError(r.error());
+  if (!r.AtEnd()) return Status::CodecError("trailing bytes after response");
+  StatusOr<StatusCode> status_code = StatusCodeFromWire(code);
+  if (!status_code.ok()) return status_code.status();
+  out.status = Status(*status_code, std::move(message));
+  if (!out.status.ok() && !results->empty()) {
+    // QueryResponse documents "results are empty whenever !ok()"; bytes
+    // that claim both a failure and results violate the invariant and
+    // must not be re-materialized as a value that no encoder produces.
+    return Status::CodecError("non-OK status with non-empty results");
+  }
+  out.results = std::move(results);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// JSON entry points
+// ---------------------------------------------------------------------------
+
+std::string RequestToJson(const QueryRequest& request) {
+  const QueryOptions& o = request.options();
+  std::string out = "{\"v\":" + std::to_string(kWireVersion) +
+                    ",\"kind\":\"query_request\"";
+  out += ",\"keywords\":" + JsonString(request.keywords());
+  out += ",\"l\":" + std::to_string(o.l);
+  out += ",\"max_results\":" + std::to_string(o.max_results);
+  out += ",\"algorithm\":" + std::to_string(static_cast<int>(o.algorithm));
+  out += std::string(",\"use_prelim\":") + (o.use_prelim ? "true" : "false");
+  out += ",\"ranking\":" + std::to_string(static_cast<int>(o.ranking));
+  out += "}";
+  return out;
+}
+
+StatusOr<QueryRequest> RequestFromJson(std::string_view json) {
+  StatusOr<JsonValue> parsed = JsonParser(json).Parse();
+  if (!parsed.ok()) return parsed.status();
+  const JsonValue& doc = *parsed;
+  Status envelope = CheckJsonEnvelope(doc, "query_request");
+  if (!envelope.ok()) return envelope;
+
+  std::string err;
+  std::string keywords;
+  uint64_t l = 0, max_results = 0, algorithm = 0, ranking = 0;
+  bool use_prelim = false;
+  if (!GetString(doc, "keywords", &keywords, &err) ||
+      !GetU64(doc, "l", &l, &err) ||
+      !GetU64(doc, "max_results", &max_results, &err) ||
+      !GetU64(doc, "algorithm", &algorithm, &err) ||
+      !GetBool(doc, "use_prelim", &use_prelim, &err) ||
+      !GetU64(doc, "ranking", &ranking, &err)) {
+    return Status::CodecError(err);
+  }
+  StatusOr<core::SizeLAlgorithm> alg = AlgorithmFromWire(algorithm);
+  if (!alg.ok()) return alg.status();
+  StatusOr<ResultRanking> rank = RankingFromWire(ranking);
+  if (!rank.ok()) return rank.status();
+  QueryOptions o;
+  o.l = static_cast<size_t>(l);
+  o.max_results = static_cast<size_t>(max_results);
+  o.algorithm = *alg;
+  o.use_prelim = use_prelim;
+  o.ranking = *rank;
+  return QueryRequest(std::move(keywords), o);
+}
+
+std::string ResponseToJson(const QueryResponse& response) {
+  std::string out = "{\"v\":" + std::to_string(kWireVersion) +
+                    ",\"kind\":\"query_response\"";
+  out += ",\"status\":{\"code\":" +
+         std::to_string(static_cast<int>(response.status.code())) +
+         ",\"message\":" + JsonString(response.status.message()) + "}";
+  out += ",\"stats\":{\"cache_hit\":";
+  out += response.stats.cache_hit ? "true" : "false";
+  out += ",\"compute_us\":" + JsonDouble(response.stats.compute_micros);
+  out += ",\"epoch\":" + std::to_string(response.stats.epoch) + "}";
+  out += ",\"results\":[";
+  const ResultList& results = response.result_list();
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (i > 0) out += ",";
+    AppendResultJson(&out, results[i]);
+  }
+  out += "]}";
+  return out;
+}
+
+StatusOr<QueryResponse> ResponseFromJson(std::string_view json) {
+  StatusOr<JsonValue> parsed = JsonParser(json).Parse();
+  if (!parsed.ok()) return parsed.status();
+  const JsonValue& doc = *parsed;
+  Status envelope = CheckJsonEnvelope(doc, "query_response");
+  if (!envelope.ok()) return envelope;
+
+  std::string err;
+  const JsonValue* status = GetTyped(doc, "status", JsonValue::Type::kObject,
+                                     "object", &err);
+  if (status == nullptr) return Status::CodecError(err);
+  uint64_t code = 0;
+  std::string message;
+  if (!GetU64(*status, "code", &code, &err) ||
+      !GetString(*status, "message", &message, &err)) {
+    return Status::CodecError(err);
+  }
+  StatusOr<StatusCode> status_code = StatusCodeFromWire(code);
+  if (!status_code.ok()) return status_code.status();
+
+  QueryResponse out;
+  out.status = Status(*status_code, std::move(message));
+  const JsonValue* stats = GetTyped(doc, "stats", JsonValue::Type::kObject,
+                                    "object", &err);
+  if (stats == nullptr) return Status::CodecError(err);
+  if (!GetBool(*stats, "cache_hit", &out.stats.cache_hit, &err) ||
+      !GetNumber(*stats, "compute_us", &out.stats.compute_micros, &err) ||
+      !GetU64(*stats, "epoch", &out.stats.epoch, &err)) {
+    return Status::CodecError(err);
+  }
+
+  const JsonValue* results = GetTyped(doc, "results", JsonValue::Type::kArray,
+                                      "array", &err);
+  if (results == nullptr) return Status::CodecError(err);
+  auto list = std::make_shared<ResultList>();
+  list->reserve(results->items.size());
+  for (const JsonValue& item : results->items) {
+    StatusOr<QueryResult> result = ResultFromJson(item);
+    if (!result.ok()) return result.status();
+    list->push_back(std::move(result).value());
+  }
+  if (!out.status.ok() && !list->empty()) {
+    // Same invariant as the binary decoder: a failure carries no results.
+    return Status::CodecError("non-OK status with non-empty results");
+  }
+  out.results = std::move(list);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic text + hex
+// ---------------------------------------------------------------------------
+
+std::string DeterministicResultText(const ResultList& results) {
+  std::ostringstream out;
+  out << std::hexfloat;
+  for (const QueryResult& r : results) {
+    out << "subject " << r.subject.relation << ':' << r.subject.tuple << '@'
+        << r.subject_importance << '\n';
+    out << "os";
+    for (size_t i = 0; i < r.os.size(); ++i) {
+      const core::OsNode& n = r.os.node(static_cast<core::OsNodeId>(i));
+      out << ' ' << n.parent << '/' << n.gds_node << '/' << n.relation << '/'
+          << n.tuple << '/' << n.depth << '/' << n.local_importance;
+    }
+    out << "\nselection " << r.selection.importance;
+    for (core::OsNodeId id : r.selection.nodes) out << ' ' << id;
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string DeterministicResponseText(const QueryResponse& response) {
+  std::string out = "status ";
+  out += std::to_string(static_cast<int>(response.status.code()));
+  if (!response.status.message().empty()) {
+    out += ' ';
+    out += response.status.message();
+  }
+  out += '\n';
+  out += DeterministicResultText(response.result_list());
+  return out;
+}
+
+std::string ToHex(std::string_view bytes) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (unsigned char c : bytes) {
+    out.push_back(kDigits[c >> 4]);
+    out.push_back(kDigits[c & 0xF]);
+  }
+  return out;
+}
+
+StatusOr<std::string> FromHex(std::string_view hex) {
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  };
+  if (hex.size() % 2 != 0) {
+    return Status::CodecError("hex input has odd length");
+  }
+  std::string out;
+  out.reserve(hex.size() / 2);
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    int hi = nibble(hex[i]);
+    int lo = nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) {
+      return Status::CodecError("non-hex character at offset " +
+                                std::to_string(i));
+    }
+    out.push_back(static_cast<char>((hi << 4) | lo));
+  }
+  return out;
+}
+
+}  // namespace osum::api

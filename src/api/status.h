@@ -1,0 +1,123 @@
+// Typed errors for the public query API.
+//
+// The query path used to report failure two incompatible ways: exceptions
+// (backend faults) and silently-empty result lists (bad requests, no
+// hits). Status makes the three outcomes distinct and wire-encodable:
+//   - kOk + results        a genuine answer (possibly empty — "no data
+//                          subject matches" is an answer, not an error)
+//   - kInvalidArgument     the request itself is malformed (empty keyword
+//                          set, max_results == 0, l over the cap)
+//   - kBackendError        the join back end failed mid-query
+//   - kCodecError          wire bytes/JSON could not be decoded
+//   - kInternal            anything that indicates a bug in this library
+// StatusOr<T> carries either a value or a non-OK Status, for operations
+// (codec decode) whose failure is an expected input condition.
+#ifndef OSUM_API_STATUS_H_
+#define OSUM_API_STATUS_H_
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace osum::api {
+
+/// Stable error taxonomy of the query API. Values are part of the v1 wire
+/// format — append only, never renumber.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kBackendError = 2,
+  kCodecError = 3,
+  kInternal = 4,
+};
+
+/// Short stable identifier ("ok", "invalid_argument", ...) used by the
+/// CLI, logs and the JSON wire form's documentation.
+const char* StatusCodeName(StatusCode code);
+
+/// A status code plus a human-readable message (empty for kOk).
+class Status {
+ public:
+  /// Default is success, so `return {};` reads naturally.
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status BackendError(std::string message) {
+    return Status(StatusCode::kBackendError, std::move(message));
+  }
+  static Status CodecError(std::string message) {
+    return Status(StatusCode::kCodecError, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "ok" or "<code_name>: <message>", for logs and CLI output.
+  std::string ToString() const;
+
+  bool operator==(const Status& o) const {
+    return code_ == o.code_ && message_ == o.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Either a T or a non-OK Status. Like absl::StatusOr, minus the
+/// ceremony: value access on an error is an assert (debug) / UB (release),
+/// so callers must branch on ok() first.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from a value or from a non-OK status, so `return Decode(...)`
+  /// and `return Status::CodecError(...)` both work.
+  StatusOr(T value) : value_(std::move(value)) {}
+  StatusOr(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "StatusOr needs a value or a non-OK status");
+    if (status_.ok()) {
+      status_ = Status::Internal("StatusOr constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  /// kOk when a value is present.
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;  // kOk iff value_ holds
+  std::optional<T> value_;
+};
+
+}  // namespace osum::api
+
+#endif  // OSUM_API_STATUS_H_

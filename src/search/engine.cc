@@ -35,6 +35,33 @@ const SearchContext& SizeLSearchEngine::context() const {
   return *context_;
 }
 
+api::QueryResponse SizeLSearchEngine::Execute(
+    const api::QueryRequest& request) const {
+  assert(context_.has_value() &&
+         "call BuildIndex() after registering subjects");
+  if (!context_.has_value()) {
+    return api::QueryResponse::Failure(api::Status::Internal(
+        "SizeLSearchEngine::Execute called before BuildIndex"));
+  }
+  return context_->Execute(request);
+}
+
+std::vector<api::QueryResponse> SizeLSearchEngine::ExecuteBatch(
+    std::span<const api::QueryRequest> requests, size_t num_threads) const {
+  assert(context_.has_value() &&
+         "call BuildIndex() after registering subjects");
+  if (!context_.has_value()) {
+    std::vector<api::QueryResponse> responses;
+    responses.reserve(requests.size());
+    for (size_t i = 0; i < requests.size(); ++i) {
+      responses.push_back(api::QueryResponse::Failure(api::Status::Internal(
+          "SizeLSearchEngine::ExecuteBatch called before BuildIndex")));
+    }
+    return responses;
+  }
+  return context_->ExecuteBatch(requests, num_threads);
+}
+
 std::vector<QueryResult> SizeLSearchEngine::Query(
     std::string_view keywords, const QueryOptions& options) const {
   assert(context_.has_value() &&

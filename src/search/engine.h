@@ -3,9 +3,11 @@
 //
 // SizeLSearchEngine is a thin registration facade over SearchContext (see
 // search_context.h): RegisterSubject collects the G_DSs, BuildIndex freezes
-// them into an immutable context, and Query/QueryBatch delegate to its
-// stateless query path. Use the engine for the build-then-query lifecycle;
-// grab context() to share the frozen infrastructure across threads.
+// them into an immutable context, and Execute/ExecuteBatch (the public
+// api::QueryRequest -> api::QueryResponse contract) plus the deprecated
+// Query/QueryBatch shims delegate to its stateless query path. Use the
+// engine for the build-then-query lifecycle; grab context() to share the
+// frozen infrastructure across threads.
 #ifndef OSUM_SEARCH_ENGINE_H_
 #define OSUM_SEARCH_ENGINE_H_
 
@@ -45,12 +47,28 @@ class SizeLSearchEngine {
   /// exists, so the reference can never be invalidated under a borrower.
   const SearchContext& context() const;
 
-  /// Runs a keyword query; results ranked by subject global importance.
+  /// The public query contract (see SearchContext::Execute): typed Status
+  /// errors instead of exceptions, per-query compute metadata, ranked
+  /// size-l OSs byte-identical to the legacy Query path.
+  api::QueryResponse Execute(const api::QueryRequest& request) const;
+
+  /// Batched Execute over `num_threads` workers (0 = hardware
+  /// concurrency); responses in input order, identical to serial
+  /// execution, failures contained per response.
+  std::vector<api::QueryResponse> ExecuteBatch(
+      std::span<const api::QueryRequest> requests,
+      size_t num_threads = 0) const;
+
+  /// Deprecated shim over the request/response contract: runs a keyword
+  /// query, results ranked by subject global importance. Backend failures
+  /// propagate as exceptions. Prefer Execute.
   std::vector<QueryResult> Query(std::string_view keywords,
                                  const QueryOptions& options = {}) const;
 
-  /// Batched Query over `num_threads` workers (0 = hardware concurrency);
-  /// per-query results in input order, identical to serial execution.
+  /// Deprecated shim: batched Query over `num_threads` workers (0 =
+  /// hardware concurrency); per-query results in input order, identical to
+  /// serial execution. Prefer ExecuteBatch, which contains per-query
+  /// failures instead of terminating on a throwing worker.
   std::vector<std::vector<QueryResult>> QueryBatch(
       std::span<const std::string> queries, const QueryOptions& options = {},
       size_t num_threads = 0) const;

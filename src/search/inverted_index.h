@@ -9,19 +9,15 @@
 #include <unordered_map>
 #include <vector>
 
+#include "api/query.h"
 #include "relational/database.h"
 
 namespace osum::search {
 
-/// A (relation, tuple) keyword hit.
-struct Hit {
-  rel::RelationId relation;
-  rel::TupleId tuple;
-
-  bool operator==(const Hit& o) const {
-    return relation == o.relation && tuple == o.tuple;
-  }
-};
+/// A (relation, tuple) keyword hit. Defined in the api layer (it is part
+/// of the wire-encodable result vocabulary); aliased here because the
+/// index is where hits are born.
+using Hit = api::Hit;
 
 /// Word-level inverted index with AND query semantics: a tuple matches a
 /// query iff every query keyword appears among the tokens of its display

@@ -2,35 +2,14 @@
 
 #include <algorithm>
 #include <cassert>
+#include <exception>
+#include <memory>
 #include <utility>
 
-#include "util/string_util.h"
 #include "util/thread_pool.h"
+#include "util/timer.h"
 
 namespace osum::search {
-
-std::string QueryOptions::CacheKeyFragment() const {
-  std::string out;
-  out += "l=" + std::to_string(l);
-  out += ";max=" + std::to_string(max_results);
-  out += ";alg=" + std::to_string(static_cast<int>(algorithm));
-  out += ";prelim=" + std::to_string(use_prelim ? 1 : 0);
-  out += ";rank=" + std::to_string(static_cast<int>(ranking));
-  return out;
-}
-
-std::string CanonicalQueryKey(std::string_view keywords,
-                              const QueryOptions& options) {
-  std::vector<std::string> tokens = util::TokenizeWords(keywords);
-  std::sort(tokens.begin(), tokens.end());
-  tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
-  // 0x1f/0x1e cannot appear in tokens ([a-z0-9] only), so the key is
-  // collision-free between keyword sets and against the options fragment.
-  std::string key = util::Join(tokens, "\x1f");
-  key += '\x1e';
-  key += options.CacheKeyFragment();
-  return key;
-}
 
 SearchContext SearchContext::Build(const rel::Database& db,
                                    core::OsBackend* backend,
@@ -149,6 +128,52 @@ std::vector<std::vector<QueryResult>> SearchContext::QueryBatch(
   }
   util::ThreadPool pool(num_threads);
   return QueryBatch(queries, options, pool);
+}
+
+api::QueryResponse SearchContext::Execute(
+    const api::QueryRequest& request) const {
+  util::WallTimer timer;
+  api::Status invalid = request.Validate();
+  if (!invalid.ok()) {
+    return api::QueryResponse::Failure(std::move(invalid));
+  }
+  api::QueryStats stats;  // uncached path: cache_hit false, epoch 0
+  try {
+    auto results = std::make_shared<api::ResultList>(
+        Query(request.keywords(), request.options()));
+    stats.compute_micros = timer.ElapsedMicros();
+    return api::QueryResponse::Success(std::move(results), stats);
+  } catch (const std::exception& e) {
+    stats.compute_micros = timer.ElapsedMicros();
+    return api::QueryResponse::Failure(api::Status::BackendError(e.what()),
+                                       stats);
+  }
+}
+
+std::vector<api::QueryResponse> SearchContext::ExecuteBatch(
+    std::span<const api::QueryRequest> requests, util::ThreadPool& pool) const {
+  std::vector<api::QueryResponse> responses(requests.size());
+  // Execute never throws, so the fan-out honors ParallelFor's no-throw
+  // contract by construction (unlike the legacy QueryBatch, where a
+  // backend exception inside a task is fatal).
+  util::ParallelFor(&pool, requests.size(),
+                    [&](size_t i) { responses[i] = Execute(requests[i]); });
+  return responses;
+}
+
+std::vector<api::QueryResponse> SearchContext::ExecuteBatch(
+    std::span<const api::QueryRequest> requests, size_t num_threads) const {
+  if (num_threads == 0) num_threads = util::ThreadPool::HardwareThreads();
+  num_threads = std::min(num_threads, requests.size());
+  if (num_threads <= 1) {
+    // No pool for degenerate batches; same responses by construction.
+    std::vector<api::QueryResponse> responses;
+    responses.reserve(requests.size());
+    for (const api::QueryRequest& r : requests) responses.push_back(Execute(r));
+    return responses;
+  }
+  util::ThreadPool pool(num_threads);
+  return ExecuteBatch(requests, pool);
 }
 
 std::string SearchContext::Render(const QueryResult& result) const {

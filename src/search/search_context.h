@@ -4,12 +4,23 @@
 // its own t_DS hits and OS trees against structures that never change at
 // query time. SearchContext captures exactly that split — everything built
 // once (database ref, registered G_DSs, inverted index, join back end) is
-// frozen behind a const API, and Query/QueryBatch allocate all per-query
+// frozen behind a const API, and the query paths allocate all per-query
 // state on their own stack. One context therefore serves any number of
-// threads; QueryBatch fans a batch out over a util::ThreadPool and returns
-// results in input order, byte-identical to running Query serially.
+// threads; the batch paths fan out over a util::ThreadPool and return
+// results in input order, byte-identical to running serially.
 //
-// Thread-safety contract (relied on by QueryBatch and enforced by
+// Two query surfaces share one compute path:
+//   - Execute/ExecuteBatch — the public api::QueryRequest ->
+//     api::QueryResponse contract: validation and backend failures come
+//     back as typed Status codes (never exceptions), responses carry
+//     compute-time metadata, and an empty answer is distinguishable from
+//     an error. New code should use these.
+//   - Query/QueryBatch — the raw compute primitives (string_view keywords
+//     + QueryOptions, exceptions propagate). The serving layer's cache
+//     compute callback and the legacy callers ride these; they are the
+//     engine room, not the public contract.
+//
+// Thread-safety contract (relied on by the batch paths and enforced by
 // search_concurrency_test):
 //   - rel::Database, graph::DataGraph, gds::Gds, InvertedIndex: immutable
 //     after their build/annotate phase.
@@ -25,6 +36,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "api/query.h"
 #include "core/os_backend.h"
 #include "core/os_generator.h"
 #include "core/os_tree.h"
@@ -38,51 +50,17 @@ class ThreadPool;
 
 namespace osum::search {
 
-/// One ranked answer: the data subject, its (partial) OS and the size-l
-/// selection over it.
-struct QueryResult {
-  Hit subject;                // the t_DS tuple
-  double subject_importance;  // global importance (ranking key)
-  core::OsTree os;            // the OS the size-l was computed on
-  core::Selection selection;  // the size-l OS
-};
+// The result vocabulary moved to the api layer (it is the wire-encodable
+// public contract; see api/query.h). These aliases keep osum::search
+// spelling working for existing code.
+using QueryResult = api::QueryResult;
+using ResultRanking = api::ResultRanking;
+using QueryOptions = api::QueryOptions;
 
-/// How result OSs are ranked against each other.
-enum class ResultRanking {
-  /// By the global importance of t_DS (cheap; computed before OS
-  /// generation, so max_results caps the work).
-  kSubjectImportance,
-  /// By Im(S) of the computed size-l OS — the combined "size-l and top-k
-  /// ranking of OSs" the paper poses as future work (Section 7). Requires
-  /// computing every hit's size-l OS before truncating to max_results.
-  kSummaryImportance,
-};
-
-/// Query-time knobs.
-struct QueryOptions {
-  /// l — the synopsis size. 0 means "return the complete OS".
-  size_t l = 15;
-  /// Maximum number of data subjects to report.
-  size_t max_results = 10;
-  core::SizeLAlgorithm algorithm = core::SizeLAlgorithm::kTopPath;
-  /// Generate a prelim-l OS (Algorithm 4) instead of the complete OS.
-  bool use_prelim = true;
-  ResultRanking ranking = ResultRanking::kSubjectImportance;
-
-  /// Canonical serialization of every result-affecting knob, for result
-  /// caching (serve::ResultCache): two QueryOptions produce byte-identical
-  /// Query output on the same context iff their fragments compare equal.
-  /// New knobs MUST be added here or cached results go stale silently.
-  std::string CacheKeyFragment() const;
-};
-
-/// Full cache identity of one (keywords, options) query against a frozen
-/// context: the normalized keyword *set* (tokenized exactly like
-/// InvertedIndex::SearchQuery, then sorted and deduplicated — AND semantics
-/// make order and multiplicity irrelevant) joined with the options
-/// fragment. "Christos  Faloutsos" and "faloutsos christos" share one key.
-std::string CanonicalQueryKey(std::string_view keywords,
-                              const QueryOptions& options);
+// A using-declaration, not a wrapper: QueryOptions is api::QueryOptions,
+// so ADL already finds the api function — a second overload would make
+// every unqualified call ambiguous.
+using api::CanonicalQueryKey;
 
 /// The frozen query infrastructure. Build once, share freely.
 class SearchContext {
@@ -106,25 +84,48 @@ class SearchContext {
   SearchContext(const SearchContext&) = delete;
   SearchContext& operator=(const SearchContext&) = delete;
 
-  /// Runs one keyword query. All per-query state lives on this call's
-  /// stack; safe to call concurrently from any number of threads.
+  /// The public query contract: validates the request (empty keyword set,
+  /// max_results == 0 and oversized l become kInvalidArgument), runs the
+  /// compute path, and wraps backend exceptions as kBackendError. Never
+  /// throws; response.stats carries the compute wall time (cache fields
+  /// stay false/0 — this is the uncached path). Results are byte-identical
+  /// to Query with the same arguments. Thread-safe like Query.
+  api::QueryResponse Execute(const api::QueryRequest& request) const;
+
+  /// Executes `requests` across `num_threads` workers (0 = hardware
+  /// concurrency; clamped to the batch size); one response per request, in
+  /// input order, each byte-identical to calling Execute serially.
+  /// Per-request failures are per-response statuses — one bad request
+  /// cannot sink the batch.
+  std::vector<api::QueryResponse> ExecuteBatch(
+      std::span<const api::QueryRequest> requests,
+      size_t num_threads = 0) const;
+
+  /// ExecuteBatch over an existing pool (reused across batches; the caller
+  /// keeps ownership). Must not be called from a task running on `pool`
+  /// itself — the blocking fan-in would deadlock a fully occupied pool
+  /// (see util::ParallelFor); nested batches need a second pool.
+  std::vector<api::QueryResponse> ExecuteBatch(
+      std::span<const api::QueryRequest> requests,
+      util::ThreadPool& pool) const;
+
+  /// The raw compute primitive behind Execute: runs one keyword query,
+  /// propagating backend exceptions. All per-query state lives on this
+  /// call's stack; safe to call concurrently from any number of threads.
   std::vector<QueryResult> Query(std::string_view keywords,
                                  const QueryOptions& options = {}) const;
 
-  /// Executes `queries` across `num_threads` workers (0 = hardware
-  /// concurrency; clamped to the batch size) and returns one result list
-  /// per query, in input order. Deterministic: the output is identical to
-  /// calling Query on each element serially.
+  /// Legacy batch over the raw primitive (exceptions terminate — Query
+  /// throwing inside the fan-out violates the pool's no-throw contract).
+  /// Prefer ExecuteBatch, which contains failures as per-response
+  /// statuses. Deterministic: identical to calling Query serially.
   std::vector<std::vector<QueryResult>> QueryBatch(
       std::span<const std::string> queries, const QueryOptions& options = {},
       size_t num_threads = 0) const;
 
-  /// QueryBatch over an existing pool (reused across batches; the caller
-  /// keeps ownership — by-reference so a literal 0 thread count can never
-  /// ambiguously select this overload). Must not be called from a task
-  /// running on `pool` itself — the blocking fan-in would deadlock a fully
-  /// occupied pool (see util::ParallelFor); nested batches need a second
-  /// pool.
+  /// QueryBatch over an existing pool (by-reference so a literal 0 thread
+  /// count can never ambiguously select this overload). Same nested-batch
+  /// caveat as the ExecuteBatch pool overload.
   std::vector<std::vector<QueryResult>> QueryBatch(
       std::span<const std::string> queries, const QueryOptions& options,
       util::ThreadPool& pool) const;

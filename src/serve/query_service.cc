@@ -1,11 +1,30 @@
 #include "serve/query_service.h"
 
 #include <algorithm>
+#include <exception>
 #include <utility>
 
 #include "util/timer.h"
 
 namespace osum::serve {
+namespace {
+
+/// An already-satisfied future, for the paths (cache hits, invalid
+/// requests) SubmitBatchAsync answers without touching the pool.
+std::future<api::QueryResponse> ReadyResponse(api::QueryResponse response) {
+  std::promise<api::QueryResponse> promise;
+  promise.set_value(std::move(response));
+  return promise.get_future();
+}
+
+/// The zero-copy bridge from the cache's value type to the response's:
+/// shares ownership of the CachedResult while exposing only its immutable
+/// result list.
+api::SharedResults AliasResults(const ResultPtr& cached) {
+  return api::SharedResults(cached, &cached->results);
+}
+
+}  // namespace
 
 void QueryService::LatencyRing::Add(double v, size_t window) {
   if (window == 0) return;
@@ -43,10 +62,11 @@ QueryService::QueryService(const search::SearchContext& context,
       pool_(options.num_threads == 0 ? util::ThreadPool::HardwareThreads()
                                      : options.num_threads) {}
 
-ResultPtr QueryService::Query(std::string_view keywords,
-                              const search::QueryOptions& options) {
+ResultPtr QueryService::ComputeCached(std::string_view keywords,
+                                      const search::QueryOptions& options,
+                                      const std::string& key,
+                                      bool* computed_out) {
   util::WallTimer timer;
-  std::string key = search::CanonicalQueryKey(keywords, options);
   bool computed = false;
   // GetOrCompute runs `compute` inline within this frame, so capturing the
   // caller's `keywords` view is safe — and keeps the hit path free of the
@@ -68,7 +88,103 @@ ResultPtr QueryService::Query(std::string_view keywords,
     return out;
   });
   RecordLatency(/*hit=*/!computed, timer.ElapsedMicros());
+  if (computed_out != nullptr) *computed_out = computed;
   return result;
+}
+
+api::QueryResponse QueryService::ExecuteWithKey(
+    const api::QueryRequest& request, const std::string& key) {
+  util::WallTimer timer;
+  api::QueryStats stats;
+  bool computed = false;
+  try {
+    ResultPtr result =
+        ComputeCached(request.keywords(), request.options(), key, &computed);
+    stats.cache_hit = !computed;
+    stats.compute_micros = timer.ElapsedMicros();
+    stats.epoch = cache_.epoch();
+    return api::QueryResponse::Success(AliasResults(result), stats);
+  } catch (const std::exception& e) {
+    stats.compute_micros = timer.ElapsedMicros();
+    stats.epoch = cache_.epoch();
+    return api::QueryResponse::Failure(api::Status::BackendError(e.what()),
+                                       stats);
+  }
+}
+
+api::QueryResponse QueryService::Execute(const api::QueryRequest& request) {
+  api::StatusOr<std::string> key = request.ValidatedKey();
+  if (!key.ok()) {
+    api::QueryStats stats;
+    stats.epoch = cache_.epoch();
+    return api::QueryResponse::Failure(key.status(), stats);
+  }
+  return ExecuteWithKey(request, *key);
+}
+
+std::future<api::QueryResponse> QueryService::SubmitAsync(
+    api::QueryRequest request) {
+  return pool_.SubmitWithFuture(
+      [this, request = std::move(request)]() -> api::QueryResponse {
+        return Execute(request);
+      });
+}
+
+std::vector<std::future<api::QueryResponse>> QueryService::SubmitBatchAsync(
+    std::vector<api::QueryRequest> requests) {
+  std::vector<std::future<api::QueryResponse>> futures;
+  futures.reserve(requests.size());
+  for (api::QueryRequest& request : requests) {
+    util::WallTimer timer;
+    api::StatusOr<std::string> key = request.ValidatedKey();
+    if (!key.ok()) {
+      api::QueryStats stats;
+      stats.epoch = cache_.epoch();
+      futures.push_back(ReadyResponse(
+          api::QueryResponse::Failure(key.status(), stats)));
+      continue;
+    }
+    if (ResultPtr hit = cache_.Lookup(*key)) {
+      // Answered at submission time: no pool hop, future already ready.
+      double micros = timer.ElapsedMicros();
+      RecordLatency(/*hit=*/true, micros);
+      api::QueryStats stats;
+      stats.cache_hit = true;
+      stats.compute_micros = micros;
+      stats.epoch = cache_.epoch();
+      futures.push_back(ReadyResponse(
+          api::QueryResponse::Success(AliasResults(hit), stats)));
+      continue;
+    }
+    // Miss: compute on the pool. The canonical key was computed exactly
+    // once above and travels with the task; duplicates among the misses
+    // coalesce inside ComputeCached's GetOrCompute. ExecuteWithKey never
+    // throws, so the future always resolves to a response.
+    futures.push_back(pool_.SubmitWithFuture(
+        [this, request = std::move(request),
+         key = std::move(*key)]() -> api::QueryResponse {
+          return ExecuteWithKey(request, key);
+        }));
+  }
+  return futures;
+}
+
+std::vector<api::QueryResponse> QueryService::ExecuteBatch(
+    std::vector<api::QueryRequest> requests) {
+  std::vector<std::future<api::QueryResponse>> futures =
+      SubmitBatchAsync(std::move(requests));
+  std::vector<api::QueryResponse> responses;
+  responses.reserve(futures.size());
+  for (std::future<api::QueryResponse>& f : futures) {
+    responses.push_back(f.get());
+  }
+  return responses;
+}
+
+ResultPtr QueryService::Query(std::string_view keywords,
+                              const search::QueryOptions& options) {
+  std::string key = api::CanonicalQueryKey(keywords, options);
+  return ComputeCached(keywords, options, key, nullptr);
 }
 
 std::future<ResultPtr> QueryService::SubmitAsync(std::string keywords,
@@ -100,33 +216,38 @@ std::vector<ResultPtr> QueryService::QueryBatch(
     std::span<const std::string> queries,
     const search::QueryOptions& options) {
   std::vector<ResultPtr> out(queries.size());
-  std::vector<size_t> miss_indices;
+  // The same fan-out shape as SubmitBatchAsync, at the ResultPtr level so
+  // the historical contract (shared cache objects, real exceptions) is
+  // preserved: hits answer inline, each miss becomes one pool future with
+  // its canonical key computed exactly once and threaded through.
+  std::vector<std::pair<size_t, std::future<ResultPtr>>> pending;
   for (size_t i = 0; i < queries.size(); ++i) {
     util::WallTimer timer;
-    std::string key = search::CanonicalQueryKey(queries[i], options);
+    std::string key = api::CanonicalQueryKey(queries[i], options);
     out[i] = cache_.Lookup(key);
     if (out[i] != nullptr) {
       RecordLatency(/*hit=*/true, timer.ElapsedMicros());
-    } else {
-      miss_indices.push_back(i);
+      continue;
     }
+    // The span element outlives the gather loop below, so the task may
+    // borrow the query string instead of copying it.
+    pending.emplace_back(i, pool_.SubmitWithFuture(
+                                [this, &query = queries[i], options,
+                                 key = std::move(key)]() -> ResultPtr {
+                                  return ComputeCached(query, options, key,
+                                                       nullptr);
+                                }));
   }
-  if (miss_indices.empty()) return out;
-  // Duplicates among the misses coalesce inside GetOrCompute: one worker
-  // computes, the rest wait on the in-flight future. Query can throw, but
-  // ParallelFor's contract says fn must not (no cross-thread exception
-  // channel) — capture the first failure and rethrow it after the fan-in.
-  std::mutex error_mu;
+  // Gather every future (the remaining misses keep running even when one
+  // fails), then rethrow the first failure in input order.
   std::exception_ptr first_error;
-  util::ParallelFor(&pool_, miss_indices.size(), [&](size_t j) {
-    size_t i = miss_indices[j];
+  for (auto& [index, future] : pending) {
     try {
-      out[i] = Query(queries[i], options);
+      out[index] = future.get();
     } catch (...) {
-      std::lock_guard<std::mutex> lock(error_mu);
       if (!first_error) first_error = std::current_exception();
     }
-  });
+  }
   if (first_error) std::rethrow_exception(first_error);
   return out;
 }

@@ -2,12 +2,28 @@
 // thread pool and a stampede-safe result cache.
 //
 // QueryService is what a production deployment would put between user
-// traffic and the engine: callers submit keyword queries and get futures
-// (SubmitAsync), fire-and-forget callbacks (Submit), or cache-aware
-// synchronous/batched answers (Query / QueryBatch). Every path shares one
-// ResultCache keyed by search::CanonicalQueryKey, so skewed workloads —
-// the realistic shape of keyword traffic — collapse onto one computation
-// per distinct (keyword set, options) pair.
+// traffic and the engine. The public contract is the api layer's
+// request/response pair:
+//   - Execute(QueryRequest) -> QueryResponse — cache-aware synchronous
+//     query; validation and backend failures come back as typed Status
+//     codes, and response.stats reports cache hit/miss, wall time and the
+//     cache epoch.
+//   - SubmitAsync(QueryRequest) -> future<QueryResponse> — same answer,
+//     computed on the service's pool.
+//   - SubmitBatchAsync(requests) -> one future per request. Fully async:
+//     cache hits resolve immediately, misses fan out over the shared pool,
+//     and the submitting thread never blocks — the composition point for
+//     an event-loop/RPC front end. Duplicate misses within (and across)
+//     batches coalesce onto one computation.
+// Every path shares one ResultCache keyed by api::CanonicalQueryKey, so
+// skewed workloads — the realistic shape of keyword traffic — collapse
+// onto one computation per distinct (keyword set, options) pair.
+//
+// The string-based overloads (Query / SubmitAsync / Submit / QueryBatch)
+// are deprecated shims over the same machinery: they keep the historical
+// exception-throwing, ResultPtr-returning contract. QueryBatch is
+// reimplemented on top of the per-query-future fan-out and stays
+// byte-identical to serial execution.
 //
 // Lifetime and threading contract:
 //   - The service *borrows* its SearchContext; the caller keeps it alive
@@ -21,9 +37,10 @@
 //     context is unreferenced by the service and no result computed
 //     against it is ever served, so the caller may destroy it.
 //   - Callbacks passed to Submit run on worker threads and must not throw
-//     (util::ThreadPool contract). They must not call QueryBatch (its
-//     blocking fan-in would deadlock a fully occupied pool); Query and
-//     SubmitAsync are safe from callbacks.
+//     (util::ThreadPool contract). They must not block on QueryBatch or on
+//     SubmitBatchAsync futures (a blocked worker can deadlock a fully
+//     occupied pool); Execute, Query and SubmitAsync are safe from
+//     callbacks.
 #ifndef OSUM_SERVE_QUERY_SERVICE_H_
 #define OSUM_SERVE_QUERY_SERVICE_H_
 
@@ -38,6 +55,7 @@
 #include <string_view>
 #include <vector>
 
+#include "api/query.h"
 #include "search/search_context.h"
 #include "serve/metrics.h"
 #include "serve/result_cache.h"
@@ -46,7 +64,7 @@
 namespace osum::serve {
 
 struct ServiceOptions {
-  /// Worker threads for SubmitAsync/Submit/QueryBatch. 0 = hardware
+  /// Worker threads for the async paths and batch misses. 0 = hardware
   /// concurrency.
   size_t num_threads = 0;
   ResultCacheOptions cache;
@@ -64,16 +82,41 @@ class QueryService {
   QueryService(const QueryService&) = delete;
   QueryService& operator=(const QueryService&) = delete;
 
-  /// Cache-aware synchronous query — the path every other entry point
-  /// rides on. Hit: shared pointer to the cached immutable result list.
-  /// Miss: computes inline (coalescing concurrent misses for the same
-  /// key), publishes, returns. Results are byte-identical to
-  /// SearchContext::Query with the same arguments.
+  /// Cache-aware synchronous query — the public contract every other
+  /// entry point rides on. Hit: the shared immutable cached result list,
+  /// zero-copy. Miss: computes inline (coalescing concurrent misses for
+  /// the same key), publishes, returns. Invalid requests and backend
+  /// failures come back as non-OK statuses (nothing is cached for
+  /// either); result bytes are identical to SearchContext::Query with the
+  /// same arguments.
+  api::QueryResponse Execute(const api::QueryRequest& request);
+
+  /// Async submission of one request: runs on the service's pool; the
+  /// future resolves to the same value Execute would return (it never
+  /// carries an exception).
+  std::future<api::QueryResponse> SubmitAsync(api::QueryRequest request);
+
+  /// The fully async batch: one future per request, in input order.
+  /// Never blocks the submitting thread — cache hits (and invalid
+  /// requests) resolve immediately, misses fan out over the shared pool
+  /// with duplicates coalesced. Futures are independent: consume them in
+  /// any order, or drop them (the computations still populate the cache).
+  std::vector<std::future<api::QueryResponse>> SubmitBatchAsync(
+      std::vector<api::QueryRequest> requests);
+
+  /// Blocking batch over SubmitBatchAsync: responses in input order.
+  /// Per-request failures are per-response statuses. Must not be called
+  /// from a worker callback (see header note).
+  std::vector<api::QueryResponse> ExecuteBatch(
+      std::vector<api::QueryRequest> requests);
+
+  /// Deprecated shim: cache-aware synchronous query with the historical
+  /// contract — backend failures propagate as exceptions. Prefer Execute.
   ResultPtr Query(std::string_view keywords,
                   const search::QueryOptions& options = {});
 
-  /// Async submission: the query runs on the service's pool; the future
-  /// resolves to the same value Query would return.
+  /// Deprecated shim: async submission with the historical contract (the
+  /// future rethrows query exceptions). Prefer SubmitAsync(QueryRequest).
   std::future<ResultPtr> SubmitAsync(std::string keywords,
                                      search::QueryOptions options = {});
 
@@ -84,12 +127,15 @@ class QueryService {
   void Submit(std::string keywords, search::QueryOptions options,
               std::function<void(ResultPtr)> callback);
 
-  /// Cache-aware batch, results in input order: hits are answered inline
-  /// from the cache, misses fan out over the pool (duplicates within the
-  /// batch coalesce onto one computation). Blocks until every answer is
-  /// ready. If any miss computation throws, the remaining misses still run
-  /// and the first exception is rethrown on the calling thread. Must not
-  /// be called from a worker callback (see header note).
+  /// Deprecated shim, reimplemented over the per-query-future fan-out:
+  /// cache-aware batch, results in input order, byte-identical to serial
+  /// execution. Hits are answered inline from the cache; misses run on
+  /// the pool (duplicates within the batch coalesce onto one
+  /// computation). Blocks until every answer is ready. If any miss
+  /// computation throws, the remaining misses still run and the first
+  /// exception (in input order) is rethrown on the calling thread. Must
+  /// not be called from a worker callback. Prefer ExecuteBatch /
+  /// SubmitBatchAsync.
   std::vector<ResultPtr> QueryBatch(std::span<const std::string> queries,
                                     const search::QueryOptions& options = {});
 
@@ -151,6 +197,20 @@ class QueryService {
     void Add(double v, size_t window);
     util::Summary Snapshot() const;
   };
+
+  /// The one cache-aware compute path every entry point rides: hit,
+  /// coalesced wait, or inline compute under a context pin. `key` is the
+  /// precomputed canonical key (canonicalized exactly once per query —
+  /// callers thread it through). Records hit/miss latency on success;
+  /// compute exceptions propagate (and nothing is recorded or cached).
+  ResultPtr ComputeCached(std::string_view keywords,
+                          const search::QueryOptions& options,
+                          const std::string& key, bool* computed_out);
+
+  /// Status-typed wrapper over ComputeCached for a pre-validated request;
+  /// never throws (the future-based paths rely on that).
+  api::QueryResponse ExecuteWithKey(const api::QueryRequest& request,
+                                    const std::string& key);
 
   void RecordLatency(bool hit, double micros);
 

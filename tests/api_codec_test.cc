@@ -1,0 +1,485 @@
+// Wire codec guarantees: binary and JSON round trips are byte-identical
+// (property-tested over real query results from both join back ends, plus
+// empty and error responses), the v1 binary layout is pinned by a
+// checked-in golden blob, hostile bytes decode to typed kCodecError
+// statuses (never crashes), and the request/response API path produces
+// responses byte-identical to the legacy SearchContext::Query output on
+// DBLP and TPC-H.
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/codec.h"
+#include "api/query.h"
+#include "core/os_backend.h"
+#include "db_fixtures.h"
+#include "search/search_context.h"
+
+namespace osum::api {
+namespace {
+
+using osum::testing::ScoredDblp;
+using osum::testing::ScoredTpch;
+using osum::testing::SmallDblpConfig;
+using osum::testing::SmallTpchConfig;
+
+search::SearchContext BuildDblpContext(const datasets::Dblp& d,
+                                       core::OsBackend* backend) {
+  std::vector<search::SearchContext::Subject> subjects;
+  subjects.push_back({d.author, datasets::DblpAuthorGds(d)});
+  subjects.push_back({d.paper, datasets::DblpPaperGds(d)});
+  return search::SearchContext::Build(d.db, backend, std::move(subjects));
+}
+
+search::SearchContext BuildTpchContext(const datasets::Tpch& t,
+                                       core::OsBackend* backend) {
+  std::vector<search::SearchContext::Subject> subjects;
+  subjects.push_back({t.customer, datasets::TpchCustomerGds(t)});
+  subjects.push_back({t.supplier, datasets::TpchSupplierGds(t)});
+  return search::SearchContext::Build(t.db, backend, std::move(subjects));
+}
+
+/// The full round-trip property for one response:
+///   binary: Decode(Encode(r)) re-encodes to the same bytes and
+///           fingerprints identically;
+///   JSON:   FromJson(ToJson(r)) reproduces the canonical document
+///           byte-for-byte and binary-encodes to the same bytes.
+void ExpectRoundTrips(const QueryResponse& response) {
+  std::string bytes = EncodeResponse(response);
+  StatusOr<QueryResponse> decoded = DecodeResponse(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(EncodeResponse(*decoded), bytes);
+  EXPECT_EQ(DeterministicResponseText(*decoded),
+            DeterministicResponseText(response));
+  EXPECT_EQ(decoded->status, response.status);
+  EXPECT_EQ(decoded->stats.cache_hit, response.stats.cache_hit);
+  EXPECT_EQ(decoded->stats.epoch, response.stats.epoch);
+  EXPECT_DOUBLE_EQ(decoded->stats.compute_micros,
+                   response.stats.compute_micros);
+
+  std::string json = ResponseToJson(response);
+  StatusOr<QueryResponse> from_json = ResponseFromJson(json);
+  ASSERT_TRUE(from_json.ok()) << from_json.status().ToString();
+  EXPECT_EQ(ResponseToJson(*from_json), json);
+  EXPECT_EQ(EncodeResponse(*from_json), bytes);
+  EXPECT_EQ(DeterministicResponseText(*from_json),
+            DeterministicResponseText(response));
+}
+
+void ExpectRequestRoundTrips(const QueryRequest& request) {
+  std::string bytes = EncodeRequest(request);
+  StatusOr<QueryRequest> decoded = DecodeRequest(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(EncodeRequest(*decoded), bytes);
+  EXPECT_EQ(decoded->keywords(), request.keywords());
+  EXPECT_EQ(decoded->options().CacheKeyFragment(),
+            request.options().CacheKeyFragment());
+
+  std::string json = RequestToJson(request);
+  StatusOr<QueryRequest> from_json = RequestFromJson(json);
+  ASSERT_TRUE(from_json.ok()) << from_json.status().ToString();
+  EXPECT_EQ(RequestToJson(*from_json), json);
+  EXPECT_EQ(EncodeRequest(*from_json), bytes);
+}
+
+TEST(RequestCodec, RoundTripsEveryKnobCombination) {
+  const core::SizeLAlgorithm algorithms[] = {
+      core::SizeLAlgorithm::kDp,          core::SizeLAlgorithm::kDpEnumerate,
+      core::SizeLAlgorithm::kBottomUp,    core::SizeLAlgorithm::kTopPath,
+      core::SizeLAlgorithm::kTopPathMemo, core::SizeLAlgorithm::kBruteForce};
+  const ResultRanking rankings[] = {ResultRanking::kSubjectImportance,
+                                    ResultRanking::kSummaryImportance};
+  size_t l = 0;
+  for (core::SizeLAlgorithm algorithm : algorithms) {
+    for (ResultRanking ranking : rankings) {
+      for (bool prelim : {false, true}) {
+        ++l;
+        ExpectRequestRoundTrips(QueryRequest("christos faloutsos")
+                                    .WithL(l)
+                                    .WithMaxResults(l * 3 + 1)
+                                    .WithAlgorithm(algorithm)
+                                    .WithPrelim(prelim)
+                                    .WithRanking(ranking));
+      }
+    }
+  }
+  // Keywords that need JSON escaping survive both forms.
+  ExpectRequestRoundTrips(QueryRequest("with \"quotes\" and \\slashes\\ \n"));
+  ExpectRequestRoundTrips(QueryRequest(""));
+}
+
+TEST(RequestCodec, JsonToleratesWhitespaceAndFieldOrder) {
+  StatusOr<QueryRequest> request = RequestFromJson(R"({
+    "kind": "query_request",
+    "use_prelim": false,
+    "keywords": "mining graphs",
+    "l": 12, "max_results": 4, "algorithm": 1, "ranking": 1,
+    "v": 1
+  })");
+  ASSERT_TRUE(request.ok()) << request.status().ToString();
+  EXPECT_EQ(request->keywords(), "mining graphs");
+  EXPECT_EQ(request->options().l, 12u);
+  EXPECT_EQ(request->options().algorithm, core::SizeLAlgorithm::kDpEnumerate);
+  EXPECT_EQ(request->options().ranking, ResultRanking::kSummaryImportance);
+  EXPECT_FALSE(request->options().use_prelim);
+}
+
+TEST(ResponseCodec, RoundTripsRealResultsFromTheDataGraphBackend) {
+  ScoredDblp f(SmallDblpConfig());
+  search::SearchContext ctx = BuildDblpContext(f.d, &f.backend);
+  for (const char* keywords :
+       {"faloutsos", "databases", "christos faloutsos", "mining"}) {
+    QueryResponse response =
+        ctx.Execute(QueryRequest(keywords).WithL(8).WithMaxResults(4));
+    ASSERT_TRUE(response.ok());
+    ExpectRoundTrips(response);
+  }
+  // The complete-OS path (l = 0) and summary ranking, for shape variety.
+  ExpectRoundTrips(ctx.Execute(QueryRequest("faloutsos").WithL(0)));
+  ExpectRoundTrips(ctx.Execute(
+      QueryRequest("databases").WithL(6).WithRanking(
+          ResultRanking::kSummaryImportance)));
+}
+
+TEST(ResponseCodec, RoundTripsRealResultsFromTheDatabaseBackend) {
+  ScoredTpch f(SmallTpchConfig());
+  core::DatabaseBackend backend(f.t.db, f.t.links, /*per_select_micros=*/0.0);
+  search::SearchContext ctx = BuildTpchContext(f.t, &backend);
+  const rel::Relation& customers = f.t.db.relation(f.t.customer);
+  for (rel::TupleId t = 0; t < 3 && t < customers.num_tuples(); ++t) {
+    QueryResponse response = ctx.Execute(
+        QueryRequest(customers.StringValue(t, 0)).WithL(10).WithMaxResults(3));
+    ASSERT_TRUE(response.ok());
+    ExpectRoundTrips(response);
+  }
+}
+
+TEST(ResponseCodec, RoundTripsEmptyAndErrorResponses) {
+  // A genuine negative answer: OK status, zero results.
+  QueryResponse empty = QueryResponse::Success(
+      std::make_shared<ResultList>(), QueryStats{false, 7.25, 2});
+  ExpectRoundTrips(empty);
+
+  // Failures (results null) encode as zero results and stay failures.
+  QueryStats stats;
+  stats.compute_micros = 0.5;
+  ExpectRoundTrips(QueryResponse::Failure(
+      Status::BackendError("join failed: simulated outage"), stats));
+  ExpectRoundTrips(QueryResponse::Failure(
+      Status::InvalidArgument("empty keyword set"), QueryStats{}));
+  ExpectRoundTrips(QueryResponse::Failure(Status::Internal("bug"),
+                                          QueryStats{}));
+}
+
+/// The handcrafted response the golden blob pins. Never change this
+/// function together with golden/query_response_v1.hex in one commit
+/// unless you are deliberately revving the wire format.
+QueryResponse GoldenResponse() {
+  QueryResult first;
+  first.subject = Hit{2, 7};
+  first.subject_importance = 1.5;
+  first.os.AddRoot(0, 2, 7, 1.5);
+  first.os.AddChild(0, 1, 3, 11, 0.75);
+  first.os.AddChild(0, 2, 4, 12, 0.5);
+  first.os.AddChild(1, 3, 3, 13, 0.25);
+  first.selection.nodes = {0, 1, 3};
+  first.selection.importance = 2.5;
+
+  QueryResult second;
+  second.subject = Hit{4, 1};
+  second.subject_importance = 0.125;
+  second.os.AddRoot(0, 4, 1, 0.125);
+  second.selection.nodes = {0};
+  second.selection.importance = 0.125;
+
+  auto results = std::make_shared<ResultList>();
+  results->push_back(std::move(first));
+  results->push_back(std::move(second));
+  QueryStats stats;
+  stats.cache_hit = true;
+  stats.compute_micros = 123.5;
+  stats.epoch = 4;
+  return QueryResponse::Success(std::move(results), stats);
+}
+
+std::string ReadGoldenHex() {
+  std::ifstream in(std::string(OSUM_GOLDEN_DIR) + "/query_response_v1.hex");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string hex = buf.str();
+  // Strip whitespace/newlines so the file can be line-wrapped.
+  std::string out;
+  for (char c : hex) {
+    if (c != '\n' && c != '\r' && c != ' ' && c != '\t') out.push_back(c);
+  }
+  return out;
+}
+
+TEST(ResponseCodec, GoldenBlobPinsTheV1Format) {
+  QueryResponse golden = GoldenResponse();
+  std::string expected_hex = ReadGoldenHex();
+  ASSERT_FALSE(expected_hex.empty())
+      << "missing golden file " << OSUM_GOLDEN_DIR
+      << "/query_response_v1.hex";
+  // Encoding today must reproduce the blob encoded when v1 was frozen...
+  EXPECT_EQ(ToHex(EncodeResponse(golden)), expected_hex)
+      << "the v1 wire format changed; if intentional, bump kWireVersion";
+  // ...and decoding the checked-in bytes must reproduce the value.
+  StatusOr<std::string> bytes = FromHex(expected_hex);
+  ASSERT_TRUE(bytes.ok());
+  StatusOr<QueryResponse> decoded = DecodeResponse(*bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(DeterministicResponseText(*decoded),
+            DeterministicResponseText(golden));
+  EXPECT_TRUE(decoded->stats.cache_hit);
+  EXPECT_EQ(decoded->stats.epoch, 4u);
+}
+
+TEST(ResponseCodec, EveryTruncationDecodesToCodecErrorNotACrash) {
+  std::string bytes = EncodeResponse(GoldenResponse());
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    StatusOr<QueryResponse> decoded =
+        DecodeResponse(std::string_view(bytes).substr(0, len));
+    ASSERT_FALSE(decoded.ok()) << "prefix of length " << len;
+    EXPECT_EQ(decoded.status().code(), StatusCode::kCodecError);
+  }
+  // Same property for requests.
+  std::string request_bytes = EncodeRequest(QueryRequest("faloutsos"));
+  for (size_t len = 0; len < request_bytes.size(); ++len) {
+    EXPECT_FALSE(
+        DecodeRequest(std::string_view(request_bytes).substr(0, len)).ok());
+  }
+}
+
+TEST(ResponseCodec, RejectsCorruptHeadersAndMalformedPayloads) {
+  std::string good = EncodeResponse(GoldenResponse());
+
+  std::string bad_magic = good;
+  bad_magic[0] = 'X';
+  EXPECT_EQ(DecodeResponse(bad_magic).status().code(),
+            StatusCode::kCodecError);
+
+  std::string bad_version = good;
+  bad_version[4] = 9;  // version u16 lives at offsets 4..5
+  EXPECT_EQ(DecodeResponse(bad_version).status().code(),
+            StatusCode::kCodecError);
+
+  std::string bad_kind = good;
+  bad_kind[6] = 7;
+  EXPECT_EQ(DecodeResponse(bad_kind).status().code(),
+            StatusCode::kCodecError);
+
+  // A request parsed as a response (and vice versa) is a kind mismatch.
+  EXPECT_FALSE(DecodeResponse(EncodeRequest(QueryRequest("x"))).ok());
+  EXPECT_FALSE(DecodeRequest(good).ok());
+
+  std::string trailing = good + "junk";
+  EXPECT_EQ(DecodeResponse(trailing).status().code(),
+            StatusCode::kCodecError);
+
+  // Unknown status code byte (first payload byte after the 7-byte header).
+  std::string bad_status = good;
+  bad_status[7] = 99;
+  EXPECT_EQ(DecodeResponse(bad_status).status().code(),
+            StatusCode::kCodecError);
+
+  // A *valid* non-OK status combined with results violates the
+  // QueryResponse invariant ("results are empty whenever !ok()") — no
+  // encoder produces such bytes and the decoder must not materialize them.
+  std::string failure_with_results = good;
+  failure_with_results[7] =
+      static_cast<char>(StatusCode::kBackendError);
+  EXPECT_EQ(DecodeResponse(failure_with_results).status().code(),
+            StatusCode::kCodecError);
+
+  // Unknown enum ids in requests.
+  std::string request = EncodeRequest(QueryRequest("x"));
+  std::string bad_algorithm = request;
+  bad_algorithm[request.size() - 3] = 42;
+  EXPECT_EQ(DecodeRequest(bad_algorithm).status().code(),
+            StatusCode::kCodecError);
+  std::string bad_ranking = request;
+  bad_ranking[request.size() - 1] = 2;
+  EXPECT_EQ(DecodeRequest(bad_ranking).status().code(),
+            StatusCode::kCodecError);
+}
+
+TEST(ResponseCodec, RejectsMalformedJson) {
+  EXPECT_EQ(ResponseFromJson("").status().code(), StatusCode::kCodecError);
+  EXPECT_FALSE(ResponseFromJson("{").ok());
+  EXPECT_FALSE(ResponseFromJson("[1,2,3]").ok());
+  EXPECT_FALSE(ResponseFromJson(R"({"v":1,"kind":"query_request"})").ok());
+  EXPECT_FALSE(ResponseFromJson(R"({"v":2,"kind":"query_response"})").ok());
+  EXPECT_FALSE(RequestFromJson(R"({"v":1,"kind":"query_request"})").ok())
+      << "missing fields must not default silently";
+  EXPECT_FALSE(
+      RequestFromJson(
+          R"({"v":1,"kind":"query_request","keywords":"x","l":1,)"
+          R"("max_results":2,"algorithm":17,"use_prelim":true,"ranking":0})")
+          .ok());
+  // os nodes whose parent pointers do not form a BFS arena are rejected.
+  EXPECT_FALSE(
+      ResponseFromJson(
+          R"({"v":1,"kind":"query_response",)"
+          R"("status":{"code":0,"message":""},)"
+          R"("stats":{"cache_hit":false,"compute_us":0,"epoch":0},)"
+          R"("results":[{"subject":{"relation":0,"tuple":0},)"
+          R"("importance":1,"os":[[-1,0,0,0,0,1],[5,0,0,1,1,1]],)"
+          R"("selection":{"importance":1,"nodes":[0]}}]})")
+          .ok());
+}
+
+// Numbers a double can hold but an integer field cannot (1e300, 1e999 ==
+// inf, negatives, fractions) must come back as kCodecError — converting
+// them blindly would be undefined behavior, not just wrong data.
+TEST(ResponseCodec, RejectsOutOfRangeJsonIntegers) {
+  auto response_with = [](std::string_view stats, std::string_view results) {
+    return std::string(R"({"v":1,"kind":"query_response",)") +
+           R"("status":{"code":0,"message":""},"stats":)" +
+           std::string(stats) + R"(,"results":)" + std::string(results) + "}";
+  };
+  const std::string ok_stats =
+      R"({"cache_hit":false,"compute_us":0,"epoch":0})";
+  // Hostile epoch: 1e300 is integral and non-negative but far over 2^64.
+  EXPECT_EQ(ResponseFromJson(response_with(
+                                 R"({"cache_hit":false,"compute_us":0,)"
+                                 R"("epoch":1e300})",
+                                 "[]"))
+                .status()
+                .code(),
+            StatusCode::kCodecError);
+  // 1e999 overflows strtod to +inf; floor(inf) == inf must not pass.
+  EXPECT_EQ(ResponseFromJson(response_with(
+                                 R"({"cache_hit":false,"compute_us":0,)"
+                                 R"("epoch":1e999})",
+                                 "[]"))
+                .status()
+                .code(),
+            StatusCode::kCodecError);
+  // Hostile os-node tuple id and subject ids.
+  EXPECT_FALSE(ResponseFromJson(response_with(
+                                    ok_stats,
+                                    R"([{"subject":{"relation":0,"tuple":0},)"
+                                    R"("importance":1,)"
+                                    R"("os":[[-1,0,0,1e300,0,1]],)"
+                                    R"("selection":{"importance":1,)"
+                                    R"("nodes":[0]}}])"))
+                   .ok());
+  EXPECT_FALSE(ResponseFromJson(response_with(
+                                    ok_stats,
+                                    R"([{"subject":{"relation":1e300,)"
+                                    R"("tuple":0},"importance":1,)"
+                                    R"("os":[[-1,0,0,0,0,1]],)"
+                                    R"("selection":{"importance":1,)"
+                                    R"("nodes":[0]}}])"))
+                   .ok());
+  // Fractional integers are also rejected.
+  EXPECT_FALSE(RequestFromJson(
+                   R"({"v":1,"kind":"query_request","keywords":"x",)"
+                   R"("l":1.5,"max_results":2,"algorithm":0,)"
+                   R"("use_prelim":true,"ranking":0})")
+                   .ok());
+  // JSON failure responses carrying results violate the response
+  // invariant, mirroring the binary decoder.
+  EXPECT_EQ(ResponseFromJson(
+                std::string(R"({"v":1,"kind":"query_response",)") +
+                R"("status":{"code":2,"message":"boom"},"stats":)" + ok_stats +
+                R"(,"results":[{"subject":{"relation":0,"tuple":0},)"
+                R"("importance":1,"os":[[-1,0,0,0,0,1]],)"
+                R"("selection":{"importance":1,"nodes":[0]}}]})")
+                .status()
+                .code(),
+            StatusCode::kCodecError);
+}
+
+TEST(Hex, RoundTripsAndRejectsGarbage) {
+  std::string bytes("\x00\x7f\xff\x10 binary", 9);
+  StatusOr<std::string> back = FromHex(ToHex(bytes));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, bytes);
+  EXPECT_FALSE(FromHex("abc").ok());   // odd length
+  EXPECT_FALSE(FromHex("zz").ok());    // non-hex
+  EXPECT_TRUE(FromHex("AbCd").ok());   // case-insensitive
+}
+
+// The headline migration invariant (acceptance): a response produced via
+// the request/response API is byte-identical to the legacy
+// SearchContext::Query output — on both back ends, on both datasets.
+TEST(ApiEquivalence, ExecuteMatchesLegacyQueryOnDblpBothBackends) {
+  ScoredDblp f(SmallDblpConfig());
+  core::DatabaseBackend db_backend(f.d.db, f.d.links,
+                                   /*per_select_micros=*/0.0);
+  search::SearchContext graph_ctx = BuildDblpContext(f.d, &f.backend);
+  search::SearchContext db_ctx = BuildDblpContext(f.d, &db_backend);
+  search::QueryOptions options;
+  options.l = 9;
+  options.max_results = 4;
+  for (const search::SearchContext* ctx : {&graph_ctx, &db_ctx}) {
+    for (const char* keywords : {"faloutsos", "databases", "nosuchkeyword"}) {
+      QueryResponse response =
+          ctx->Execute(QueryRequest(keywords).WithOptions(options));
+      ASSERT_TRUE(response.ok());
+      EXPECT_FALSE(response.stats.cache_hit);
+      EXPECT_EQ(DeterministicResultText(response.result_list()),
+                DeterministicResultText(ctx->Query(keywords, options)))
+          << keywords;
+    }
+  }
+}
+
+TEST(ApiEquivalence, ExecuteMatchesLegacyQueryOnTpch) {
+  ScoredTpch f(SmallTpchConfig());
+  search::SearchContext ctx = BuildTpchContext(f.t, &f.backend);
+  const rel::Relation& customers = f.t.db.relation(f.t.customer);
+  for (rel::TupleId t = 0; t < 3 && t < customers.num_tuples(); ++t) {
+    std::string keywords = customers.StringValue(t, 0);
+    QueryResponse response =
+        ctx.Execute(QueryRequest(keywords).WithL(10));
+    ASSERT_TRUE(response.ok());
+    search::QueryOptions options;
+    options.l = 10;
+    EXPECT_EQ(DeterministicResultText(response.result_list()),
+              DeterministicResultText(ctx.Query(keywords, options)))
+        << keywords;
+  }
+}
+
+TEST(ApiEquivalence, ExecuteTurnsFailuresIntoStatuses) {
+  ScoredDblp f(SmallDblpConfig());
+  search::SearchContext ctx = BuildDblpContext(f.d, &f.backend);
+  // Invalid request: typed error, not an exception or empty answer.
+  QueryResponse invalid = ctx.Execute(QueryRequest(""));
+  EXPECT_EQ(invalid.status.code(), StatusCode::kInvalidArgument);
+  // A no-hit query is an OK empty answer — now distinguishable.
+  QueryResponse miss = ctx.Execute(QueryRequest("zzzznosuchtoken"));
+  EXPECT_TRUE(miss.ok());
+  EXPECT_TRUE(miss.result_list().empty());
+}
+
+TEST(ApiEquivalence, ExecuteBatchMatchesSerialExecute) {
+  ScoredDblp f(SmallDblpConfig());
+  search::SearchContext ctx = BuildDblpContext(f.d, &f.backend);
+  std::vector<QueryRequest> requests;
+  for (const char* keywords : {"faloutsos", "databases", "mining", "",
+                               "graphs", "faloutsos"}) {
+    requests.push_back(QueryRequest(keywords).WithL(7).WithMaxResults(3));
+  }
+  std::vector<QueryResponse> batched = ctx.ExecuteBatch(requests, 4);
+  ASSERT_EQ(batched.size(), requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    QueryResponse serial = ctx.Execute(requests[i]);
+    EXPECT_EQ(batched[i].status, serial.status) << i;
+    EXPECT_EQ(DeterministicResultText(batched[i].result_list()),
+              DeterministicResultText(serial.result_list()))
+        << i;
+  }
+  // The empty-keyword request failed alone; its neighbors succeeded.
+  EXPECT_EQ(batched[3].status.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(batched[2].ok());
+}
+
+}  // namespace
+}  // namespace osum::api

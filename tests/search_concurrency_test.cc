@@ -12,7 +12,7 @@
 
 #include "core/os_backend.h"
 #include "db_fixtures.h"
-#include "result_serializer.h"
+#include "api/codec.h"
 #include "search/search_context.h"
 #include "util/thread_pool.h"
 
@@ -21,7 +21,7 @@ namespace {
 
 using osum::testing::ScoredDblp;
 using osum::testing::ScoredTpch;
-using osum::testing::Serialize;
+using osum::api::DeterministicResultText;
 using osum::testing::SmallDblpConfig;
 using osum::testing::SmallTpchConfig;
 
@@ -51,13 +51,15 @@ void ExpectBatchMatchesSerial(const SearchContext& ctx,
                               const QueryOptions& options) {
   std::vector<std::string> serial;
   serial.reserve(mix.size());
-  for (const std::string& q : mix) serial.push_back(Serialize(ctx.Query(q, options)));
+  for (const std::string& q : mix) {
+    serial.push_back(DeterministicResultText(ctx.Query(q, options)));
+  }
 
   for (size_t threads : {2u, 4u, 8u}) {
     auto batch = ctx.QueryBatch(mix, options, threads);
     ASSERT_EQ(batch.size(), mix.size()) << threads << " threads";
     for (size_t i = 0; i < mix.size(); ++i) {
-      EXPECT_EQ(Serialize(batch[i]), serial[i])
+      EXPECT_EQ(DeterministicResultText(batch[i]), serial[i])
           << "query \"" << mix[i] << "\" diverged at " << threads
           << " threads";
     }
@@ -115,7 +117,8 @@ TEST(QueryBatchEquivalence, BothBackendsAgreeOnTpch) {
   auto b = sql_ctx.QueryBatch(mix, options, size_t{4});
   ASSERT_EQ(a.size(), b.size());
   for (size_t i = 0; i < a.size(); ++i) {
-    EXPECT_EQ(Serialize(a[i]), Serialize(b[i])) << "query " << mix[i];
+    EXPECT_EQ(DeterministicResultText(a[i]), DeterministicResultText(b[i]))
+        << "query " << mix[i];
   }
 }
 
@@ -127,7 +130,8 @@ TEST(QueryBatchEquivalence, DegenerateBatches) {
   // More threads than queries clamps to the batch size.
   auto batch = ctx.QueryBatch(one, {}, size_t{16});
   ASSERT_EQ(batch.size(), 1u);
-  EXPECT_EQ(Serialize(batch[0]), Serialize(ctx.Query("faloutsos")));
+  EXPECT_EQ(DeterministicResultText(batch[0]),
+            DeterministicResultText(ctx.Query("faloutsos")));
 }
 
 TEST(QueryBatchEquivalence, SummaryRankingMatchesSerial) {
@@ -157,7 +161,9 @@ TEST(SearchConcurrencyStress, SharedContextSharedBackend) {
 
   std::vector<std::string> golden;
   golden.reserve(mix.size());
-  for (const std::string& q : mix) golden.push_back(Serialize(ctx.Query(q, options)));
+  for (const std::string& q : mix) {
+    golden.push_back(DeterministicResultText(ctx.Query(q, options)));
+  }
 
   constexpr size_t kThreads = 8;
   constexpr int kRounds = 3;
@@ -170,7 +176,8 @@ TEST(SearchConcurrencyStress, SharedContextSharedBackend) {
       for (int round = 0; round < kRounds; ++round) {
         for (size_t i = 0; i < mix.size(); ++i) {
           size_t q = (i + w) % mix.size();
-          if (Serialize(ctx.Query(mix[q], options)) != golden[q]) {
+          if (DeterministicResultText(ctx.Query(mix[q], options)) !=
+              golden[q]) {
             mismatches.fetch_add(1, std::memory_order_relaxed);
           }
         }
@@ -196,7 +203,9 @@ TEST(SearchConcurrencyStress, ConcurrentBatchesOnOneContext) {
 
   std::vector<std::string> golden;
   golden.reserve(mix.size());
-  for (const std::string& q : mix) golden.push_back(Serialize(ctx.Query(q, options)));
+  for (const std::string& q : mix) {
+    golden.push_back(DeterministicResultText(ctx.Query(q, options)));
+  }
 
   std::atomic<int> mismatches{0};
   std::vector<std::thread> drivers;
@@ -206,7 +215,7 @@ TEST(SearchConcurrencyStress, ConcurrentBatchesOnOneContext) {
       for (int round = 0; round < 2; ++round) {
         auto batch = ctx.QueryBatch(mix, options, pool);
         for (size_t i = 0; i < mix.size(); ++i) {
-          if (Serialize(batch[i]) != golden[i]) {
+          if (DeterministicResultText(batch[i]) != golden[i]) {
             mismatches.fetch_add(1, std::memory_order_relaxed);
           }
         }

@@ -18,16 +18,18 @@
 
 #include "core/os_backend.h"
 #include "db_fixtures.h"
-#include "result_serializer.h"
+#include "api/codec.h"
 #include "search/engine.h"
 #include "serve/query_service.h"
 
 namespace osum::serve {
 namespace {
 
+using osum::api::DeterministicResultText;
 using osum::testing::ScoredDblp;
-using osum::testing::Serialize;
+using osum::testing::ScoredTpch;
 using osum::testing::SmallDblpConfig;
+using osum::testing::SmallTpchConfig;
 
 search::SearchContext BuildDblpContext(const datasets::Dblp& d,
                                        core::OsBackend* backend) {
@@ -113,17 +115,17 @@ void ExpectHitMatchesRecompute(const search::SearchContext& ctx) {
   options.max_results = 4;
 
   const std::string query = "faloutsos";
-  std::string golden = Serialize(ctx.Query(query, options));
+  std::string golden = DeterministicResultText(ctx.Query(query, options));
 
   ResultPtr first = service.Query(query, options);
   ASSERT_NE(first, nullptr);
-  EXPECT_EQ(Serialize(first->results), golden);
+  EXPECT_EQ(DeterministicResultText(first->results), golden);
   EXPECT_EQ(service.metrics().cache.misses, 1u);
 
   ResultPtr second = service.Query(query, options);
   // A hit is the same immutable object, not a recompute.
   EXPECT_EQ(second.get(), first.get());
-  EXPECT_EQ(Serialize(second->results), golden);
+  EXPECT_EQ(DeterministicResultText(second->results), golden);
   Metrics m = service.metrics();
   EXPECT_EQ(m.cache.misses, 1u);
   EXPECT_EQ(m.cache.hits, 1u);
@@ -167,19 +169,19 @@ TEST(QueryServiceAsync, FutureAndCallbackAgreeWithSync) {
   search::QueryOptions options;
   options.l = 8;
 
-  std::string golden = Serialize(ctx.Query("databases", options));
+  std::string golden = DeterministicResultText(ctx.Query("databases", options));
 
   std::future<ResultPtr> fut = service.SubmitAsync("databases", options);
   ResultPtr from_future = fut.get();
   ASSERT_NE(from_future, nullptr);
-  EXPECT_EQ(Serialize(from_future->results), golden);
+  EXPECT_EQ(DeterministicResultText(from_future->results), golden);
 
   std::promise<ResultPtr> delivered;
   service.Submit("databases", options,
                  [&](ResultPtr r) { delivered.set_value(std::move(r)); });
   ResultPtr from_callback = delivered.get_future().get();
   ASSERT_NE(from_callback, nullptr);
-  EXPECT_EQ(Serialize(from_callback->results), golden);
+  EXPECT_EQ(DeterministicResultText(from_callback->results), golden);
   // The async paths share the cache: one compute total.
   EXPECT_EQ(service.metrics().cache.misses, 1u);
 }
@@ -200,8 +202,8 @@ TEST(QueryServiceBatch, CacheAwareAndInputOrdered) {
   ASSERT_EQ(batch.size(), queries.size());
   for (size_t i = 0; i < queries.size(); ++i) {
     ASSERT_NE(batch[i], nullptr) << queries[i];
-    EXPECT_EQ(Serialize(batch[i]->results),
-              Serialize(ctx.Query(queries[i], options)))
+    EXPECT_EQ(DeterministicResultText(batch[i]->results),
+              DeterministicResultText(ctx.Query(queries[i], options)))
         << queries[i];
   }
   Metrics after_first = service.metrics();
@@ -229,7 +231,7 @@ TEST(QueryServiceEpoch, RebindAfterRebuildNeverServesStaleResults) {
   options.max_results = 6;
 
   ResultPtr stale = service.Query("databases", options);
-  std::string stale_bytes = Serialize(stale->results);
+  std::string stale_bytes = DeterministicResultText(stale->results);
 
   // The context is rebuilt richer (Author + Paper) in a fresh engine —
   // the old engine would throw on re-registration (see search_test).
@@ -244,9 +246,9 @@ TEST(QueryServiceEpoch, RebindAfterRebuildNeverServesStaleResults) {
   EXPECT_EQ(service.metrics().cache.entries, 0u);
 
   ResultPtr fresh = service.Query("databases", options);
-  std::string fresh_bytes = Serialize(fresh->results);
-  EXPECT_EQ(fresh_bytes, Serialize(engine2.context().Query("databases",
-                                                           options)));
+  std::string fresh_bytes = DeterministicResultText(fresh->results);
+  EXPECT_EQ(fresh_bytes, DeterministicResultText(
+                             engine2.context().Query("databases", options)));
   // The richer context genuinely changes the answer, so serving the old
   // entry would have been observable — and did not happen.
   EXPECT_NE(fresh_bytes, stale_bytes);
@@ -293,8 +295,8 @@ TEST(QueryServiceEpoch, RebindDrainsInFlightQueriesBeforeReturning) {
   EXPECT_EQ(&service.context(), &new_ctx);
   ResultPtr fresh = service.Query("databases", options);
   ASSERT_NE(fresh, nullptr);
-  EXPECT_EQ(Serialize(fresh->results),
-            Serialize(new_ctx.Query("databases", options)));
+  EXPECT_EQ(DeterministicResultText(fresh->results),
+            DeterministicResultText(new_ctx.Query("databases", options)));
 }
 
 // A throwing miss inside the batch fan-out must surface on the calling
@@ -331,10 +333,190 @@ TEST(QueryServiceBatch, MissExceptionRethrownOnCallingThread) {
   EXPECT_EQ(batch[0].get(), warm.get());
   for (size_t i = 0; i < queries.size(); ++i) {
     ASSERT_NE(batch[i], nullptr) << queries[i];
-    EXPECT_EQ(Serialize(batch[i]->results),
-              Serialize(ctx.Query(queries[i], options)))
+    EXPECT_EQ(DeterministicResultText(batch[i]->results),
+              DeterministicResultText(ctx.Query(queries[i], options)))
         << queries[i];
   }
+}
+
+// The request/response surface: Execute must agree byte-for-byte with the
+// legacy paths, share their cache, and report the cache outcome in stats.
+TEST(QueryServiceApi, ExecuteMatchesLegacyAndReportsCacheOutcome) {
+  ScoredDblp f(SmallDblpConfig());
+  search::SearchContext ctx = BuildDblpContext(f.d, &f.backend);
+  QueryService service(ctx, SmallService());
+  api::QueryRequest request =
+      api::QueryRequest("faloutsos").WithL(10).WithMaxResults(4);
+  search::QueryOptions options;
+  options.l = 10;
+  options.max_results = 4;
+  std::string golden = DeterministicResultText(ctx.Query("faloutsos", options));
+
+  api::QueryResponse first = service.Execute(request);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first.stats.cache_hit);
+  EXPECT_GT(first.stats.compute_micros, 0.0);
+  EXPECT_EQ(first.stats.epoch, 0u);
+  EXPECT_EQ(DeterministicResultText(first.result_list()), golden);
+
+  api::QueryResponse second = service.Execute(request);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second.stats.cache_hit);
+  // A hit shares the same immutable list, zero-copy.
+  EXPECT_EQ(second.results.get(), first.results.get());
+
+  // The typed and legacy paths ride one cache: the legacy pointer wraps
+  // the very list the response aliases.
+  ResultPtr legacy = service.Query("faloutsos", options);
+  EXPECT_EQ(&legacy->results, second.results.get());
+  EXPECT_EQ(service.metrics().cache.misses, 1u);
+}
+
+TEST(QueryServiceApi, ExecuteMatchesRecomputeOnTpchDatabaseBackend) {
+  ScoredTpch f(SmallTpchConfig());
+  core::DatabaseBackend backend(f.t.db, f.t.links, /*per_select_micros=*/0.0);
+  std::vector<search::SearchContext::Subject> subjects;
+  subjects.push_back({f.t.customer, datasets::TpchCustomerGds(f.t)});
+  subjects.push_back({f.t.supplier, datasets::TpchSupplierGds(f.t)});
+  search::SearchContext ctx =
+      search::SearchContext::Build(f.t.db, &backend, std::move(subjects));
+  QueryService service(ctx, SmallService());
+
+  std::string keywords = f.t.db.relation(f.t.customer).StringValue(0, 0);
+  api::QueryResponse response =
+      service.Execute(api::QueryRequest(keywords).WithL(10));
+  ASSERT_TRUE(response.ok());
+  search::QueryOptions options;
+  options.l = 10;
+  EXPECT_EQ(DeterministicResultText(response.result_list()),
+            DeterministicResultText(ctx.Query(keywords, options)));
+}
+
+TEST(QueryServiceApi, InvalidAndFailingRequestsBecomeStatuses) {
+  ScoredDblp f(SmallDblpConfig());
+  GatedBackend gated(&f.backend);
+  search::SearchContext ctx = BuildDblpContext(f.d, &gated);
+  QueryService service(ctx, SmallService());
+
+  api::QueryResponse invalid = service.Execute(api::QueryRequest(""));
+  EXPECT_EQ(invalid.status.code(), api::StatusCode::kInvalidArgument);
+  Metrics after_invalid = service.metrics();
+  EXPECT_EQ(after_invalid.queries, 0u);  // rejected before the cache
+  EXPECT_EQ(after_invalid.cache.misses, 0u);
+
+  gated.FailJoins(true);
+  api::QueryResponse failed = service.Execute(api::QueryRequest("databases"));
+  EXPECT_EQ(failed.status.code(), api::StatusCode::kBackendError);
+  EXPECT_TRUE(failed.result_list().empty());
+
+  // The failure cached nothing: healing the backend recomputes...
+  gated.FailJoins(false);
+  api::QueryResponse healed = service.Execute(api::QueryRequest("databases"));
+  ASSERT_TRUE(healed.ok());
+  EXPECT_FALSE(healed.stats.cache_hit);
+  // ...and a no-hit query is an OK empty answer, no longer conflatable
+  // with the kBackendError above.
+  api::QueryResponse none =
+      service.Execute(api::QueryRequest("nosuchkeywordanywhere"));
+  EXPECT_TRUE(none.ok());
+  EXPECT_TRUE(none.result_list().empty());
+}
+
+// The async-batch acceptance contract: SubmitBatchAsync returns while its
+// misses are still computing — the submitting thread never blocks.
+TEST(QueryServiceApi, SubmitBatchAsyncNeverBlocksTheSubmitter) {
+  ScoredDblp f(SmallDblpConfig());
+  GatedBackend gated(&f.backend);
+  search::SearchContext ctx = BuildDblpContext(f.d, &gated);
+  QueryService service(ctx, SmallService());
+  search::QueryOptions options;
+  options.l = 8;
+
+  // Warm one key so the batch mixes a ready hit with gated misses.
+  ResultPtr warm = service.Query("faloutsos", options);
+  ASSERT_NE(warm, nullptr);
+
+  gated.CloseGate();
+  std::vector<api::QueryRequest> requests;
+  for (const char* q : {"faloutsos", "databases", "", "mining"}) {
+    requests.push_back(api::QueryRequest(q).WithOptions(options));
+  }
+  std::vector<std::future<api::QueryResponse>> futures =
+      service.SubmitBatchAsync(std::move(requests));
+  // Submission returned while every miss is parked on the closed gate.
+  ASSERT_EQ(futures.size(), 4u);
+  gated.WaitUntilBlocked();
+  // The hit and the invalid request resolved at submission time; the
+  // gated miss cannot be ready.
+  EXPECT_EQ(futures[0].wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_EQ(futures[2].wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_NE(futures[1].wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+
+  gated.OpenGate();
+  api::QueryResponse hit = futures[0].get();
+  ASSERT_TRUE(hit.ok());
+  EXPECT_TRUE(hit.stats.cache_hit);
+  EXPECT_EQ(hit.results.get(), &warm->results);  // zero-copy alias
+  EXPECT_EQ(futures[2].get().status.code(),
+            api::StatusCode::kInvalidArgument);
+  api::QueryResponse miss = futures[1].get();
+  ASSERT_TRUE(miss.ok());
+  EXPECT_FALSE(miss.stats.cache_hit);
+  EXPECT_EQ(DeterministicResultText(miss.result_list()),
+            DeterministicResultText(ctx.Query("databases", options)));
+  ASSERT_TRUE(futures[3].get().ok());
+}
+
+// ExecuteBatch (the blocking layer over SubmitBatchAsync) must stay
+// byte-identical to serial execution and cache-aware across runs.
+TEST(QueryServiceApi, ExecuteBatchMatchesSerialAndStaysCacheAware) {
+  ScoredDblp f(SmallDblpConfig());
+  search::SearchContext ctx = BuildDblpContext(f.d, &f.backend);
+  QueryService service(ctx, SmallService());
+  search::QueryOptions options;
+  options.l = 9;
+  options.max_results = 3;
+
+  std::vector<std::string> queries = {"faloutsos", "databases", "faloutsos",
+                                      "nosuchkeywordanywhere"};
+  std::vector<api::QueryRequest> requests;
+  for (const std::string& q : queries) {
+    requests.push_back(api::QueryRequest(q).WithOptions(options));
+  }
+  std::vector<api::QueryResponse> batch = service.ExecuteBatch(requests);
+  ASSERT_EQ(batch.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_TRUE(batch[i].ok()) << queries[i];
+    EXPECT_EQ(DeterministicResultText(batch[i].result_list()),
+              DeterministicResultText(ctx.Query(queries[i], options)))
+        << queries[i];
+  }
+  EXPECT_EQ(service.metrics().cache.misses, 3u);  // distinct queries only
+
+  // Re-running is pure hits on the same immutable lists.
+  std::vector<api::QueryResponse> again = service.ExecuteBatch(requests);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_TRUE(again[i].stats.cache_hit) << queries[i];
+    EXPECT_EQ(again[i].results.get(), batch[i].results.get()) << queries[i];
+  }
+  EXPECT_EQ(service.metrics().cache.misses, 3u);
+}
+
+TEST(QueryServiceApi, SubmitAsyncRequestAgreesWithExecute) {
+  ScoredDblp f(SmallDblpConfig());
+  search::SearchContext ctx = BuildDblpContext(f.d, &f.backend);
+  QueryService service(ctx, SmallService());
+  api::QueryRequest request = api::QueryRequest("databases").WithL(8);
+
+  api::QueryResponse from_future = service.SubmitAsync(request).get();
+  ASSERT_TRUE(from_future.ok());
+  api::QueryResponse direct = service.Execute(request);
+  EXPECT_TRUE(direct.stats.cache_hit);  // one compute total
+  EXPECT_EQ(from_future.results.get(), direct.results.get());
+  EXPECT_EQ(service.metrics().cache.misses, 1u);
 }
 
 TEST(QueryServiceMetrics, LatencyReservoirsPopulate) {
@@ -374,12 +556,17 @@ TEST(ServeConcurrencyStress, MixedTrafficOneService) {
   std::vector<std::string> golden;
   golden.reserve(mix.size());
   for (const std::string& q : mix) {
-    golden.push_back(Serialize(ctx.Query(q, options)));
+    golden.push_back(DeterministicResultText(ctx.Query(q, options)));
   }
 
   std::atomic<int> mismatches{0};
   auto check = [&](size_t qi, const ResultPtr& r) {
-    if (r == nullptr || Serialize(r->results) != golden[qi]) {
+    if (r == nullptr || DeterministicResultText(r->results) != golden[qi]) {
+      mismatches.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+  auto check_response = [&](size_t qi, const api::QueryResponse& r) {
+    if (!r.ok() || DeterministicResultText(r.result_list()) != golden[qi]) {
       mismatches.fetch_add(1, std::memory_order_relaxed);
     }
   };
@@ -395,6 +582,20 @@ TEST(ServeConcurrencyStress, MixedTrafficOneService) {
         check(qi, service.Query(mix[qi], options));
         auto fut = service.SubmitAsync(mix[(qi + 1) % mix.size()], options);
         check((qi + 1) % mix.size(), fut.get());
+        // The typed surface shares the same cache and pool: one Execute
+        // and a two-request async batch per round.
+        size_t ei = (qi + 2) % mix.size();
+        check_response(
+            ei, service.Execute(api::QueryRequest(mix[ei]).WithOptions(
+                    options)));
+        std::vector<api::QueryRequest> batch;
+        batch.push_back(api::QueryRequest(mix[qi]).WithOptions(options));
+        batch.push_back(
+            api::QueryRequest(mix[(qi + 3) % mix.size()]).WithOptions(
+                options));
+        auto futures = service.SubmitBatchAsync(std::move(batch));
+        check_response(qi, futures[0].get());
+        check_response((qi + 3) % mix.size(), futures[1].get());
         if (w == 0 && round == kRounds / 2) service.ClearCache();
       }
     });
@@ -402,8 +603,10 @@ TEST(ServeConcurrencyStress, MixedTrafficOneService) {
   for (std::thread& t : drivers) t.join();
   EXPECT_EQ(mismatches.load(), 0);
   Metrics m = service.metrics();
+  // 5 recorded queries per round: legacy sync + legacy async + Execute +
+  // the 2-request async batch.
   EXPECT_EQ(m.queries,
-            static_cast<uint64_t>(kDrivers) * kRounds * 2);
+            static_cast<uint64_t>(kDrivers) * kRounds * 5);
   EXPECT_EQ(m.cache.hits + m.cache.misses + m.cache.coalesced_waits,
             m.queries);
 }
