@@ -12,6 +12,15 @@
 //      the realistic shape of keyword workloads) replayed through the
 //      service vs recomputed uncached; reports QPS, hit rate, and the
 //      hit/miss latency split from serve::Metrics.
+//   3. long-tail admission (ISSUE 5 acceptance): a Zipf replay over a
+//      universe far larger than the byte budget, run twice at the SAME
+//      budget — doorkeeper admission off vs on. One-hit-wonder tail keys
+//      churn the LRU when everything is admitted; with the doorkeeper
+//      they never spend budget bytes, so hot keys stay resident. The
+//      bench FAILS (exit 1) unless admission-on beats admission-off on
+//      hot-key hit rate. The replay is seeded and single-threaded, so
+//      hit rates, evictions and admission rejects are exactly
+//      reproducible (machine-independent baseline rows).
 // Both back ends are swept so the table shows the cache matters most
 // exactly where the paper says generation is most expensive.
 //
@@ -26,6 +35,7 @@
 #include "bench_common.h"
 #include "core/os_backend.h"
 #include "serve/query_service.h"
+#include "util/rng.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
 
@@ -162,8 +172,123 @@ void RunSkewedWorkload(const std::string& backend_name,
   json->Add(section, "served", "hit_rate", hit_rate);
   json->Add(section, "served", "speedup_vs_uncached",
             uncached_s / std::max(cached_s, 1e-9));
-  json->Add(section, "served", "hit_p99_us",
-            m.hit_latency_us.Percentile(99.0));
+  // hit p99 stays in the printed table only: a sub-microsecond percentile
+  // jitters by multiples of itself run-to-run, so a baseline row would
+  // flap any strict perf gate without measuring anything real.
+}
+
+/// One admission-off/on arm of the long-tail replay: `requests` Zipf
+/// draws over `distinct` queries (rank r = hot keyword r%H with synopsis
+/// size 12 + r/H, so every rank is a distinct cache key with real
+/// results), served at the given byte budget. Returns the hot-key hit
+/// rate (requests whose rank is in the hot set that were cache hits).
+double RunLongTailArm(const search::SearchContext& ctx,
+                      const std::vector<api::QueryRequest>& universe,
+                      const std::vector<size_t>& schedule, size_t hot_count,
+                      size_t max_bytes, bool admission_on,
+                      const std::string& label, bench::JsonReport* json) {
+  serve::ServiceOptions so;
+  so.num_threads = 1;
+  so.cache.num_shards = 1;  // one global LRU: the budget is the story
+  so.cache.max_entries = 2 * universe.size();  // bytes are the binding cap
+  so.cache.max_bytes = max_bytes;
+  so.cache.policy.admission_enabled = admission_on;
+  so.cache.policy.admission_window_micros = 3600ull * 1'000'000;
+  serve::QueryService service(ctx, so);
+
+  size_t hot_requests = 0, hot_hits = 0;
+  util::WallTimer timer;
+  for (size_t rank : schedule) {
+    api::QueryResponse response = service.Execute(universe[rank]);
+    if (rank < hot_count) {
+      ++hot_requests;
+      if (response.stats.cache_hit) ++hot_hits;
+    }
+  }
+  double wall_s = timer.ElapsedSeconds();
+
+  serve::Metrics m = service.metrics();
+  double hot_hit_rate =
+      static_cast<double>(hot_hits) / std::max<size_t>(hot_requests, 1);
+  double hit_rate =
+      static_cast<double>(m.cache.hits) /
+      std::max<double>(1.0,
+                       static_cast<double>(m.cache.hits + m.cache.misses));
+
+  std::string section = "long_tail data-graph";
+  json->Add(section, label, "hot_hit_rate", hot_hit_rate);
+  json->Add(section, label, "hit_rate", hit_rate);
+  json->Add(section, label, "evictions",
+            static_cast<double>(m.cache.evictions));
+  json->Add(section, label, "admission_rejects",
+            static_cast<double>(m.cache.admission_rejects));
+  json->Add(section, label, "qps",
+            static_cast<double>(schedule.size()) / std::max(wall_s, 1e-9));
+
+  util::TablePrinter table({"admission", "hot hit rate", "overall", "evict",
+                            "rejects", "qps"});
+  table.AddRow({admission_on ? "on" : "off",
+                util::FormatDouble(hot_hit_rate * 100.0, 1) + "%",
+                util::FormatDouble(hit_rate * 100.0, 1) + "%",
+                std::to_string(m.cache.evictions),
+                std::to_string(m.cache.admission_rejects),
+                util::FormatDouble(
+                    static_cast<double>(schedule.size()) / wall_s, 0)});
+  table.Print(std::cout);
+  return hot_hit_rate;
+}
+
+/// The long-tail admission experiment (see file comment, measurement 3).
+/// Returns (admission_off, admission_on) hot-key hit rates.
+std::pair<double, double> RunLongTail(const search::SearchContext& ctx,
+                                      const std::vector<std::string>& mix,
+                                      size_t distinct, size_t requests,
+                                      const search::QueryOptions& options,
+                                      bench::JsonReport* json) {
+  // Rank r is a distinct (keyword, l) cache key: the hot set reuses the
+  // base l, deeper ranks ask for ever-larger synopses of the same
+  // keywords — real queries, real result bytes, unbounded universe.
+  size_t hot_count = mix.size();
+  std::vector<api::QueryRequest> universe;
+  universe.reserve(distinct);
+  for (size_t r = 0; r < distinct; ++r) {
+    search::QueryOptions o = options;
+    o.l = options.l + r / hot_count;
+    universe.push_back(api::QueryRequest(mix[r % hot_count]).WithOptions(o));
+  }
+
+  // Byte budget: ~1.5x the hot set's own residency, so the hot set fits
+  // comfortably — unless tail churn evicts it. Both arms use this budget.
+  size_t hot_bytes = 0;
+  for (size_t r = 0; r < hot_count; ++r) {
+    api::QueryResponse response = ctx.Execute(universe[r]);
+    hot_bytes += serve::ApproxResultBytes(response.result_list()) + 64;
+  }
+  size_t max_bytes = hot_bytes + hot_bytes / 2;
+
+  // Seeded Zipf schedule: rank 0 dominates, the tail is mostly
+  // one-hit wonders. Deterministic across machines (util::Rng).
+  util::Rng rng(0xFA5CADE5);
+  util::ZipfSampler zipf(distinct, 1.05);
+  std::vector<size_t> schedule;
+  schedule.reserve(requests);
+  for (size_t i = 0; i < requests; ++i) {
+    schedule.push_back(static_cast<size_t>(zipf.Sample(&rng)));
+  }
+
+  util::PrintHeading(
+      std::cout, "long-tail admission replay (" + std::to_string(requests) +
+                     " requests, " + std::to_string(distinct) +
+                     " distinct, budget " + std::to_string(max_bytes) +
+                     " bytes), backend=data-graph");
+  double off = RunLongTailArm(ctx, universe, schedule, hot_count, max_bytes,
+                              /*admission_on=*/false, "admission_off", json);
+  double on = RunLongTailArm(ctx, universe, schedule, hot_count, max_bytes,
+                             /*admission_on=*/true, "admission_on", json);
+  std::printf("hot-key hit rate: %.1f%% (admission off) -> %.1f%% "
+              "(admission on) at the same %zu-byte budget\n\n",
+              off * 100.0, on * 100.0, max_bytes);
+  return {off, on};
 }
 
 }  // namespace
@@ -210,6 +335,9 @@ int main(int argc, char** argv) {
       RunColdVsHot("database(8us)", db_ctx, mix, options, &json);
   RunSkewedWorkload("database(8us)", db_ctx, mix, tiny ? 64 : 512, options,
                     &json);
+  auto [tail_off, tail_on] =
+      RunLongTail(graph_ctx, mix, /*distinct=*/tiny ? 96 : 1024,
+                  /*requests=*/tiny ? 512 : 4096, options, &json);
 
   if (!json.Write()) return 1;
   // The acceptance gate: cached hot hits must beat DatabaseBackend
@@ -221,5 +349,15 @@ int main(int argc, char** argv) {
   }
   std::printf("PASS: hot-hit speedup on the database backend is %.1fx "
               "(>= 10x required)\n", db_speedup);
+  // The policy gate: at the same byte budget, doorkeeper admission must
+  // keep hot keys more resident than admit-everything.
+  if (tail_on <= tail_off) {
+    std::printf("FAIL: long-tail hot-key hit rate with admission on "
+                "(%.3f) does not beat admission off (%.3f)\n",
+                tail_on, tail_off);
+    return 1;
+  }
+  std::printf("PASS: long-tail hot-key hit rate %.3f (admission on) > "
+              "%.3f (admission off)\n", tail_on, tail_off);
   return 0;
 }

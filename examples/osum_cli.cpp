@@ -14,15 +14,26 @@
 //   json <keywords> [l]        same, as JSON (first result only)
 //   budget <keywords> <words>  word-budget summary (Section 7 future work)
 //   serve <keywords> [l]       query via the serving layer; shows HIT/MISS
-//                              and the observed latency (repeat a query to
-//                              watch the result cache kick in)
-//   metrics                    serving-layer snapshot: hit/miss counters,
-//                              cache occupancy, latency percentiles
+//                              (negative answers flagged "neg") and the
+//                              observed latency (repeat a query to watch
+//                              the result cache kick in)
+//   policy [ttl=<s>] [neg_ttl=<s>] [admission=on|off] [window=<s>]
+//                              show or set the cache policy (TTLs in
+//                              seconds; 0 = never expire). Setting any
+//                              knob restarts the serving layer with a
+//                              fresh cache.
+//   sweep                      erase expired cache entries now (the sweep
+//                              half of lazy-plus-sweep expiry)
+//   metrics                    serving-layer snapshot: hit/miss counters
+//                              (negative hits split out), admission/TTL
+//                              policy counters, cache occupancy, latency
+//                              percentiles
 //   save <dir>                 export the database as CSV + catalog
 //   help
 //
 // Example:
 //   ./osum_cli "build dblp; serve faloutsos 10; serve faloutsos 10; metrics"
+#include <cmath>
 #include <cstdio>
 #include <iostream>
 #include <memory>
@@ -56,11 +67,15 @@ struct Session {
   std::unique_ptr<search::SizeLSearchEngine> engine;
   // Serving layer, created lazily on the first `serve` command and torn
   // down before the engine it borrows from whenever a new db is built.
+  // The cache policy (`policy` command) survives rebuilds; the cache
+  // contents do not.
   std::unique_ptr<serve::QueryService> service;
+  serve::ServiceOptions serve_options;
 
   serve::QueryService& Service() {
     if (!service) {
-      service = std::make_unique<serve::QueryService>(engine->context());
+      service = std::make_unique<serve::QueryService>(engine->context(),
+                                                      serve_options);
     }
     return *service;
   }
@@ -121,6 +136,10 @@ void PrintHelp() {
       "  budget <keywords...> <w>   word-budget summary (~w words)\n"
       "  serve <keywords...> [l]    query via the serving layer (HIT/MISS +\n"
       "                             latency; repeat to watch the cache)\n"
+      "  policy [ttl=<s>] [neg_ttl=<s>] [admission=on|off] [window=<s>]\n"
+      "                             show or set the cache policy (restarts\n"
+      "                             the serving layer when set)\n"
+      "  sweep                      erase expired cache entries now\n"
       "  metrics                    serving-layer counters + latencies\n"
       "  save <dir>                 export database as CSV\n"
       "  help");
@@ -208,8 +227,9 @@ void RunCommand(Session& session, const std::string& line) {
       std::printf("error: %s\n", response.status.ToString().c_str());
       return;
     }
-    std::printf("[%s, %.1f us, epoch %llu] %zu result(s)\n",
+    std::printf("[%s%s, %.1f us, epoch %llu] %zu result(s)\n",
                 response.stats.cache_hit ? "HIT" : "MISS",
+                response.stats.negative ? " neg" : "",
                 response.stats.compute_micros,
                 static_cast<unsigned long long>(response.stats.epoch),
                 response.result_list().size());
@@ -224,29 +244,80 @@ void RunCommand(Session& session, const std::string& line) {
       std::puts("serving layer idle; run 'serve <keywords>' first");
       return;
     }
-    serve::Metrics m = session.service->metrics();
-    std::printf(
-        "queries %llu | hits %llu, misses %llu, coalesced %llu | "
-        "entries %llu (~%llu bytes), evictions %llu, epoch %llu\n",
-        static_cast<unsigned long long>(m.queries),
-        static_cast<unsigned long long>(m.cache.hits),
-        static_cast<unsigned long long>(m.cache.misses),
-        static_cast<unsigned long long>(m.cache.coalesced_waits),
-        static_cast<unsigned long long>(m.cache.entries),
-        static_cast<unsigned long long>(m.cache.approx_bytes),
-        static_cast<unsigned long long>(m.cache.evictions),
-        static_cast<unsigned long long>(m.cache.epoch));
-    auto line = [](const char* label, const util::Summary& s) {
-      if (s.count() == 0) {
-        std::printf("  %-12s (no samples)\n", label);
+    // The report shape is pinned by MetricsReport.* in serve_service_test
+    // — the CLI prints exactly what the library formats.
+    std::fputs(serve::FormatMetricsReport(session.service->metrics()).c_str(),
+               stdout);
+    return;
+  }
+  if (cmd == "policy") {
+    // Parse into a scratch copy and commit all-or-nothing: a rejected
+    // command must not leave half-applied knobs latent in the session.
+    serve::CachePolicyOptions staged = session.serve_options.cache.policy;
+    bool changed = false;
+    bool bad = false;
+    for (size_t i = 1; i < args.size(); ++i) {
+      const std::string& a = args[i];
+      size_t eq = a.find('=');
+      std::string k = a.substr(0, eq);
+      std::string v = eq == std::string::npos ? "" : a.substr(eq + 1);
+      auto seconds_to_micros = [&](uint64_t* out) {
+        try {
+          size_t consumed = 0;
+          double seconds = std::stod(v, &consumed);
+          // The whole value must parse ("5abc" is an error, not 5), and
+          // NaN/inf/negatives/absurd values are rejected before the
+          // uint64_t cast (out-of-range double->unsigned conversion is
+          // UB). 1e12 seconds is ~31,000 years — anything larger is a
+          // typo.
+          if (consumed != v.size() || !std::isfinite(seconds) ||
+              seconds < 0 || seconds > 1e12) {
+            bad = true;
+            return;
+          }
+          *out = static_cast<uint64_t>(seconds * 1e6);
+          changed = true;
+        } catch (...) {
+          bad = true;
+        }
+      };
+      if (k == "ttl") {
+        seconds_to_micros(&staged.ttl_micros);
+      } else if (k == "neg_ttl") {
+        seconds_to_micros(&staged.negative_ttl_micros);
+      } else if (k == "window") {
+        seconds_to_micros(&staged.admission_window_micros);
+      } else if (k == "admission" && (v == "on" || v == "off")) {
+        staged.admission_enabled = v == "on";
+        changed = true;
       } else {
-        std::printf("  %-12s p50 %.1f us, p99 %.1f us, max %.1f us\n", label,
-                    s.Percentile(50.0), s.Percentile(99.0), s.Max());
+        bad = true;
       }
-    };
-    line("latency", m.latency_us);
-    line("  hits", m.hit_latency_us);
-    line("  misses", m.miss_latency_us);
+    }
+    if (bad) {
+      std::puts(
+          "usage: policy [ttl=<s>] [neg_ttl=<s>] [admission=on|off] "
+          "[window=<s>]");
+      return;
+    }
+    serve::CachePolicyOptions& p = session.serve_options.cache.policy;
+    p = staged;
+    if (changed) session.service.reset();  // next `serve` gets the policy
+    std::printf("policy: ttl=%.3fs neg_ttl=%.3fs admission=%s window=%.3fs%s\n",
+                static_cast<double>(p.ttl_micros) / 1e6,
+                static_cast<double>(p.negative_ttl_micros) / 1e6,
+                p.admission_enabled ? "on" : "off",
+                static_cast<double>(p.admission_window_micros) / 1e6,
+                changed ? " (serving layer restarted)" : "");
+    return;
+  }
+  if (cmd == "sweep") {
+    if (session.service == nullptr) {
+      std::puts("serving layer idle; run 'serve <keywords>' first");
+      return;
+    }
+    std::printf("swept %zu expired entr(ies)\n",
+                session.service->SweepExpiredCache());
     return;
   }
   if (cmd == "query" || cmd == "json" || cmd == "budget") {
@@ -346,7 +417,8 @@ int main(int argc, char** argv) {
   for (const char* cmd :
        {"build dblp", "stats", "gds Author", "query faloutsos 8",
         "budget faloutsos 40", "serve faloutsos 8", "serve faloutsos 8",
-        "query --wire json faloutsos 5", "metrics"}) {
+        "query --wire json faloutsos 5", "policy neg_ttl=60",
+        "serve nosuchkeyword 8", "serve nosuchkeyword 8", "metrics"}) {
     std::printf("\n$ %s\n", cmd);
     RunCommand(session, cmd);
   }

@@ -18,15 +18,27 @@ perf drift without going red on a noisy container (the checked-in
 baselines come from the reference container and a --tiny smoke run will
 differ wildly — that mismatch is itself useful signal that the plumbing
 works). Pass --strict to exit 1 when any row regresses, for dedicated
-perf lanes.
+perf lanes. --gate-metrics REGEX narrows which metrics can *fail* a
+strict run (every row is still reported): gating lanes use it to pin the
+deterministic rows (hit rates, eviction/reject counts from seeded
+replays) — with their own, typically near-zero --gate-tolerance — while
+machine-speed-dependent timing rows stay report-only, because a baseline
+recorded on one machine cannot gate another machine's wall-clock
+numbers. A baseline row missing from the fresh run counts as a
+regression (gated when its metric matches), so a renamed section cannot
+silently turn the gate vacuous — and a gated row drifting out of band in
+the GOOD direction also fails, because a deterministic row that changed
+at all means the baseline must be regenerated.
 
 Usage:
     scripts/bench_diff.py BASELINE.json FRESH.json [--tolerance 0.5]
-                          [--strict]
+                          [--strict] [--gate-metrics REGEX]
+                          [--gate-tolerance 0.001]
 """
 
 import argparse
 import json
+import re
 import sys
 
 # Metric-name fragments that tell us which direction is a regression.
@@ -59,7 +71,13 @@ def classify(key, base, fresh, tolerance):
     if base is None or fresh is None:
         return None, "incomparable"
     if base == 0:
-        return None, "ok" if fresh == 0 else "incomparable"
+        # No ratio exists, but 0 -> nonzero is real drift, not noise: it
+        # must be able to fail a gate (e.g. a deterministic reject-count
+        # row silently coming alive), so classify it by direction.
+        if fresh == 0:
+            return None, "ok"
+        return None, "improved" if direction(key[2]) == "higher" else \
+            "regressed"
     ratio = fresh / base
     low, high = 1.0 / (1.0 + tolerance), 1.0 + tolerance
     within = low <= ratio <= high
@@ -84,7 +102,22 @@ def main() -> int:
     parser.add_argument("--strict", action="store_true",
                         help="exit 1 when any row regresses "
                              "(default: report only, always exit 0)")
+    parser.add_argument("--gate-metrics", metavar="REGEX", default=None,
+                        help="with --strict, only rows whose metric name "
+                             "matches this regex can fail the run; other "
+                             "regressions are reported but not fatal")
+    parser.add_argument("--gate-tolerance", type=float, default=None,
+                        help="tolerance applied to --gate-metrics rows "
+                             "(default: same as --tolerance); gating lanes "
+                             "pin deterministic rows near-exactly, e.g. "
+                             "0.001")
     args = parser.parse_args()
+    if args.gate_tolerance is not None and args.gate_metrics is None:
+        parser.error("--gate-tolerance requires --gate-metrics (it applies "
+                     "only to gated rows)")
+    gate_re = re.compile(args.gate_metrics) if args.gate_metrics else None
+    gate_tol = (args.gate_tolerance if args.gate_tolerance is not None
+                else args.tolerance)
 
     base_name, base = load_rows(args.baseline)
     fresh_name, fresh = load_rows(args.fresh)
@@ -92,7 +125,7 @@ def main() -> int:
         print(f"note: comparing different benches: "
               f"{base_name!r} vs {fresh_name!r}")
 
-    regressed = improved = ok = 0
+    regressed = improved = ok = gated_regressed = 0
     print(f"bench_diff: {args.fresh} vs baseline {args.baseline} "
           f"(tolerance ±{args.tolerance * 100:.0f}%)")
     header = f"{'section/label/metric':58} {'baseline':>12} " \
@@ -101,27 +134,50 @@ def main() -> int:
     print("-" * len(header))
     for key in sorted(set(base) | set(fresh)):
         name = "/".join(key)
+        gated = gate_re is None or gate_re.search(key[2])
         if key not in fresh:
-            print(f"{name:58} {base[key]:12.4g} {'-':>12} {'-':>7}  missing")
+            # A baseline row the fresh run no longer produces is a
+            # regression (a renamed section or dropped metric must not
+            # silently turn a strict gate vacuous).
+            regressed += 1
+            if gated:
+                gated_regressed += 1
+            verdict = "missing" if gated else "missing (ungated)"
+            print(f"{name:58} {base[key]:12.4g} {'-':>12} {'-':>7}  "
+                  f"{verdict}  <--")
             continue
         if key not in base:
             print(f"{name:58} {'-':>12} {fresh[key]:12.4g} {'-':>7}  added")
             continue
-        ratio, verdict = classify(key, base[key], fresh[key], args.tolerance)
+        ratio, verdict = classify(key, base[key], fresh[key],
+                                  gate_tol if gated else args.tolerance)
         ratio_s = f"{ratio:7.2f}" if ratio is not None else "      -"
-        flag = "" if verdict == "ok" else "  <--"
-        print(f"{name:58} {base[key]:12.4g} {fresh[key]:12.4g} "
-              f"{ratio_s}  {verdict}{flag}")
+        shown = verdict
         if verdict == "regressed":
             regressed += 1
+            if gated:
+                gated_regressed += 1
+            else:
+                shown = "regressed (ungated)"
         elif verdict == "improved":
             improved += 1
+            # A gated (deterministic) row drifting in ANY direction means
+            # the baseline no longer describes the build — "better" is
+            # still a gate failure until the baseline is regenerated.
+            if gate_re is not None and gated:
+                gated_regressed += 1
+                shown = "improved (gating: regenerate baseline)"
         else:
             ok += 1
+        flag = "" if verdict == "ok" else "  <--"
+        print(f"{name:58} {base[key]:12.4g} {fresh[key]:12.4g} "
+              f"{ratio_s}  {shown}{flag}")
 
     print(f"\nsummary: {ok} within band, {improved} improved, "
-          f"{regressed} regressed")
-    if args.strict and regressed > 0:
+          f"{regressed} regressed"
+          + (f" ({gated_regressed} gating)" if gate_re is not None else ""))
+    if args.strict and (gated_regressed if gate_re is not None
+                        else regressed) > 0:
         return 1
     return 0
 

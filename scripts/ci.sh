@@ -9,15 +9,42 @@
 #      aggregates (labeled search;slow / serve;slow).
 # The release lane also smokes the bench `--json` output mode (bench_cache
 # runs at --tiny sizes and its JSON must parse; the bench itself exits
-# nonzero if the >=10x hot-hit speedup gate fails), diffs that run against
-# the checked-in baseline as a NON-FATAL report (scripts/bench_diff.py —
-# tiny-vs-reference numbers differ by design; the report proves the diff
-# plumbing), and smokes the api wire format: `osum_cli query --wire json`
-# must produce a document Python's json module parses.
+# nonzero if the >=10x hot-hit speedup gate fails or the long-tail
+# admission gate fails), diffs that run against the checked-in baseline as
+# a NON-FATAL report (scripts/bench_diff.py — tiny-vs-reference numbers
+# differ by design; the report proves the diff plumbing), and smokes the
+# api wire format: `osum_cli query --wire json` must produce a document
+# Python's json module parses.
+#
+# Dedicated full-size perf lane (opt-in): OSUM_PERF_LANE=1 scripts/ci.sh
+# builds Release only, runs bench_cache at FULL size and gates hard with
+# scripts/bench_diff.py --strict against the checked-in baseline — then
+# exits without rerunning the test lanes (the default invocation owns
+# those; CI wires the perf lane as a separate job). Only the
+# deterministic rows (hit rates, evictions, admission rejects — the
+# seeded single-threaded long-tail replay makes them machine-independent)
+# can fail the gate, and they gate near-exactly (--gate-metrics with
+# --gate-tolerance 0.001); timing rows from a different-machine baseline
+# stay a visible drift report, never a spurious red. A gated row going
+# missing also fails (the gate cannot be silently emptied).
 # Usage: scripts/ci.sh            (JOBS=<n> to override parallelism)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
+
+if [[ "${OSUM_PERF_LANE:-0}" == "1" ]]; then
+  echo "==== perf lane: full-size bench_cache vs baseline (--strict) ===="
+  cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build build-release -j "${JOBS}" --target bench_cache
+  perf_json="build-release/bench_cache_perf.json"
+  build-release/bench/bench_cache --json "${perf_json}"
+  python3 scripts/bench_diff.py bench/baselines/bench_cache.json \
+          "${perf_json}" --strict \
+          --gate-metrics 'hit_rate|evictions|admission_rejects' \
+          --gate-tolerance 0.001
+  echo "==== perf lane green ===="
+  exit 0
+fi
 
 # run_config <build-dir> <ctest extra args...> -- <cmake args...>
 run_config() {

@@ -835,6 +835,12 @@ StatusOr<QueryRequest> DecodeRequest(std::string_view bytes) {
   if (!alg.ok()) return alg.status();
   StatusOr<ResultRanking> rank = RankingFromWire(ranking);
   if (!rank.ok()) return rank.status();
+  // Bools are strictly 0/1 on the wire: accepting any nonzero byte would
+  // make decoding non-canonical (Encode(Decode(bytes)) != bytes), which
+  // the hostile-mutation sweep in api_codec_test checks for.
+  if (use_prelim > 1) {
+    return Status::CodecError("use_prelim byte is not 0/1");
+  }
   o.algorithm = *alg;
   o.use_prelim = use_prelim != 0;
   o.ranking = *rank;
@@ -862,7 +868,12 @@ StatusOr<QueryResponse> DecodeResponse(std::string_view bytes) {
   uint8_t code = r.U8();
   std::string message = r.Str();
   QueryResponse out;
-  out.stats.cache_hit = r.U8() != 0;
+  uint8_t cache_hit = r.U8();
+  if (r.ok() && cache_hit > 1) {
+    // Strict 0/1 like the request's use_prelim: keeps decoding canonical.
+    return Status::CodecError("cache_hit byte is not 0/1");
+  }
+  out.stats.cache_hit = cache_hit != 0;
   out.stats.compute_micros = r.F64();
   out.stats.epoch = r.U64();
   uint32_t num_results = r.U32();

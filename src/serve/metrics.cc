@@ -1,0 +1,47 @@
+#include "serve/metrics.h"
+
+#include <cstdio>
+
+namespace osum::serve {
+
+std::string FormatMetricsReport(const Metrics& m) {
+  char buf[256];
+  std::string out;
+  auto append = [&](const char* fmt, auto... args) {
+    std::snprintf(buf, sizeof(buf), fmt, args...);
+    out += buf;
+  };
+  append("queries %llu | hits %llu (%llu negative), misses %llu, "
+         "coalesced %llu | entries %llu (~%llu bytes), evictions %llu, "
+         "epoch %llu\n",
+         static_cast<unsigned long long>(m.queries),
+         static_cast<unsigned long long>(m.cache.hits),
+         static_cast<unsigned long long>(m.cache.negative_hits),
+         static_cast<unsigned long long>(m.cache.misses),
+         static_cast<unsigned long long>(m.cache.coalesced_waits),
+         static_cast<unsigned long long>(m.cache.entries),
+         static_cast<unsigned long long>(m.cache.approx_bytes),
+         static_cast<unsigned long long>(m.cache.evictions),
+         static_cast<unsigned long long>(m.cache.epoch));
+  append("policy: admission rejects %llu (%llu tracked), ttl expiries "
+         "%llu positive + %llu negative\n",
+         static_cast<unsigned long long>(m.cache.admission_rejects),
+         static_cast<unsigned long long>(m.cache.tracked_sightings),
+         static_cast<unsigned long long>(m.cache.ttl_expiries),
+         static_cast<unsigned long long>(m.cache.negative_ttl_expiries));
+  auto line = [&](const char* label, const util::Summary& s) {
+    if (s.count() == 0) {
+      append("  %-12s (no samples)\n", label);
+    } else {
+      append("  %-12s p50 %.1f us, p99 %.1f us, max %.1f us\n", label,
+             s.Percentile(50.0), s.Percentile(99.0), s.Max());
+    }
+  };
+  line("latency", m.latency_us);
+  line("  hits", m.hit_latency_us);
+  line("  neg hits", m.negative_hit_latency_us);
+  line("  misses", m.miss_latency_us);
+  return out;
+}
+
+}  // namespace osum::serve

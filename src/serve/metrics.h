@@ -1,24 +1,30 @@
 // Observability snapshots for the serving layer.
 //
 // Counters answer "is the cache earning its memory?" (hit rate, coalesced
-// stampedes, eviction pressure) and the latency summaries answer "what do
-// callers actually experience?" — split by hit/miss because the two
-// populations differ by orders of magnitude (a hit is a mutex + pointer
-// copy; a miss is full OS generation, ~65x more expensive still on the
-// database back end, paper Figure 10(f)).
+// stampedes, eviction pressure, admission rejects, TTL expiries) and the
+// latency summaries answer "what do callers actually experience?" — split
+// by hit/miss because the two populations differ by orders of magnitude (a
+// hit is a mutex + pointer copy; a miss is full OS generation, ~65x more
+// expensive still on the database back end, paper Figure 10(f)), with
+// negative hits attributed separately so "we answer 'no results' fast" is
+// distinguishable from "we answer real results fast".
 #ifndef OSUM_SERVE_METRICS_H_
 #define OSUM_SERVE_METRICS_H_
 
 #include <cstdint>
+#include <string>
 
 #include "util/stats.h"
 
 namespace osum::serve {
 
 /// Point-in-time counters of one ResultCache. Monotonic except
-/// entries/bytes (current occupancy) and epoch.
+/// entries/bytes/tracked_sightings (current occupancy) and epoch.
 struct CacheMetrics {
   uint64_t hits = 0;
+  /// The subset of hits whose cached value was a negative (OK-empty)
+  /// answer — the entries the negative TTL governs.
+  uint64_t negative_hits = 0;
   uint64_t misses = 0;
   /// Lookups that found another thread already computing the same key and
   /// waited for its result instead of recomputing (stampede protection).
@@ -27,9 +33,19 @@ struct CacheMetrics {
   /// Completed computations whose insert was discarded because the epoch
   /// moved (context rebuilt) or the key was already filled meanwhile.
   uint64_t discarded_inserts = 0;
+  /// Computed results the doorkeeper declined to cache (first sighting
+  /// within the admission window — the long-tail filter at work).
+  uint64_t admission_rejects = 0;
+  /// Positive entries erased because their TTL elapsed (lazily or by
+  /// SweepExpired).
+  uint64_t ttl_expiries = 0;
+  /// Negative (OK-empty) entries erased because the negative TTL elapsed.
+  uint64_t negative_ttl_expiries = 0;
   /// Current occupancy.
   uint64_t entries = 0;
   uint64_t approx_bytes = 0;
+  /// Doorkeeper sightings currently remembered (admission bookkeeping).
+  uint64_t tracked_sightings = 0;
   /// Invalidation epoch (bumped by ResultCache::BumpEpoch).
   uint64_t epoch = 0;
 };
@@ -41,10 +57,16 @@ struct CacheMetrics {
 struct Metrics {
   CacheMetrics cache;
   uint64_t queries = 0;
-  util::Summary latency_us;       // all queries
-  util::Summary hit_latency_us;   // served from cache (incl. coalesced)
-  util::Summary miss_latency_us;  // computed by this call
+  util::Summary latency_us;           // all queries
+  util::Summary hit_latency_us;       // served from cache (incl. coalesced)
+  util::Summary negative_hit_latency_us;  // hits that were OK-empty answers
+  util::Summary miss_latency_us;      // computed by this call
 };
+
+/// The human-readable snapshot `osum_cli metrics` prints — one counters
+/// line, one policy line, then per-outcome latency percentiles. Lives in
+/// the library (not the CLI) so its shape is pinned by a unit test.
+std::string FormatMetricsReport(const Metrics& m);
 
 }  // namespace osum::serve
 

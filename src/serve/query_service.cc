@@ -87,7 +87,8 @@ ResultPtr QueryService::ComputeCached(std::string_view keywords,
     out.approx_bytes = ApproxResultBytes(out.results);
     return out;
   });
-  RecordLatency(/*hit=*/!computed, timer.ElapsedMicros());
+  RecordLatency(/*hit=*/!computed, /*negative=*/result->negative(),
+                timer.ElapsedMicros());
   if (computed_out != nullptr) *computed_out = computed;
   return result;
 }
@@ -101,6 +102,7 @@ api::QueryResponse QueryService::ExecuteWithKey(
     ResultPtr result =
         ComputeCached(request.keywords(), request.options(), key, &computed);
     stats.cache_hit = !computed;
+    stats.negative = result->negative();
     stats.compute_micros = timer.ElapsedMicros();
     stats.epoch = cache_.epoch();
     return api::QueryResponse::Success(AliasResults(result), stats);
@@ -147,9 +149,10 @@ std::vector<std::future<api::QueryResponse>> QueryService::SubmitBatchAsync(
     if (ResultPtr hit = cache_.Lookup(*key)) {
       // Answered at submission time: no pool hop, future already ready.
       double micros = timer.ElapsedMicros();
-      RecordLatency(/*hit=*/true, micros);
+      RecordLatency(/*hit=*/true, /*negative=*/hit->negative(), micros);
       api::QueryStats stats;
       stats.cache_hit = true;
+      stats.negative = hit->negative();
       stats.compute_micros = micros;
       stats.epoch = cache_.epoch();
       futures.push_back(ReadyResponse(
@@ -226,7 +229,8 @@ std::vector<ResultPtr> QueryService::QueryBatch(
     std::string key = api::CanonicalQueryKey(queries[i], options);
     out[i] = cache_.Lookup(key);
     if (out[i] != nullptr) {
-      RecordLatency(/*hit=*/true, timer.ElapsedMicros());
+      RecordLatency(/*hit=*/true, /*negative=*/out[i]->negative(),
+                    timer.ElapsedMicros());
       continue;
     }
     // The span element outlives the gather loop below, so the task may
@@ -271,11 +275,16 @@ void QueryService::RebindContext(const search::SearchContext& context) {
   context_cv_.wait(lock, [&] { return old->pins == 0; });
 }
 
-void QueryService::RecordLatency(bool hit, double micros) {
+void QueryService::RecordLatency(bool hit, bool negative, double micros) {
   std::lock_guard<std::mutex> lock(latency_mu_);
   ++queries_;
   all_latency_.Add(micros, options_.latency_window);
   (hit ? hit_latency_ : miss_latency_).Add(micros, options_.latency_window);
+  // Negative hits are double-attributed (they are hits, and they are
+  // negative): negative_hit_latency_us answers "how fast do we say no?".
+  if (hit && negative) {
+    negative_hit_latency_.Add(micros, options_.latency_window);
+  }
 }
 
 Metrics QueryService::metrics() const {
@@ -285,6 +294,7 @@ Metrics QueryService::metrics() const {
   m.queries = queries_;
   m.latency_us = all_latency_.Snapshot();
   m.hit_latency_us = hit_latency_.Snapshot();
+  m.negative_hit_latency_us = negative_hit_latency_.Snapshot();
   m.miss_latency_us = miss_latency_.Snapshot();
   return m;
 }

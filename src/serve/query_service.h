@@ -149,6 +149,12 @@ class QueryService {
   /// Drops cached entries without invalidating (memory relief).
   void ClearCache() { cache_.Clear(); }
 
+  /// Maintenance tick for the cache policy: erases expired entries and
+  /// prunes stale doorkeeper sightings (see ResultCache::SweepExpired).
+  /// Returns the number of entries erased. Optional — lazy expiry already
+  /// guarantees expired entries are never served.
+  size_t SweepExpiredCache() { return cache_.SweepExpired(); }
+
   /// The currently bound context. The reference itself is not pinned —
   /// it stays valid only under the caller's own lifetime coordination
   /// (no concurrent RebindContext-then-destroy).
@@ -201,8 +207,9 @@ class QueryService {
   /// The one cache-aware compute path every entry point rides: hit,
   /// coalesced wait, or inline compute under a context pin. `key` is the
   /// precomputed canonical key (canonicalized exactly once per query —
-  /// callers thread it through). Records hit/miss latency on success;
-  /// compute exceptions propagate (and nothing is recorded or cached).
+  /// callers thread it through). Records hit/miss latency on success
+  /// (negative answers attributed separately); compute exceptions
+  /// propagate (and nothing is recorded or cached).
   ResultPtr ComputeCached(std::string_view keywords,
                           const search::QueryOptions& options,
                           const std::string& key, bool* computed_out);
@@ -212,7 +219,7 @@ class QueryService {
   api::QueryResponse ExecuteWithKey(const api::QueryRequest& request,
                                     const std::string& key);
 
-  void RecordLatency(bool hit, double micros);
+  void RecordLatency(bool hit, bool negative, double micros);
 
   const ServiceOptions options_;
 
@@ -226,6 +233,7 @@ class QueryService {
   uint64_t queries_ = 0;
   LatencyRing all_latency_;
   LatencyRing hit_latency_;
+  LatencyRing negative_hit_latency_;
   LatencyRing miss_latency_;
 
   // Last member on purpose: destroyed first, so the pool drains queued

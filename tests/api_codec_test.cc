@@ -17,6 +17,7 @@
 #include "core/os_backend.h"
 #include "db_fixtures.h"
 #include "search/search_context.h"
+#include "util/rng.h"
 
 namespace osum::api {
 namespace {
@@ -160,7 +161,9 @@ TEST(ResponseCodec, RoundTripsRealResultsFromTheDatabaseBackend) {
 TEST(ResponseCodec, RoundTripsEmptyAndErrorResponses) {
   // A genuine negative answer: OK status, zero results.
   QueryResponse empty = QueryResponse::Success(
-      std::make_shared<ResultList>(), QueryStats{false, 7.25, 2});
+      std::make_shared<ResultList>(),
+      QueryStats{/*cache_hit=*/false, /*negative=*/true,
+                 /*compute_micros=*/7.25, /*epoch=*/2});
   ExpectRoundTrips(empty);
 
   // Failures (results null) encode as zero results and stay failures.
@@ -305,6 +308,100 @@ TEST(ResponseCodec, RejectsCorruptHeadersAndMalformedPayloads) {
   bad_ranking[request.size() - 1] = 2;
   EXPECT_EQ(DecodeRequest(bad_ranking).status().code(),
             StatusCode::kCodecError);
+}
+
+/// The systematic upgrade of the hand-picked corruption cases above: a
+/// seeded sweep of single-byte XOR flips, truncations, and combinations
+/// over valid binary-v1 blobs. The hard property — enforced byte-by-byte
+/// under the ASan lane — is that hostile bytes NEVER crash the decoder:
+/// every mutation either fails with a typed kCodecError, or (a flip that
+/// landed inside a value byte, e.g. a keyword character or a double) it
+/// decodes — in which case the canonical codec must re-encode it to
+/// exactly the mutated bytes, proving the decoder read precisely what was
+/// on the wire and invented nothing.
+template <typename T, typename DecodeFn, typename EncodeFn>
+void SweepHostileMutations(const std::string& bytes, DecodeFn decode,
+                           EncodeFn encode, uint64_t seed, int iterations) {
+  util::Rng rng(seed);
+  int rejected = 0;
+  auto check = [&](const std::string& mutated, const char* what, int i) {
+    StatusOr<T> decoded = decode(mutated);  // must not crash
+    if (!decoded.ok()) {
+      ++rejected;
+      ASSERT_EQ(decoded.status().code(), StatusCode::kCodecError)
+          << what << " iteration " << i;
+    } else {
+      ASSERT_EQ(encode(*decoded), mutated)
+          << what << " iteration " << i
+          << ": decoder accepted bytes it cannot reproduce";
+    }
+  };
+  for (int i = 0; i < iterations; ++i) {
+    // Single-byte flip (never a no-op: delta is nonzero).
+    std::string flipped = bytes;
+    size_t pos = static_cast<size_t>(rng.NextU64(flipped.size()));
+    flipped[pos] = static_cast<char>(
+        static_cast<uint8_t>(flipped[pos]) ^
+        static_cast<uint8_t>(1 + rng.NextU64(255)));
+    ASSERT_NO_FATAL_FAILURE(check(flipped, "flip", i));
+
+    // Random truncation of the valid blob: always a decode error (the
+    // exhaustive-prefix test already pins this for every length; here it
+    // composes with the flip coverage below).
+    std::string truncated =
+        bytes.substr(0, static_cast<size_t>(rng.NextU64(bytes.size())));
+    StatusOr<T> decoded_truncated = decode(truncated);
+    ASSERT_FALSE(decoded_truncated.ok()) << "truncation iteration " << i;
+    ASSERT_EQ(decoded_truncated.status().code(), StatusCode::kCodecError);
+
+    // Flip + truncate: a flipped length field plus a matching truncation
+    // is the classic heap-overread recipe — the reader must bounds-check.
+    std::string both = flipped.substr(
+        0, static_cast<size_t>(1 + rng.NextU64(flipped.size())));
+    ASSERT_NO_FATAL_FAILURE(check(both, "flip+truncate", i));
+
+    // Flip + garbage tail: trailing bytes must stay fatal even when the
+    // payload itself was perturbed.
+    std::string extended = flipped;
+    extended.push_back(static_cast<char>(rng.NextU64(256)));
+    ASSERT_NO_FATAL_FAILURE(check(extended, "flip+extend", i));
+  }
+  // The sweep must really be exercising the error paths, not vacuously
+  // decoding everything.
+  EXPECT_GT(rejected, iterations / 2);
+}
+
+TEST(ResponseCodec, HostileMutationSweepOverGoldenResponse) {
+  SweepHostileMutations<QueryResponse>(
+      EncodeResponse(GoldenResponse()),
+      [](const std::string& b) { return DecodeResponse(b); },
+      [](const QueryResponse& r) { return EncodeResponse(r); },
+      /*seed=*/0xC0DEC0DE, /*iterations=*/1500);
+}
+
+TEST(ResponseCodec, HostileMutationSweepOverEmptyAndErrorResponses) {
+  QueryResponse empty = QueryResponse::Success(
+      std::make_shared<ResultList>(), QueryStats{});
+  SweepHostileMutations<QueryResponse>(
+      EncodeResponse(empty),
+      [](const std::string& b) { return DecodeResponse(b); },
+      [](const QueryResponse& r) { return EncodeResponse(r); },
+      /*seed=*/0xBEEF, /*iterations=*/800);
+  QueryResponse failure = QueryResponse::Failure(
+      Status::BackendError("simulated outage"), QueryStats{});
+  SweepHostileMutations<QueryResponse>(
+      EncodeResponse(failure),
+      [](const std::string& b) { return DecodeResponse(b); },
+      [](const QueryResponse& r) { return EncodeResponse(r); },
+      /*seed=*/0xFEED, /*iterations=*/800);
+}
+
+TEST(RequestCodec, HostileMutationSweepOverRequests) {
+  SweepHostileMutations<QueryRequest>(
+      EncodeRequest(QueryRequest("christos faloutsos").WithL(9)),
+      [](const std::string& b) { return DecodeRequest(b); },
+      [](const QueryRequest& r) { return EncodeRequest(r); },
+      /*seed=*/0x5EED, /*iterations=*/1500);
 }
 
 TEST(ResponseCodec, RejectsMalformedJson) {

@@ -20,6 +20,7 @@
 #include "db_fixtures.h"
 #include "api/codec.h"
 #include "search/engine.h"
+#include "serve/clock.h"
 #include "serve/query_service.h"
 
 namespace osum::serve {
@@ -532,6 +533,167 @@ TEST(QueryServiceMetrics, LatencyReservoirsPopulate) {
   EXPECT_GE(m.latency_us.Percentile(99.0), m.latency_us.Percentile(50.0));
   // Misses do strictly more work than hits on this dataset.
   EXPECT_GT(m.miss_latency_us.Max(), 0.0);
+}
+
+// Negative answers (OK-empty) are first-class: flagged in QueryStats on
+// both the miss and the hit, attributed in the cache counters and in the
+// dedicated negative-hit latency reservoir.
+TEST(QueryServicePolicy, NegativeHitsAttributedInStatsAndMetrics) {
+  ScoredDblp f(SmallDblpConfig());
+  search::SearchContext ctx = BuildDblpContext(f.d, &f.backend);
+  QueryService service(ctx, SmallService());
+  api::QueryRequest none = api::QueryRequest("nosuchkeywordanywhere");
+
+  api::QueryResponse miss = service.Execute(none);
+  ASSERT_TRUE(miss.ok());
+  EXPECT_TRUE(miss.stats.negative);
+  EXPECT_FALSE(miss.stats.cache_hit);
+  EXPECT_TRUE(miss.result_list().empty());
+
+  api::QueryResponse hit = service.Execute(none);
+  EXPECT_TRUE(hit.stats.cache_hit);
+  EXPECT_TRUE(hit.stats.negative);
+
+  api::QueryResponse positive = service.Execute(api::QueryRequest("faloutsos"));
+  ASSERT_TRUE(positive.ok());
+  EXPECT_FALSE(positive.stats.negative);
+
+  Metrics m = service.metrics();
+  EXPECT_EQ(m.cache.negative_hits, 1u);
+  EXPECT_EQ(m.negative_hit_latency_us.count(), 1u);
+  EXPECT_EQ(m.hit_latency_us.count(), 1u);  // the negative hit is a hit too
+  EXPECT_EQ(m.cache.hits, 1u);
+}
+
+// The ISSUE 5 acceptance scenario end-to-end, on a fake clock with zero
+// sleeps: an expired positive entry and an expired negative entry each
+// recompute exactly once (stampede coalescing preserved across expiry),
+// and after a context rebind no pre-bump value is served regardless of
+// how much TTL it had left.
+TEST(QueryServicePolicy, ExpiryRecomputesOnceAndRebindBeatsTtl) {
+  ScoredDblp f(SmallDblpConfig());
+  GatedBackend gated(&f.backend);
+  search::SearchContext ctx = BuildDblpContext(f.d, &gated);
+
+  auto clock = std::make_shared<FakeClock>();
+  ServiceOptions so = SmallService();
+  so.cache.clock = clock;
+  so.cache.policy.ttl_micros = 1000;
+  so.cache.policy.negative_ttl_micros = 100;
+  QueryService service(ctx, so);
+
+  search::QueryOptions options;
+  options.l = 8;
+  api::QueryRequest pos = api::QueryRequest("databases").WithOptions(options);
+  api::QueryRequest neg =
+      api::QueryRequest("nosuchkeywordanywhere").WithOptions(options);
+
+  // Warm both at t=0: deadlines land at +1000 (positive) / +100 (negative).
+  ASSERT_TRUE(service.Execute(pos).ok());
+  ASSERT_TRUE(service.Execute(neg).ok());
+  EXPECT_EQ(service.metrics().cache.misses, 2u);
+
+  // t=100: only the negative entry expired. Concurrent re-queries must
+  // produce exactly one recompute (the others coalesce or hit).
+  clock->AdvanceMicros(100);
+  EXPECT_TRUE(service.Execute(pos).stats.cache_hit) << "positive still live";
+  {
+    constexpr size_t kThreads = 4;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (size_t w = 0; w < kThreads; ++w) {
+      threads.emplace_back([&] {
+        api::QueryResponse r = service.Execute(neg);
+        if (!r.ok() || !r.stats.negative) ADD_FAILURE() << "bad neg answer";
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  Metrics after_neg = service.metrics();
+  EXPECT_EQ(after_neg.cache.misses, 3u);  // exactly one recompute
+  EXPECT_EQ(after_neg.cache.negative_ttl_expiries, 1u);
+  EXPECT_EQ(after_neg.cache.ttl_expiries, 0u);
+
+  // t=1000: the positive entry expired. Hold the recompute on the gate so
+  // the other callers are provably concurrent — still one compute.
+  clock->AdvanceMicros(900);
+  gated.CloseGate();
+  std::vector<std::future<api::QueryResponse>> inflight;
+  for (int i = 0; i < 3; ++i) inflight.push_back(service.SubmitAsync(pos));
+  gated.WaitUntilBlocked();
+  gated.OpenGate();
+  for (auto& fut : inflight) {
+    api::QueryResponse r = fut.get();
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(DeterministicResultText(r.result_list()),
+              DeterministicResultText(ctx.Query("databases", options)));
+  }
+  Metrics after_pos = service.metrics();
+  EXPECT_EQ(after_pos.cache.misses, 4u);  // exactly one recompute
+  EXPECT_EQ(after_pos.cache.ttl_expiries, 1u);
+
+  // Rebind invalidates instantly: the fresh positive entry had ~900us of
+  // TTL left and is unservable anyway.
+  search::SearchContext rebuilt = BuildDblpContext(f.d, &f.backend);
+  service.RebindContext(rebuilt);
+  api::QueryResponse after_rebind = service.Execute(pos);
+  ASSERT_TRUE(after_rebind.ok());
+  EXPECT_FALSE(after_rebind.stats.cache_hit);
+  EXPECT_EQ(after_rebind.stats.epoch, 1u);
+}
+
+TEST(QueryServicePolicy, SweepExpiredCacheDropsOnlyExpiredEntries) {
+  ScoredDblp f(SmallDblpConfig());
+  search::SearchContext ctx = BuildDblpContext(f.d, &f.backend);
+  auto clock = std::make_shared<FakeClock>();
+  ServiceOptions so = SmallService();
+  so.cache.clock = clock;
+  so.cache.policy.ttl_micros = 1000;
+  so.cache.policy.negative_ttl_micros = 100;
+  QueryService service(ctx, so);
+
+  ASSERT_TRUE(service.Execute(api::QueryRequest("databases")).ok());
+  ASSERT_TRUE(
+      service.Execute(api::QueryRequest("nosuchkeywordanywhere")).ok());
+  EXPECT_EQ(service.SweepExpiredCache(), 0u);
+  clock->AdvanceMicros(100);
+  EXPECT_EQ(service.SweepExpiredCache(), 1u);  // the negative entry
+  clock->AdvanceMicros(900);
+  EXPECT_EQ(service.SweepExpiredCache(), 1u);  // the positive entry
+  EXPECT_EQ(service.metrics().cache.entries, 0u);
+}
+
+// Pins the exact report the CLI's `metrics` command prints (osum_cli
+// delegates to FormatMetricsReport, so this is the CLI output-shape test
+// the negative-hit counters needed).
+TEST(MetricsReport, ShapePinnedForTheCli) {
+  Metrics m;
+  m.queries = 7;
+  m.cache.hits = 4;
+  m.cache.negative_hits = 1;
+  m.cache.misses = 3;
+  m.cache.coalesced_waits = 2;
+  m.cache.entries = 3;
+  m.cache.approx_bytes = 4096;
+  m.cache.evictions = 5;
+  m.cache.epoch = 2;
+  m.cache.admission_rejects = 6;
+  m.cache.tracked_sightings = 2;
+  m.cache.ttl_expiries = 8;
+  m.cache.negative_ttl_expiries = 9;
+  for (double v : {1.0, 2.0, 4.0}) m.latency_us.Add(v);
+  for (double v : {1.0, 2.0}) m.hit_latency_us.Add(v);
+  m.miss_latency_us.Add(4.0);
+
+  EXPECT_EQ(FormatMetricsReport(m),
+            "queries 7 | hits 4 (1 negative), misses 3, coalesced 2 | "
+            "entries 3 (~4096 bytes), evictions 5, epoch 2\n"
+            "policy: admission rejects 6 (2 tracked), ttl expiries "
+            "8 positive + 9 negative\n"
+            "  latency      p50 2.0 us, p99 4.0 us, max 4.0 us\n"
+            "    hits       p50 1.5 us, p99 2.0 us, max 2.0 us\n"
+            "    neg hits   (no samples)\n"
+            "    misses     p50 4.0 us, p99 4.0 us, max 4.0 us\n");
 }
 
 // TSan canary for the full serving stack: many driver threads hammer one
