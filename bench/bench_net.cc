@@ -1,0 +1,392 @@
+// TCP front-end load generator: drives an in-process net::Server over real
+// loopback sockets with the blocking net::Client and reports
+//   1. ping_pong: closed-loop round-trip latency on one connection over a
+//      warm cache (p50/p95/p99 us) — the pure transport+framing overhead
+//      on top of a served hit.
+//   2. open_loop: C connections, each with a sender thread following a
+//      seeded open-loop arrival schedule (exponential gaps at a fixed
+//      target rate; a late sender sends immediately but latency is
+//      measured from the *scheduled* arrival, so queueing delay is not
+//      omitted) and a receiver thread recording per-response latency into
+//      util::Summary. Reports achieved QPS and the latency histogram.
+//   3. wire: a seeded hostile sweep — well-framed garbage payloads
+//      interleaved with valid requests on one connection; every garbage
+//      frame must come back as an in-band kCodecError and every valid
+//      request must still succeed, all counted.
+//
+// The request/response counts (requests_sent, responses_ok,
+// malformed_rejects, and the server's own frames_in/responses_out) are
+// machine-independent: the same on every box, so bench/baselines/
+// bench_net.json gates them strictly under OSUM_PERF_LANE while the
+// timing rows stay report-only. The bench FAILS (exit 1) if any response
+// goes missing, any valid request fails, or any garbage frame is not
+// rejected — it is an end-to-end acceptance harness as much as a bench.
+//
+// Flags: --json <path> (bench::JsonReport rows), --tiny (CI smoke sizes).
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/codec.h"
+#include "api/query.h"
+#include "bench_common.h"
+#include "core/os_backend.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "search/engine.h"
+#include "serve/query_service.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace osum {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// A small warm query mix: distinct keywords with real results, all
+/// pre-warmed through the wire so every measured request is a cache hit —
+/// the bench measures the serving path, not OS generation.
+std::vector<api::QueryRequest> WarmMix() {
+  std::vector<api::QueryRequest> mix;
+  for (const char* q : {"faloutsos", "databases", "mining", "graphs"}) {
+    mix.push_back(api::QueryRequest(q).WithL(12).WithMaxResults(4));
+  }
+  return mix;
+}
+
+struct PingPongResult {
+  util::Summary rtt_us;
+  uint64_t sent = 0;
+  uint64_t ok = 0;
+};
+
+PingPongResult RunPingPong(uint16_t port,
+                           const std::vector<api::QueryRequest>& mix,
+                           size_t rounds) {
+  PingPongResult result;
+  api::StatusOr<net::Client> client = net::Client::Connect("127.0.0.1", port);
+  if (!client.ok()) {
+    std::fprintf(stderr, "ping_pong connect: %s\n",
+                 client.status().ToString().c_str());
+    return result;
+  }
+  for (size_t i = 0; i < rounds; ++i) {
+    const api::QueryRequest& request = mix[i % mix.size()];
+    Clock::time_point start = Clock::now();
+    if (!client->Send(request).ok()) break;
+    ++result.sent;
+    api::StatusOr<api::QueryResponse> response = client->Receive();
+    if (!response.ok() || !response->ok()) break;
+    ++result.ok;
+    if (i >= mix.size()) {  // first pass over the mix is cache warmup
+      result.rtt_us.Add(SecondsSince(start) * 1e6);
+    }
+  }
+  return result;
+}
+
+struct OpenLoopResult {
+  util::Summary latency_us;
+  uint64_t sent = 0;
+  uint64_t ok = 0;
+  double wall_s = 0;
+};
+
+/// One open-loop connection: precomputed arrival offsets, a sender that
+/// follows them, a receiver that timestamps responses. Results come back
+/// in request order (server guarantee), so response i pairs with
+/// schedule[i] with no correlation id on the wire.
+void RunConnection(uint16_t port, const std::vector<api::QueryRequest>& mix,
+                   const std::vector<double>& schedule_s,
+                   Clock::time_point epoch, OpenLoopResult* out,
+                   std::mutex* out_mu) {
+  api::StatusOr<net::Client> client =
+      net::Client::Connect("127.0.0.1", port, /*timeout_ms=*/120'000);
+  if (!client.ok()) {
+    std::fprintf(stderr, "open_loop connect: %s\n",
+                 client.status().ToString().c_str());
+    return;
+  }
+  uint64_t sent = 0;
+  std::thread sender([&] {
+    for (size_t i = 0; i < schedule_s.size(); ++i) {
+      double now = SecondsSince(epoch);
+      if (now < schedule_s[i]) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(schedule_s[i] - now));
+      }
+      if (!client->Send(mix[i % mix.size()]).ok()) return;
+      ++sent;
+    }
+  });
+  std::vector<double> latencies;
+  latencies.reserve(schedule_s.size());
+  uint64_t ok = 0;
+  for (size_t i = 0; i < schedule_s.size(); ++i) {
+    api::StatusOr<api::QueryResponse> response = client->Receive();
+    if (!response.ok()) break;
+    if (response->ok()) ++ok;
+    latencies.push_back((SecondsSince(epoch) - schedule_s[i]) * 1e6);
+  }
+  sender.join();
+  std::lock_guard<std::mutex> lock(*out_mu);
+  for (double v : latencies) out->latency_us.Add(v);
+  out->sent += sent;
+  out->ok += ok;
+}
+
+OpenLoopResult RunOpenLoop(uint16_t port,
+                           const std::vector<api::QueryRequest>& mix,
+                           size_t connections, size_t requests_per_connection,
+                           double target_qps_per_connection) {
+  // Seeded exponential inter-arrival gaps: the schedule (and therefore the
+  // request counts) is identical on every machine; only the timings vary.
+  std::vector<std::vector<double>> schedules(connections);
+  util::Rng rng(0x5E4FCADEull);
+  for (size_t c = 0; c < connections; ++c) {
+    double t = 0;
+    schedules[c].reserve(requests_per_connection);
+    for (size_t i = 0; i < requests_per_connection; ++i) {
+      double u = (static_cast<double>(rng.NextU64(1'000'000'000)) + 1.0) /
+                 1'000'000'001.0;
+      t += -std::log(u) / target_qps_per_connection;
+      schedules[c].push_back(t);
+    }
+  }
+
+  OpenLoopResult result;
+  std::mutex result_mu;
+  Clock::time_point epoch = Clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(connections);
+  for (size_t c = 0; c < connections; ++c) {
+    threads.emplace_back(RunConnection, port, std::cref(mix),
+                         std::cref(schedules[c]), epoch, &result, &result_mu);
+  }
+  for (std::thread& t : threads) t.join();
+  result.wall_s = SecondsSince(epoch);
+  return result;
+}
+
+struct WireResult {
+  uint64_t garbage_sent = 0;
+  uint64_t malformed_rejects = 0;
+  uint64_t valid_sent = 0;
+  uint64_t valid_ok = 0;
+};
+
+/// Seeded hostile sweep through the framing layer: every 3rd frame is
+/// well-framed garbage (random bytes, random length 0..96), the rest are
+/// valid requests. The stream must stay in sync: garbage answered in-band
+/// with kCodecError, valid requests still served.
+WireResult RunWireSweep(uint16_t port,
+                        const std::vector<api::QueryRequest>& mix,
+                        size_t frames) {
+  WireResult result;
+  api::StatusOr<net::Client> client = net::Client::Connect("127.0.0.1", port);
+  if (!client.ok()) {
+    std::fprintf(stderr, "wire connect: %s\n",
+                 client.status().ToString().c_str());
+    return result;
+  }
+  util::Rng rng(0xBADF8A3E5ull);
+  std::vector<bool> is_garbage;
+  is_garbage.reserve(frames);
+  for (size_t i = 0; i < frames; ++i) {
+    bool garbage = (i % 3) == 2;
+    is_garbage.push_back(garbage);
+    if (garbage) {
+      std::string payload(rng.NextU64(97), '\0');
+      for (char& ch : payload) {
+        ch = static_cast<char>(rng.NextU64(256));
+      }
+      if (!client->SendPayload(payload).ok()) return result;
+      ++result.garbage_sent;
+    } else {
+      if (!client->Send(mix[i % mix.size()]).ok()) return result;
+      ++result.valid_sent;
+    }
+  }
+  for (size_t i = 0; i < frames; ++i) {
+    api::StatusOr<api::QueryResponse> response = client->Receive();
+    if (!response.ok()) {
+      std::fprintf(stderr, "wire receive %zu: %s\n", i,
+                   response.status().ToString().c_str());
+      return result;
+    }
+    if (is_garbage[i]) {
+      if (response->status.code() == api::StatusCode::kCodecError) {
+        ++result.malformed_rejects;
+      }
+    } else if (response->ok()) {
+      ++result.valid_ok;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+}  // namespace osum
+
+int main(int argc, char** argv) {
+  using namespace osum;
+  bench::JsonReport json =
+      bench::JsonReport::FromArgs(argc, argv, "bench_net");
+  bool tiny = bench::TinyFromArgs(argc, argv);
+
+  datasets::DblpConfig config;
+  config.num_authors = tiny ? 100 : 500;
+  config.num_papers = tiny ? 400 : 2000;
+  config.num_conferences = tiny ? 8 : 15;
+  datasets::Dblp d = datasets::BuildDblp(config);
+  datasets::ApplyDblpScores(&d, 1, 0.85);
+  core::DataGraphBackend backend(d.db, d.links, d.data_graph);
+  std::vector<search::SearchContext::Subject> subjects;
+  subjects.push_back({d.author, datasets::DblpAuthorGds(d)});
+  subjects.push_back({d.paper, datasets::DblpPaperGds(d)});
+  search::SearchContext ctx =
+      search::SearchContext::Build(d.db, &backend, std::move(subjects));
+
+  serve::ServiceOptions service_options;
+  service_options.num_threads = 4;
+  serve::QueryService service(ctx, service_options);
+  net::Server server(&service);  // port 0: the OS picks a free port
+  if (api::Status status = server.Start(); !status.ok()) {
+    std::fprintf(stderr, "server start: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  std::vector<api::QueryRequest> mix = WarmMix();
+  const size_t ping_rounds = tiny ? 64 : 1000;
+  const size_t connections = tiny ? 2 : 4;
+  const size_t per_connection = tiny ? 100 : 1500;
+  const double rate_per_connection = tiny ? 1000.0 : 2500.0;
+  const size_t wire_frames = tiny ? 48 : 600;
+
+  // 1. Closed-loop RTT (also warms the cache on its first pass).
+  PingPongResult ping = RunPingPong(server.port(), mix, ping_rounds);
+  util::PrintHeading(std::cout, "ping_pong (1 connection, " +
+                                    std::to_string(ping_rounds) +
+                                    " closed-loop round trips, warm cache)");
+  util::TablePrinter ping_table({"metric", "value"});
+  ping_table.AddRow({"rtt p50 us",
+                     util::FormatDouble(ping.rtt_us.Percentile(50.0), 1)});
+  ping_table.AddRow({"rtt p95 us",
+                     util::FormatDouble(ping.rtt_us.Percentile(95.0), 1)});
+  ping_table.AddRow({"rtt p99 us",
+                     util::FormatDouble(ping.rtt_us.Percentile(99.0), 1)});
+  ping_table.Print(std::cout);
+  json.Add("ping_pong", "rtt", "p50_us", ping.rtt_us.Percentile(50.0));
+  json.Add("ping_pong", "rtt", "p99_us", ping.rtt_us.Percentile(99.0));
+  json.Add("ping_pong", "count", "requests_sent",
+           static_cast<double>(ping.sent));
+  json.Add("ping_pong", "count", "responses_ok",
+           static_cast<double>(ping.ok));
+
+  // 2. Open-loop multi-connection load.
+  OpenLoopResult open = RunOpenLoop(server.port(), mix, connections,
+                                    per_connection, rate_per_connection);
+  double achieved_qps =
+      static_cast<double>(open.ok) / std::max(open.wall_s, 1e-9);
+  util::PrintHeading(
+      std::cout,
+      "open_loop (" + std::to_string(connections) + " connections x " +
+          std::to_string(per_connection) + " requests, offered " +
+          util::FormatDouble(rate_per_connection * connections, 0) + " qps)");
+  util::TablePrinter open_table({"metric", "value"});
+  open_table.AddRow({"achieved qps", util::FormatDouble(achieved_qps, 0)});
+  open_table.AddRow({"latency p50 us",
+                     util::FormatDouble(open.latency_us.Percentile(50.0), 1)});
+  open_table.AddRow({"latency p95 us",
+                     util::FormatDouble(open.latency_us.Percentile(95.0), 1)});
+  open_table.AddRow({"latency p99 us",
+                     util::FormatDouble(open.latency_us.Percentile(99.0), 1)});
+  open_table.Print(std::cout);
+  json.Add("open_loop", "served", "achieved_qps", achieved_qps);
+  json.Add("open_loop", "latency", "p50_us",
+           open.latency_us.Percentile(50.0));
+  json.Add("open_loop", "latency", "p99_us",
+           open.latency_us.Percentile(99.0));
+  json.Add("open_loop", "count", "requests_sent",
+           static_cast<double>(open.sent));
+  json.Add("open_loop", "count", "responses_ok",
+           static_cast<double>(open.ok));
+
+  // 3. Hostile wire sweep.
+  WireResult wire = RunWireSweep(server.port(), mix, wire_frames);
+  util::PrintHeading(std::cout, "wire (seeded hostile sweep, " +
+                                    std::to_string(wire_frames) + " frames)");
+  std::printf("garbage frames: %llu sent, %llu rejected in-band; valid: "
+              "%llu sent, %llu ok\n",
+              static_cast<unsigned long long>(wire.garbage_sent),
+              static_cast<unsigned long long>(wire.malformed_rejects),
+              static_cast<unsigned long long>(wire.valid_sent),
+              static_cast<unsigned long long>(wire.valid_ok));
+  json.Add("wire", "count", "garbage_sent",
+           static_cast<double>(wire.garbage_sent));
+  json.Add("wire", "count", "malformed_rejects",
+           static_cast<double>(wire.malformed_rejects));
+  json.Add("wire", "count", "valid_ok",
+           static_cast<double>(wire.valid_ok));
+
+  bool drained = server.Shutdown();
+  net::ServerStats stats = server.stats();
+  json.Add("server", "count", "frames_in",
+           static_cast<double>(stats.frames_in));
+  json.Add("server", "count", "responses_out",
+           static_cast<double>(stats.responses_out));
+  json.Add("server", "count", "malformed_frames",
+           static_cast<double>(stats.malformed_frames));
+  json.Add("server", "count", "dropped_responses",
+           static_cast<double>(stats.dropped_responses));
+  if (!json.Write()) return 1;
+
+  // Acceptance gates: the bench doubles as the end-to-end harness, so a
+  // lost response, a failed valid request, an unrejected garbage frame or
+  // a dirty drain all fail the run.
+  const uint64_t expected =
+      ping_rounds + connections * per_connection;
+  uint64_t total_ok = ping.ok + open.ok + wire.valid_ok;
+  uint64_t total_sent = ping.sent + open.sent + wire.valid_sent;
+  if (ping.ok != ping_rounds || open.ok != connections * per_connection) {
+    std::printf("FAIL: %llu/%llu valid responses received\n",
+                static_cast<unsigned long long>(total_ok),
+                static_cast<unsigned long long>(expected + wire.valid_sent));
+    return 1;
+  }
+  if (wire.malformed_rejects != wire.garbage_sent ||
+      wire.valid_ok != wire.valid_sent) {
+    std::printf("FAIL: wire sweep: %llu/%llu garbage rejected, %llu/%llu "
+                "valid ok\n",
+                static_cast<unsigned long long>(wire.malformed_rejects),
+                static_cast<unsigned long long>(wire.garbage_sent),
+                static_cast<unsigned long long>(wire.valid_ok),
+                static_cast<unsigned long long>(wire.valid_sent));
+    return 1;
+  }
+  if (!drained || stats.dropped_responses != 0) {
+    std::printf("FAIL: shutdown did not drain cleanly (%llu dropped)\n",
+                static_cast<unsigned long long>(stats.dropped_responses));
+    return 1;
+  }
+  std::printf("PASS: %llu/%llu responses delivered, %llu/%llu garbage "
+              "frames rejected, clean drain\n",
+              static_cast<unsigned long long>(total_ok),
+              static_cast<unsigned long long>(total_sent),
+              static_cast<unsigned long long>(wire.malformed_rejects),
+              static_cast<unsigned long long>(wire.garbage_sent));
+  return 0;
+}

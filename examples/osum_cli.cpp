@@ -28,6 +28,13 @@
 //                              (negative hits split out), admission/TTL
 //                              policy counters, cache occupancy, latency
 //                              percentiles
+//   serve-tcp [port|stop]      start the TCP front end on 127.0.0.1 (port
+//                              0 = OS-assigned, printed on start) over the
+//                              serving layer, or stop it (graceful drain:
+//                              in-flight requests are answered first)
+//   connect <keywords...> [l]  round-trip one query through the TCP front
+//                              end over a real socket (length-prefixed v1
+//                              binary frames) and print the served answer
 //   save <dir>                 export the database as CSV + catalog
 //   help
 //
@@ -49,6 +56,8 @@
 #include "core/word_budget.h"
 #include "datasets/dblp.h"
 #include "datasets/tpch.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "relational/csv_io.h"
 #include "search/engine.h"
 #include "serve/query_service.h"
@@ -71,6 +80,10 @@ struct Session {
   // contents do not.
   std::unique_ptr<serve::QueryService> service;
   serve::ServiceOptions serve_options;
+  // TCP front end (`serve-tcp`) over `service`. Declared after it so the
+  // server is destroyed first: it must drain its connections before the
+  // QueryService it submits to can go away.
+  std::unique_ptr<net::Server> tcp_server;
 
   serve::QueryService& Service() {
     if (!service) {
@@ -87,7 +100,8 @@ struct Session {
   }
 
   bool BuildDblp() {
-    service.reset();  // borrows the engine's context: drop it first
+    tcp_server.reset();  // serves from `service`: drain it first
+    service.reset();     // borrows the engine's context: drop it first
     dblp = datasets::BuildDblp();
     tpch.reset();
     datasets::ApplyDblpScores(&*dblp, 1, 0.85);
@@ -104,7 +118,8 @@ struct Session {
   }
 
   bool BuildTpch() {
-    service.reset();  // borrows the engine's context: drop it first
+    tcp_server.reset();  // serves from `service`: drain it first
+    service.reset();     // borrows the engine's context: drop it first
     tpch = datasets::BuildTpch();
     dblp.reset();
     datasets::ApplyTpchScores(&*tpch, 1, 0.85);
@@ -141,6 +156,10 @@ void PrintHelp() {
       "                             the serving layer when set)\n"
       "  sweep                      erase expired cache entries now\n"
       "  metrics                    serving-layer counters + latencies\n"
+      "  serve-tcp [port|stop]      start/stop the TCP front end (graceful\n"
+      "                             drain on stop)\n"
+      "  connect <keywords...> [l]  round-trip a query over the TCP front\n"
+      "                             end's socket\n"
       "  save <dir>                 export database as CSV\n"
       "  help");
 }
@@ -302,7 +321,10 @@ void RunCommand(Session& session, const std::string& line) {
     }
     serve::CachePolicyOptions& p = session.serve_options.cache.policy;
     p = staged;
-    if (changed) session.service.reset();  // next `serve` gets the policy
+    if (changed) {
+      session.tcp_server.reset();  // serves from the service being replaced
+      session.service.reset();     // next `serve` gets the policy
+    }
     std::printf("policy: ttl=%.3fs neg_ttl=%.3fs admission=%s window=%.3fs%s\n",
                 static_cast<double>(p.ttl_micros) / 1e6,
                 static_cast<double>(p.negative_ttl_micros) / 1e6,
@@ -382,6 +404,95 @@ void RunCommand(Session& session, const std::string& line) {
     }
     return;
   }
+  if (cmd == "serve-tcp") {
+    if (args.size() > 1 && args[1] == "stop") {
+      if (session.tcp_server == nullptr) {
+        std::puts("tcp server not running");
+        return;
+      }
+      bool drained = session.tcp_server->Shutdown();
+      net::ServerStats stats = session.tcp_server->stats();
+      std::printf("tcp server stopped (%s): %llu frames in, %llu responses "
+                  "out, %llu malformed, %llu dropped\n",
+                  drained ? "drained" : "drain timed out",
+                  static_cast<unsigned long long>(stats.frames_in),
+                  static_cast<unsigned long long>(stats.responses_out),
+                  static_cast<unsigned long long>(stats.malformed_frames),
+                  static_cast<unsigned long long>(stats.dropped_responses));
+      session.tcp_server.reset();
+      return;
+    }
+    if (session.tcp_server != nullptr) {
+      std::printf("tcp server already listening on 127.0.0.1:%u\n",
+                  session.tcp_server->port());
+      return;
+    }
+    net::ServerOptions options;
+    if (args.size() > 1) {
+      const std::string& p = args[1];
+      if (p.find_first_not_of("0123456789") != std::string::npos ||
+          p.size() > 5 || std::stoul(p) > 65535) {
+        std::puts("usage: serve-tcp [port|stop]");
+        return;
+      }
+      options.port = static_cast<uint16_t>(std::stoul(p));
+    }
+    auto server =
+        std::make_unique<net::Server>(&session.Service(), options);
+    if (api::Status status = server->Start(); !status.ok()) {
+      std::printf("error: %s\n", status.ToString().c_str());
+      return;
+    }
+    session.tcp_server = std::move(server);
+    std::printf("tcp server listening on 127.0.0.1:%u\n",
+                session.tcp_server->port());
+    return;
+  }
+  if (cmd == "connect") {
+    if (session.tcp_server == nullptr) {
+      std::puts("tcp server not running; run 'serve-tcp' first");
+      return;
+    }
+    auto [keywords, number] = SplitTrailingNumber(args, 1);
+    if (keywords.empty()) {
+      std::puts("usage: connect <keywords...> [l]");
+      return;
+    }
+    api::StatusOr<net::Client> client =
+        net::Client::Connect("127.0.0.1", session.tcp_server->port());
+    if (!client.ok()) {
+      std::printf("error: %s\n", client.status().ToString().c_str());
+      return;
+    }
+    util::WallTimer timer;
+    if (api::Status sent = client->Send(
+            api::QueryRequest(keywords).WithL(number.value_or(15)));
+        !sent.ok()) {
+      std::printf("error: %s\n", sent.ToString().c_str());
+      return;
+    }
+    api::StatusOr<api::QueryResponse> received = client->Receive();
+    if (!received.ok()) {
+      std::printf("error: %s\n", received.status().ToString().c_str());
+      return;
+    }
+    double rtt_us = timer.ElapsedMicros();
+    const api::QueryResponse& response = *received;
+    if (!response.ok()) {
+      std::printf("error (served in-band): %s\n",
+                  response.status.ToString().c_str());
+      return;
+    }
+    std::printf("[%s%s, rtt %.1f us over tcp] %zu result(s)\n",
+                response.stats.cache_hit ? "HIT" : "MISS",
+                response.stats.negative ? " neg" : "", rtt_us,
+                response.result_list().size());
+    for (const auto& r : response.result_list()) {
+      std::printf("  importance %.2f, |OS|=%zu, selection %zu node(s)\n",
+                  r.subject_importance, r.os.size(), r.selection.nodes.size());
+    }
+    return;
+  }
   if (cmd == "save") {
     if (args.size() < 2) {
       std::puts("usage: save <dir>");
@@ -418,7 +529,9 @@ int main(int argc, char** argv) {
        {"build dblp", "stats", "gds Author", "query faloutsos 8",
         "budget faloutsos 40", "serve faloutsos 8", "serve faloutsos 8",
         "query --wire json faloutsos 5", "policy neg_ttl=60",
-        "serve nosuchkeyword 8", "serve nosuchkeyword 8", "metrics"}) {
+        "serve nosuchkeyword 8", "serve nosuchkeyword 8", "serve-tcp 0",
+        "connect faloutsos 8", "connect faloutsos 8", "serve-tcp stop",
+        "metrics"}) {
     std::printf("\n$ %s\n", cmd);
     RunCommand(session, cmd);
   }

@@ -3,9 +3,10 @@
 #   1. Release            — the configuration benchmarks are run in
 #   2. Debug + ASan/UBSan — catches what optimized builds hide
 #   3. Debug + TSan       — proves the concurrent query path (QueryBatch
-#      over a shared SearchContext) and the serving layer (QueryService +
-#      sharded ResultCache) race on nothing; runs the search- and serve-
-#      labeled suites, which include the concurrency/stampede stress
+#      over a shared SearchContext), the serving layer (QueryService +
+#      sharded ResultCache) and the TCP front end (net::Server event loop
+#      vs pool workers) race on nothing; runs the search-, serve- and
+#      net-labeled suites, which include the concurrency/stampede stress
 #      aggregates (labeled search;slow / serve;slow).
 # The release lane also smokes the bench `--json` output mode (bench_cache
 # runs at --tiny sizes and its JSON must parse; the bench itself exits
@@ -35,12 +36,22 @@ JOBS="${JOBS:-$(nproc)}"
 if [[ "${OSUM_PERF_LANE:-0}" == "1" ]]; then
   echo "==== perf lane: full-size bench_cache vs baseline (--strict) ===="
   cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
-  cmake --build build-release -j "${JOBS}" --target bench_cache
+  cmake --build build-release -j "${JOBS}" --target bench_cache bench_net
   perf_json="build-release/bench_cache_perf.json"
   build-release/bench/bench_cache --json "${perf_json}"
   python3 scripts/bench_diff.py bench/baselines/bench_cache.json \
           "${perf_json}" --strict \
           --gate-metrics 'hit_rate|evictions|admission_rejects' \
+          --gate-tolerance 0.001
+  echo "==== perf lane: full-size bench_net vs baseline (--strict) ===="
+  # The request/response counts are seeded and machine-independent: the
+  # same box-independent totals every run, so they gate near-exactly.
+  # Latency/QPS rows from a different-machine baseline stay report-only.
+  net_json="build-release/bench_net_perf.json"
+  build-release/bench/bench_net --json "${net_json}"
+  python3 scripts/bench_diff.py bench/baselines/bench_net.json \
+          "${net_json}" --strict \
+          --gate-metrics 'requests_sent|responses_ok|garbage_sent|malformed_rejects|valid_ok|frames_in|responses_out|malformed_frames|dropped_responses' \
           --gate-tolerance 0.001
   echo "==== perf lane green ===="
   exit 0
@@ -76,6 +87,15 @@ build-release/bench/bench_cache --tiny --json "${smoke_json}"
 python3 -m json.tool "${smoke_json}" > /dev/null
 echo "bench JSON smoke ok: ${smoke_json}"
 
+# TCP front-end smoke: bench_net drives a real server over loopback
+# sockets at --tiny sizes — it exits nonzero on any lost response,
+# unrejected garbage frame or dirty drain, and its JSON must parse.
+echo "==== net smoke (bench_net --tiny --json) ===="
+net_smoke_json="build-release/bench_net_smoke.json"
+build-release/bench/bench_net --tiny --json "${net_smoke_json}"
+python3 -m json.tool "${net_smoke_json}" > /dev/null
+echo "net smoke ok: ${net_smoke_json}"
+
 # Non-fatal perf-drift report: --tiny numbers are not comparable to the
 # reference-container baseline, but the diff proves rows match up and the
 # tolerance plumbing works. Dedicated perf lanes run this with --strict on
@@ -104,7 +124,7 @@ PY
 run_config build-asan -- -DCMAKE_BUILD_TYPE=Debug -DOSUM_SANITIZE=address
 # Benches and examples are never executed under TSan; skip their
 # instrumented compile.
-run_config build-tsan -L 'search|serve' -- \
+run_config build-tsan -L 'search|serve|net' -- \
            -DCMAKE_BUILD_TYPE=Debug -DOSUM_SANITIZE=thread \
            -DOSUM_BUILD_BENCHMARKS=OFF -DOSUM_BUILD_EXAMPLES=OFF
 echo "==== ci.sh: all configurations green ===="

@@ -1,0 +1,132 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "api/codec.h"
+
+namespace osum::net {
+namespace {
+
+api::Status Errno(const char* what) {
+  return api::Status::BackendError(std::string(what) + ": " +
+                                   std::strerror(errno));
+}
+
+uint32_t ReadLe32(const unsigned char* b) {
+  return static_cast<uint32_t>(b[0]) | (static_cast<uint32_t>(b[1]) << 8) |
+         (static_cast<uint32_t>(b[2]) << 16) |
+         (static_cast<uint32_t>(b[3]) << 24);
+}
+
+}  // namespace
+
+Client::Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+api::StatusOr<Client> Client::Connect(const std::string& host, uint16_t port,
+                                      int timeout_ms) {
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return api::Status::BackendError("bad host address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    api::Status status = Errno("connect");
+    ::close(fd);
+    return status;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (timeout_ms > 0) {
+    timeval tv{};
+    tv.tv_sec = timeout_ms / 1000;
+    tv.tv_usec = (timeout_ms % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+  return Client(fd);
+}
+
+api::Status Client::Send(const api::QueryRequest& request) {
+  return SendPayload(api::EncodeRequest(request));
+}
+
+api::Status Client::SendPayload(std::string_view payload) {
+  return SendBytes(EncodeFrame(payload));
+}
+
+api::Status Client::SendBytes(std::string_view bytes) {
+  if (fd_ < 0) return api::Status::BackendError("not connected");
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return {};
+}
+
+api::StatusOr<api::QueryResponse> Client::Receive() {
+  if (fd_ < 0) return api::Status::BackendError("not connected");
+  auto read_fully = [this](char* out, size_t want) -> api::Status {
+    size_t got = 0;
+    while (got < want) {
+      ssize_t n = ::recv(fd_, out + got, want - got, 0);
+      if (n == 0) {
+        return api::Status::BackendError("connection closed by server");
+      }
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Errno("recv");
+      }
+      got += static_cast<size_t>(n);
+    }
+    return {};
+  };
+  unsigned char prefix[4];
+  if (api::Status s = read_fully(reinterpret_cast<char*>(prefix), 4); !s.ok())
+    return s;
+  uint32_t len = ReadLe32(prefix);
+  if (len > kDefaultMaxFrameBytes) {
+    return api::Status::CodecError("oversized response frame");
+  }
+  std::string payload(len, '\0');
+  if (api::Status s = read_fully(payload.data(), len); !s.ok()) return s;
+  return api::DecodeResponse(payload);
+}
+
+void Client::CloseWrite() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace osum::net

@@ -1,0 +1,72 @@
+// A small blocking client for the TCP front end — the counterpart the
+// load generator (bench/bench_net.cc), the CLI `connect` command and the
+// net test suite drive the server with.
+//
+// One Client is one TCP connection. Send*/Receive are plain blocking
+// calls; pipelining is just "Send k times, then Receive k times" —
+// responses come back in request order (server guarantee). A Client is
+// single-threaded per direction: one thread may Send while another
+// Receives (the load generator does exactly that), but neither side
+// supports two concurrent callers.
+#ifndef OSUM_NET_CLIENT_H_
+#define OSUM_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "api/query.h"
+#include "api/status.h"
+#include "net/frame.h"
+
+namespace osum::net {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client() { Close(); }
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Blocking IPv4 connect. `timeout_ms` bounds every subsequent Receive
+  /// (SO_RCVTIMEO), so a dead server fails the call instead of hanging a
+  /// test lane; 0 means wait forever.
+  static api::StatusOr<Client> Connect(const std::string& host, uint16_t port,
+                                       int timeout_ms = 10'000);
+
+  bool connected() const { return fd_ >= 0; }
+
+  /// Frames and sends one encoded QueryRequest.
+  api::Status Send(const api::QueryRequest& request);
+
+  /// Frames and sends an arbitrary payload — hostile-input tests use this
+  /// to put a well-framed non-request on the wire.
+  api::Status SendPayload(std::string_view payload);
+
+  /// Sends raw bytes with no framing at all (for violating the framing
+  /// layer itself: oversized prefixes, split writes).
+  api::Status SendBytes(std::string_view bytes);
+
+  /// Blocks for the next response frame and decodes it. Connection close
+  /// or receive timeout comes back as kBackendError; an undecodable or
+  /// oversized frame as kCodecError.
+  api::StatusOr<api::QueryResponse> Receive();
+
+  /// Half-close: tells the server this client is done sending (the server
+  /// answers what it already received, flushes, then closes).
+  void CloseWrite();
+
+  void Close();
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+};
+
+}  // namespace osum::net
+
+#endif  // OSUM_NET_CLIENT_H_

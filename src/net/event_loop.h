@@ -1,0 +1,86 @@
+// A minimal epoll event loop for the TCP front end.
+//
+// Single-threaded by design: one thread calls Run(), and every fd
+// callback, posted task and connection object is touched only from that
+// thread. The two cross-thread entry points — Post() (used by pool
+// workers to hand completed responses back to the loop) and Stop() — are
+// internally synchronized and wake the loop through an eventfd.
+//
+// Level-triggered epoll: callbacks may leave data unread/unwritten and
+// simply get called again, which keeps the per-event work bounded (and
+// fair across connections) without edge-trigger bookkeeping.
+#ifndef OSUM_NET_EVENT_LOOP_H_
+#define OSUM_NET_EVENT_LOOP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace osum::net {
+
+class EventLoop {
+ public:
+  /// Invoked with the ready epoll event mask (EPOLLIN | EPOLLOUT | ...).
+  using FdCallback = std::function<void(uint32_t)>;
+
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// False when epoll/eventfd creation failed at construction; a dead
+  /// loop refuses Add and Run.
+  bool ok() const { return epoll_fd_ >= 0 && wake_fd_ >= 0; }
+
+  /// Registers `fd` with the interest set `events`. Loop thread only
+  /// (or before Run starts).
+  bool Add(int fd, uint32_t events, FdCallback callback);
+
+  /// Changes the interest set of a registered fd. Loop thread only.
+  bool Modify(int fd, uint32_t events);
+
+  /// Unregisters `fd` and forgets its callback; the fd is NOT closed
+  /// (pair with DeferClose so a number freed mid-dispatch cannot be
+  /// reused by an accept in the same batch). Loop thread only.
+  void Remove(int fd);
+
+  /// Closes `fd` after the current dispatch batch completes (immediately
+  /// when the loop is not running). Loop thread only.
+  void DeferClose(int fd);
+
+  /// Enqueues `fn` to run on the loop thread after the current dispatch
+  /// batch. Thread-safe; wakes a blocked Run(). Tasks posted after Stop()
+  /// may never run.
+  void Post(std::function<void()> fn);
+
+  /// Dispatches events until Stop(). Must be called by exactly one
+  /// thread.
+  void Run();
+
+  /// Makes Run() return after the batch in flight. Thread-safe,
+  /// idempotent.
+  void Stop();
+
+ private:
+  void RunPosted();
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd: Post/Stop wake a blocked epoll_wait
+  std::atomic<bool> stop_{false};
+
+  // Loop-thread-only state.
+  std::unordered_map<int, FdCallback> callbacks_;
+  std::vector<int> deferred_close_;
+  bool running_ = false;
+
+  std::mutex posted_mu_;
+  std::vector<std::function<void()>> posted_;
+};
+
+}  // namespace osum::net
+
+#endif  // OSUM_NET_EVENT_LOOP_H_

@@ -1,0 +1,72 @@
+#include "net/frame.h"
+
+namespace osum::net {
+namespace {
+
+uint32_t ReadLe32(const char* p) {
+  const auto* b = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<uint32_t>(b[0]) | (static_cast<uint32_t>(b[1]) << 8) |
+         (static_cast<uint32_t>(b[2]) << 16) |
+         (static_cast<uint32_t>(b[3]) << 24);
+}
+
+}  // namespace
+
+std::string EncodeFrame(std::string_view payload) {
+  std::string out;
+  out.reserve(4 + payload.size());
+  uint32_t len = static_cast<uint32_t>(payload.size());
+  out.push_back(static_cast<char>(len & 0xff));
+  out.push_back(static_cast<char>((len >> 8) & 0xff));
+  out.push_back(static_cast<char>((len >> 16) & 0xff));
+  out.push_back(static_cast<char>((len >> 24) & 0xff));
+  out.append(payload);
+  return out;
+}
+
+bool FrameReassembler::Feed(std::string_view bytes) {
+  if (poisoned_) return false;
+  buffer_.append(bytes);
+  // Validate the length prefix as soon as it is complete, not only when
+  // the whole frame has arrived: a hostile 4GB prefix must poison the
+  // stream immediately instead of making us buffer toward it.
+  if (buffered_bytes() >= 4 &&
+      ReadLe32(buffer_.data() + consumed_) > max_frame_bytes_) {
+    poisoned_ = true;
+    buffer_.clear();
+    consumed_ = 0;
+    return false;
+  }
+  return true;
+}
+
+std::optional<std::string> FrameReassembler::Next() {
+  if (poisoned_ || buffered_bytes() < 4) return std::nullopt;
+  uint32_t len = ReadLe32(buffer_.data() + consumed_);
+  if (len > max_frame_bytes_) {  // only reachable via a shrunken limit
+    poisoned_ = true;
+    buffer_.clear();
+    consumed_ = 0;
+    return std::nullopt;
+  }
+  if (buffered_bytes() < 4 + static_cast<size_t>(len)) return std::nullopt;
+  std::string payload = buffer_.substr(consumed_ + 4, len);
+  consumed_ += 4 + static_cast<size_t>(len);
+  // Compact lazily: one erase per ~half-buffer of consumed frames instead
+  // of one memmove per frame.
+  if (consumed_ > buffer_.size() / 2) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  // Re-check the next prefix so a poisonous length queued behind a valid
+  // frame is caught on this call, mirroring Feed.
+  if (buffered_bytes() >= 4 &&
+      ReadLe32(buffer_.data() + consumed_) > max_frame_bytes_) {
+    poisoned_ = true;
+    buffer_.clear();
+    consumed_ = 0;
+  }
+  return payload;
+}
+
+}  // namespace osum::net

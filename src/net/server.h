@@ -1,0 +1,220 @@
+// The TCP front end: a non-blocking epoll server speaking length-prefixed
+// api::codec binary-v1 frames, multiplexing pipelined requests onto
+// serve::QueryService.
+//
+// Protocol. Each inbound frame (net/frame.h) carries one encoded
+// QueryRequest; each outbound frame carries one encoded QueryResponse.
+// Clients may pipeline: responses come back in request order per
+// connection, whatever order the pool finishes them in. A well-framed
+// payload that fails to decode is answered in-band with kCodecError (the
+// stream stays in sync); a framing violation (length prefix over
+// max_frame_bytes) closes the connection — there is no way to find the
+// next frame boundary after one.
+//
+// Threading. One event-loop thread owns every connection object;
+// QueryService workers compute responses and hand the encoded bytes back
+// via EventLoop::Post through a mutex-guarded mailbox that Shutdown
+// disconnects first, so a worker can never touch a dying loop.
+//
+// Backpressure. Responses queue per connection in request order. Once the
+// queued bytes pass outbound_high_watermark the server stops reading that
+// connection (pipelined requests stay in the kernel buffer and, via TCP
+// flow control, at the sender) and resumes below half the watermark; a
+// reader so slow the queue would pass outbound_hard_cap is disconnected
+// instead of growing the heap without bound.
+//
+// Shutdown. Graceful drain, the same pin-counted idea as
+// QueryService::RebindContext: stop accepting, stop reading, then wait
+// until every already-parsed request has been answered AND its response
+// bytes fully written, and only then stop the loop. Requests still
+// half-buffered in a reassembler are abandoned by design ("drain" means
+// finish what was accepted, not read more). A peer that refuses to drain
+// its socket forfeits after drain_timeout_ms and its undelivered
+// responses are counted, not silently lost.
+#ifndef OSUM_NET_SERVER_H_
+#define OSUM_NET_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "api/status.h"
+#include "net/event_loop.h"
+#include "net/frame.h"
+#include "serve/query_service.h"
+
+namespace osum::net {
+
+struct ServerOptions {
+  /// IPv4 dotted-quad to bind ("127.0.0.1" keeps the bench/test server
+  /// off external interfaces; "0.0.0.0" serves them all).
+  std::string bind_address = "127.0.0.1";
+  /// 0 picks an ephemeral port; read it back via Server::port().
+  uint16_t port = 0;
+  int listen_backlog = 128;
+  /// Framing violation threshold (see net/frame.h).
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Queued-response bytes per connection above which reads pause.
+  size_t outbound_high_watermark = 1 << 20;
+  /// Queued-response bytes per connection above which the peer is
+  /// declared too slow and disconnected (the OOM guard).
+  size_t outbound_hard_cap = 32u << 20;
+  /// Graceful-drain budget for Shutdown(); afterwards remaining
+  /// connections are closed and their undelivered responses counted.
+  int drain_timeout_ms = 30'000;
+};
+
+/// Monotonic server counters (a snapshot; see Server::stats).
+struct ServerStats {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_closed = 0;
+  /// Complete frames received (whether or not their payload decoded).
+  uint64_t frames_in = 0;
+  /// Responses queued for delivery (every frame_in gets exactly one,
+  /// unless its connection died first).
+  uint64_t responses_out = 0;
+  /// Well-framed payloads that failed DecodeRequest (answered in-band
+  /// with kCodecError).
+  uint64_t malformed_frames = 0;
+  /// Connections dropped for an impossible length prefix.
+  uint64_t framing_violations = 0;
+  /// Connections dropped for passing outbound_hard_cap.
+  uint64_t backpressure_closes = 0;
+  /// Responses that could not be delivered (peer disconnected with work
+  /// in flight, or forfeited at drain timeout).
+  uint64_t dropped_responses = 0;
+  /// High-water mark of per-connection queued response bytes — the
+  /// observable the backpressure tests bound.
+  uint64_t max_queued_bytes = 0;
+};
+
+class Server {
+ public:
+  /// `service` must outlive the server. Call Start() to serve.
+  explicit Server(serve::QueryService* service, ServerOptions options = {});
+  ~Server();  // Shutdown() if still running
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens and spawns the event-loop thread. Non-OK when the
+  /// socket cannot be set up (address in use, bad bind address, ...).
+  api::Status Start();
+
+  /// The bound port (resolves option port 0 to the kernel's pick).
+  uint16_t port() const { return port_; }
+
+  /// Graceful drain then stop; idempotent. Returns true when every
+  /// in-flight request drained within drain_timeout_ms, false when
+  /// remaining connections were forcibly closed.
+  bool Shutdown();
+
+  ServerStats stats() const;
+
+ private:
+  /// One queued response slot, in request order; bytes arrive when the
+  /// service answers.
+  struct Slot {
+    bool ready = false;
+    std::string bytes;  // already framed
+  };
+
+  /// Per-connection state; loop thread only.
+  struct Connection {
+    uint64_t id = 0;
+    int fd = -1;
+    FrameReassembler frames;
+    /// Responses in request order; front is next on the wire.
+    std::deque<Slot> slots;
+    uint64_t first_slot_seq = 0;  // sequence number of slots.front()
+    uint64_t next_slot_seq = 0;
+    std::string outbound;  // framed bytes being written
+    size_t outbound_offset = 0;
+    /// Sum of undelivered response bytes (ready slots + outbound) — the
+    /// quantity backpressure bounds.
+    size_t queued_bytes = 0;
+    uint32_t armed_events = 0;
+    bool reads_paused = false;
+    bool peer_closed_read = false;
+
+    explicit Connection(size_t max_frame_bytes) : frames(max_frame_bytes) {}
+  };
+
+  /// The cross-thread hand-off point between pool workers and the loop.
+  /// Workers Post() through it under its mutex; Shutdown nulls `loop`
+  /// under the same mutex before stopping the loop, so a late completion
+  /// can never touch a dying loop (its response is simply abandoned — the
+  /// connection it was for is being force-closed anyway, which is where
+  /// the drop is counted).
+  struct Mailbox {
+    std::mutex mu;
+    EventLoop* loop = nullptr;
+  };
+
+  void OnAccept();
+  void OnConnectionEvent(uint64_t id, uint32_t events);
+  void OnReadable(Connection* conn);
+  void OnResponseReady(uint64_t id, uint64_t seq, std::string framed);
+  /// Fills the slot `seq` with its framed response bytes (idempotent;
+  /// ignores sequences already delivered or never parsed).
+  void DeliverResponse(Connection* conn, uint64_t seq, std::string framed);
+  /// Moves ready front slots into the write buffer, writes until EAGAIN,
+  /// arms/disarms EPOLLOUT, applies backpressure. May close `conn`;
+  /// returns false when it did.
+  bool FlushConnection(Connection* conn);
+  /// Recomputes and applies the connection's epoll interest set.
+  void UpdateInterest(Connection* conn);
+  void CloseConnection(uint64_t id);
+  void BeginDrain();
+  /// Signals Shutdown once draining and no connection holds undelivered
+  /// work. Loop thread only.
+  void MaybeFinishDrain();
+  bool HasPendingWork() const;
+
+  serve::QueryService* const service_;
+  const ServerOptions options_;
+
+  EventLoop loop_;
+  std::thread loop_thread_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  bool started_ = false;
+  bool stopped_ = false;
+  bool drain_ok_ = true;
+  std::mutex lifecycle_mu_;  // serializes Start/Shutdown/destructor
+
+  std::shared_ptr<Mailbox> mailbox_ = std::make_shared<Mailbox>();
+
+  // Loop-thread-only connection table.
+  std::unordered_map<uint64_t, std::unique_ptr<Connection>> connections_;
+  uint64_t next_connection_id_ = 1;
+
+  std::atomic<bool> draining_{false};
+  std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+  bool drain_idle_ = false;  // guarded by drain_mu_
+
+  // Counters live as atomics so stats() needs no lock against the loop.
+  struct {
+    std::atomic<uint64_t> connections_accepted{0};
+    std::atomic<uint64_t> connections_closed{0};
+    std::atomic<uint64_t> frames_in{0};
+    std::atomic<uint64_t> responses_out{0};
+    std::atomic<uint64_t> malformed_frames{0};
+    std::atomic<uint64_t> framing_violations{0};
+    std::atomic<uint64_t> backpressure_closes{0};
+    std::atomic<uint64_t> dropped_responses{0};
+    std::atomic<uint64_t> max_queued_bytes{0};
+  } stats_;
+};
+
+}  // namespace osum::net
+
+#endif  // OSUM_NET_SERVER_H_

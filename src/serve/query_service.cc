@@ -172,6 +172,48 @@ std::vector<std::future<api::QueryResponse>> QueryService::SubmitBatchAsync(
   return futures;
 }
 
+void QueryService::SubmitBatch(
+    std::vector<api::QueryRequest> requests,
+    std::function<void(size_t, api::QueryResponse)> on_done) {
+  for (size_t i = 0; i < requests.size(); ++i) {
+    api::QueryRequest& request = requests[i];
+    util::WallTimer timer;
+    api::StatusOr<std::string> key = request.ValidatedKey();
+    if (!key.ok()) {
+      api::QueryStats stats;
+      stats.epoch = cache_.epoch();
+      on_done(i, api::QueryResponse::Failure(key.status(), stats));
+      continue;
+    }
+    if (ResultPtr hit = cache_.Lookup(*key)) {
+      double micros = timer.ElapsedMicros();
+      RecordLatency(/*hit=*/true, /*negative=*/hit->negative(), micros);
+      api::QueryStats stats;
+      stats.cache_hit = true;
+      stats.negative = hit->negative();
+      stats.compute_micros = micros;
+      stats.epoch = cache_.epoch();
+      on_done(i, api::QueryResponse::Success(AliasResults(hit), stats));
+      continue;
+    }
+    // Miss: compute on the pool, same shape as SubmitBatchAsync.
+    // ExecuteWithKey never throws and on_done must not, so the task
+    // honors the pool's no-throw contract.
+    bool submitted = pool_.Submit(
+        [this, i, request = std::move(request), key = std::move(*key),
+         on_done] { on_done(i, ExecuteWithKey(request, key)); });
+    if (!submitted) {
+      // Pool already stopped (teardown): every request is still answered
+      // exactly once — a dropped callback would wedge the front end's
+      // drain accounting forever.
+      api::QueryStats stats;
+      stats.epoch = cache_.epoch();
+      on_done(i, api::QueryResponse::Failure(
+                     api::Status::Internal("service shutting down"), stats));
+    }
+  }
+}
+
 std::vector<api::QueryResponse> QueryService::ExecuteBatch(
     std::vector<api::QueryRequest> requests) {
   std::vector<std::future<api::QueryResponse>> futures =

@@ -104,6 +104,19 @@ class QueryService {
   std::vector<std::future<api::QueryResponse>> SubmitBatchAsync(
       std::vector<api::QueryRequest> requests);
 
+  /// Callback twin of SubmitBatchAsync, for event-loop front ends
+  /// (net::Server) that cannot block on futures: identical fan-out —
+  /// invalid requests and cache hits are answered inline on the
+  /// submitting thread, misses run on the pool with duplicates coalesced
+  /// — but each answer is delivered as on_done(index, response) instead
+  /// of a future. on_done may therefore run on the submitting thread or
+  /// on a worker; it must not throw and must not block on other batched
+  /// QueryService calls. Every request is answered exactly once: if the
+  /// pool has already stopped (service teardown), the miss is answered
+  /// inline with kInternal rather than dropped.
+  void SubmitBatch(std::vector<api::QueryRequest> requests,
+                   std::function<void(size_t, api::QueryResponse)> on_done);
+
   /// Blocking batch over SubmitBatchAsync: responses in input order.
   /// Per-request failures are per-response statuses. Must not be called
   /// from a worker callback (see header note).

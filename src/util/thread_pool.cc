@@ -14,21 +14,30 @@ ThreadPool::ThreadPool(size_t num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Stop(); }
+
+void ThreadPool::Stop() {
+  std::lock_guard<std::mutex> stop_lock(stop_mu_);
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return;  // already stopped; stop_mu_ ordered us after the join
     stop_ = true;
   }
   cv_.notify_all();
   for (std::thread& w : workers_) w.join();
 }
 
-void ThreadPool::Submit(std::function<void()> task) {
+bool ThreadPool::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
+    // Post-stop the workers may already have drained and exited; enqueueing
+    // would drop the task on the floor without anyone noticing. Refuse
+    // instead, and let the caller deliver its completion another way.
+    if (stop_) return false;
     queue_.push_back(std::move(task));
   }
   cv_.notify_one();
+  return true;
 }
 
 size_t ThreadPool::HardwareThreads() {
@@ -61,14 +70,17 @@ void ParallelFor(ThreadPool* pool, size_t n,
   // until the last count_down.
   std::atomic<size_t> cursor{0};
   std::latch done(static_cast<ptrdiff_t>(workers));
+  auto drain = [&cursor, &done, &fn, n] {
+    for (size_t i = cursor.fetch_add(1, std::memory_order_relaxed); i < n;
+         i = cursor.fetch_add(1, std::memory_order_relaxed)) {
+      fn(i);
+    }
+    done.count_down();
+  };
   for (size_t w = 0; w < workers; ++w) {
-    pool->Submit([&cursor, &done, &fn, n] {
-      for (size_t i = cursor.fetch_add(1, std::memory_order_relaxed); i < n;
-           i = cursor.fetch_add(1, std::memory_order_relaxed)) {
-        fn(i);
-      }
-      done.count_down();
-    });
+    // A stopped pool rejects the submission; run the share inline so the
+    // latch still reaches zero (ParallelFor degrades to a serial loop).
+    if (!pool->Submit(drain)) drain();
   }
   done.wait();
 }

@@ -22,8 +22,10 @@
 
 namespace osum::util {
 
-/// Fixed-size FIFO thread pool. Destruction drains already-submitted tasks,
-/// then joins the workers.
+/// Fixed-size FIFO thread pool. Stop() (or destruction) drains
+/// already-submitted tasks, then joins the workers; submission after the
+/// pool stopped has defined, non-silent behavior (see Submit /
+/// SubmitWithFuture).
 class ThreadPool {
  public:
   explicit ThreadPool(size_t num_threads);
@@ -35,7 +37,11 @@ class ThreadPool {
   size_t size() const { return workers_.size(); }
 
   /// Enqueues `task` for execution on some worker. `task` must not throw.
-  void Submit(std::function<void()> task);
+  /// Returns true when enqueued. After Stop() has begun the task is NOT
+  /// enqueued (the workers may already be gone, so a late push would be
+  /// silently dropped) — it is destroyed unrun and Submit returns false,
+  /// so callers that must deliver a completion can do so themselves.
+  bool Submit(std::function<void()> task);
 
   /// Enqueues `fn` and returns a future for its result (the asynchronous
   /// submission path of serve::QueryService). Unlike Submit, `fn` may
@@ -43,15 +49,27 @@ class ThreadPool {
   /// get(). Blocking on the future from a task running on this same pool
   /// is subject to the ParallelFor deadlock caveat below — the producer
   /// task must already be running, not queued behind the waiter.
+  /// After Stop() the task runs INLINE on the calling thread instead: the
+  /// returned future always resolves (a future that silently never
+  /// becomes ready would deadlock its consumer).
   template <typename Fn>
   auto SubmitWithFuture(Fn fn) -> std::future<std::invoke_result_t<Fn>> {
     using Result = std::invoke_result_t<Fn>;
     auto task =
         std::make_shared<std::packaged_task<Result()>>(std::move(fn));
     std::future<Result> future = task->get_future();
-    Submit([task] { (*task)(); });
+    if (!Submit([task] { (*task)(); })) {
+      (*task)();  // pool stopped: the packaged_task still captures throws
+    }
     return future;
   }
+
+  /// Stops accepting new work, drains every already-enqueued task, then
+  /// joins the workers. Idempotent and safe to call concurrently (late
+  /// callers block until the first call finishes joining). Must not be
+  /// called from a task running on this pool (self-join). The destructor
+  /// calls it.
+  void Stop();
 
   /// std::thread::hardware_concurrency with a floor of 1 (the standard
   /// allows it to report 0).
@@ -60,6 +78,9 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
+  /// Serializes Stop() callers through the join phase, so "Stop returned"
+  /// always means "workers joined" — even for the loser of a Stop race.
+  std::mutex stop_mu_;
   std::mutex mu_;
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;

@@ -404,6 +404,57 @@ TEST(RequestCodec, HostileMutationSweepOverRequests) {
       /*seed=*/0x5EED, /*iterations=*/1500);
 }
 
+/// Trailing bytes after a complete document are ALWAYS fatal — no
+/// flip-dependent escape hatch like the sweep's flip+extend case. This is
+/// the property the TCP front end leans on: framing delivers exact payload
+/// boundaries, so any decoder that silently ignored a tail would mask
+/// framing bugs (concatenated or mis-split documents) as valid traffic.
+template <typename DecodeFn>
+void SweepAppendedBytes(const std::string& bytes, DecodeFn decode,
+                        uint64_t seed) {
+  util::Rng rng(seed);
+  for (int k = 1; k <= 64; ++k) {
+    std::string extended = bytes;
+    for (int j = 0; j < k; ++j) {
+      extended.push_back(static_cast<char>(rng.NextU64(256)));
+    }
+    auto decoded = decode(extended);
+    ASSERT_FALSE(decoded.ok()) << k << " appended bytes decoded";
+    ASSERT_EQ(decoded.status().code(), StatusCode::kCodecError) << k;
+  }
+  // Two complete documents back to back — the classic deframing bug —
+  // must not decode as the first document.
+  auto doubled = decode(bytes + bytes);
+  ASSERT_FALSE(doubled.ok());
+  EXPECT_EQ(doubled.status().code(), StatusCode::kCodecError);
+  // A single appended NUL (easy to produce with a sloppy buffer resize).
+  EXPECT_EQ(decode(bytes + std::string(1, '\0')).status().code(),
+            StatusCode::kCodecError);
+}
+
+TEST(ResponseCodec, AppendedBytesAreAlwaysFatal) {
+  auto decode = [](const std::string& b) { return DecodeResponse(b); };
+  SweepAppendedBytes(EncodeResponse(GoldenResponse()), decode,
+                     /*seed=*/0x7A11);
+  SweepAppendedBytes(
+      EncodeResponse(QueryResponse::Success(std::make_shared<ResultList>(),
+                                            QueryStats{})),
+      decode, /*seed=*/0x7A12);
+  SweepAppendedBytes(
+      EncodeResponse(QueryResponse::Failure(
+          Status::BackendError("simulated outage"), QueryStats{})),
+      decode, /*seed=*/0x7A13);
+}
+
+TEST(RequestCodec, AppendedBytesAreAlwaysFatal) {
+  auto decode = [](const std::string& b) { return DecodeRequest(b); };
+  SweepAppendedBytes(EncodeRequest(QueryRequest("christos faloutsos")),
+                     decode, /*seed=*/0x7A14);
+  SweepAppendedBytes(
+      EncodeRequest(QueryRequest("databases").WithL(40).WithMaxResults(8)),
+      decode, /*seed=*/0x7A15);
+}
+
 TEST(ResponseCodec, RejectsMalformedJson) {
   EXPECT_EQ(ResponseFromJson("").status().code(), StatusCode::kCodecError);
   EXPECT_FALSE(ResponseFromJson("{").ok());

@@ -1,0 +1,444 @@
+// The TCP front end, end to end over real sockets: frame reassembly across
+// pathological read boundaries, in-band rejection of well-framed garbage,
+// connection drop on framing violations, response ordering under
+// pipelining, backpressure against a slow reader (the outbound queue must
+// stay bounded), and graceful drain — Shutdown must answer and flush every
+// request it already accepted before the loop stops.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/codec.h"
+#include "api/query.h"
+#include "api/status.h"
+#include "core/os_backend.h"
+#include "db_fixtures.h"
+#include "net/client.h"
+#include "net/frame.h"
+#include "net/server.h"
+#include "search/engine.h"
+#include "serve/query_service.h"
+
+namespace osum::net {
+namespace {
+
+using osum::api::DeterministicResponseText;
+using osum::testing::ScoredDblp;
+using osum::testing::SmallDblpConfig;
+
+// ---- framing unit tests --------------------------------------------------
+
+TEST(FrameReassembler, ReassemblesAcrossOneByteFeeds) {
+  std::vector<std::string> payloads = {"alpha", "", "a longer third payload"};
+  std::string stream;
+  for (const std::string& p : payloads) stream += EncodeFrame(p);
+
+  FrameReassembler frames;
+  std::vector<std::string> got;
+  for (char c : stream) {
+    ASSERT_TRUE(frames.Feed(std::string_view(&c, 1)));
+    while (std::optional<std::string> payload = frames.Next()) {
+      got.push_back(*payload);
+    }
+  }
+  EXPECT_EQ(got, payloads);
+  EXPECT_EQ(frames.buffered_bytes(), 0u);
+  EXPECT_FALSE(frames.poisoned());
+}
+
+TEST(FrameReassembler, SplitInsideTheLengthPrefix) {
+  std::string frame = EncodeFrame("payload");
+  FrameReassembler frames;
+  // Two bytes of the u32 prefix only: no frame, no poisoning.
+  ASSERT_TRUE(frames.Feed(std::string_view(frame.data(), 2)));
+  EXPECT_FALSE(frames.Next().has_value());
+  ASSERT_TRUE(frames.Feed(std::string_view(frame.data() + 2,
+                                           frame.size() - 2)));
+  std::optional<std::string> payload = frames.Next();
+  ASSERT_TRUE(payload.has_value());
+  EXPECT_EQ(*payload, "payload");
+}
+
+TEST(FrameReassembler, ManyFramesInOneFeed) {
+  std::string stream = EncodeFrame("a") + EncodeFrame("bb") + EncodeFrame("c");
+  FrameReassembler frames;
+  ASSERT_TRUE(frames.Feed(stream));
+  EXPECT_EQ(frames.Next().value_or("?"), "a");
+  EXPECT_EQ(frames.Next().value_or("?"), "bb");
+  EXPECT_EQ(frames.Next().value_or("?"), "c");
+  EXPECT_FALSE(frames.Next().has_value());
+}
+
+TEST(FrameReassembler, OversizedPrefixPoisonsImmediately) {
+  FrameReassembler frames(/*max_frame_bytes=*/1024);
+  std::string huge = EncodeFrame(std::string(2048, 'x'));
+  // The poisonous prefix is rejected as soon as it is complete — the
+  // reassembler never buffers toward an impossible frame.
+  EXPECT_FALSE(frames.Feed(std::string_view(huge.data(), 8)));
+  EXPECT_TRUE(frames.poisoned());
+  EXPECT_FALSE(frames.Next().has_value());
+  EXPECT_FALSE(frames.Feed("more"));  // poisoned is permanent
+  EXPECT_EQ(frames.buffered_bytes(), 0u);
+}
+
+TEST(FrameReassembler, OversizedPrefixBehindValidFrameStillPoisons) {
+  FrameReassembler frames(/*max_frame_bytes=*/1024);
+  std::string stream = EncodeFrame("ok") + EncodeFrame(std::string(4096, 'y'));
+  frames.Feed(stream);  // returns false once the bad prefix is seen
+  // The valid frame parsed before the violation is still delivered...
+  std::optional<std::string> first = frames.Next();
+  if (first.has_value()) {
+    EXPECT_EQ(*first, "ok");
+  }
+  // ...but the stream is dead afterwards.
+  EXPECT_TRUE(frames.poisoned());
+  EXPECT_FALSE(frames.Next().has_value());
+}
+
+// ---- server fixtures -----------------------------------------------------
+
+search::SearchContext BuildDblpContext(const datasets::Dblp& d,
+                                       core::OsBackend* backend) {
+  std::vector<search::SearchContext::Subject> subjects;
+  subjects.push_back({d.author, datasets::DblpAuthorGds(d)});
+  subjects.push_back({d.paper, datasets::DblpPaperGds(d)});
+  return search::SearchContext::Build(d.db, backend, std::move(subjects));
+}
+
+serve::ServiceOptions SmallService() {
+  serve::ServiceOptions o;
+  o.num_threads = 3;
+  o.cache.num_shards = 2;
+  return o;
+}
+
+/// Delegating back end whose join calls can be parked on a gate — the
+/// lever that keeps a request deterministically in flight while Shutdown
+/// runs (same idiom as serve_service_test).
+class GatedBackend : public core::OsBackend {
+ public:
+  explicit GatedBackend(core::OsBackend* inner) : inner_(inner) {}
+
+  const char* name() const override { return "gated"; }
+
+  void Fetch(graph::LinkTypeId link, rel::FkDirection dir,
+             rel::TupleId parent_tuple,
+             std::vector<rel::TupleId>* out) override {
+    Enter();
+    inner_->Fetch(link, dir, parent_tuple, out);
+  }
+  void FetchTop(graph::LinkTypeId link, rel::FkDirection dir,
+                rel::TupleId parent_tuple, size_t limit,
+                double min_importance,
+                std::vector<rel::TupleId>* out) override {
+    Enter();
+    inner_->FetchTop(link, dir, parent_tuple, limit, min_importance, out);
+  }
+
+  void CloseGate() {
+    std::lock_guard<std::mutex> lock(mu_);
+    gate_closed_ = true;
+  }
+  void OpenGate() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      gate_closed_ = false;
+    }
+    cv_.notify_all();
+  }
+  void WaitUntilBlocked() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return waiting_ > 0; });
+  }
+
+ private:
+  void Enter() {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!gate_closed_) return;
+    ++waiting_;
+    cv_.notify_all();
+    cv_.wait(lock, [&] { return !gate_closed_; });
+    --waiting_;
+  }
+
+  core::OsBackend* inner_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool gate_closed_ = false;
+  int waiting_ = 0;
+};
+
+/// One small DBLP database + engine context + service + running server.
+struct ServerFixture {
+  explicit ServerFixture(ServerOptions options = {},
+                         core::OsBackend* backend_override = nullptr)
+      : dblp(SmallDblpConfig()),
+        context(BuildDblpContext(
+            dblp.d, backend_override != nullptr ? backend_override
+                                                : &dblp.backend)),
+        service(context, SmallService()),
+        server(&service, options) {
+    api::Status status = server.Start();
+    EXPECT_TRUE(status.ok()) << status.ToString();
+  }
+
+  Client Connect() {
+    api::StatusOr<Client> client =
+        Client::Connect("127.0.0.1", server.port(), /*timeout_ms=*/30'000);
+    EXPECT_TRUE(client.ok()) << client.status().ToString();
+    return std::move(client).value();
+  }
+
+  ScoredDblp dblp;
+  search::SearchContext context;
+  serve::QueryService service;
+  Server server;
+};
+
+api::QueryRequest SmallRequest(const std::string& keywords) {
+  return api::QueryRequest(keywords).WithL(8).WithMaxResults(2);
+}
+
+// ---- server end-to-end ---------------------------------------------------
+
+TEST(NetServer, RoundTripMatchesInProcessExecute) {
+  ServerFixture fx;
+  Client client = fx.Connect();
+
+  api::QueryRequest request = SmallRequest("faloutsos");
+  ASSERT_TRUE(client.Send(request).ok());
+  api::StatusOr<api::QueryResponse> response = client.Receive();
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_TRUE(response->ok()) << response->status.ToString();
+  // The socket adds transport, not semantics: byte-identical to the
+  // in-process answer (stats excluded — DeterministicResponseText ignores
+  // them by design).
+  EXPECT_EQ(DeterministicResponseText(*response),
+            DeterministicResponseText(fx.service.Execute(request)));
+
+  ServerStats stats = fx.server.stats();
+  EXPECT_EQ(stats.frames_in, 1u);
+  EXPECT_EQ(stats.responses_out, 1u);
+  EXPECT_EQ(stats.connections_accepted, 1u);
+}
+
+TEST(NetServer, PipelinedResponsesArriveInRequestOrder) {
+  ServerFixture fx;
+  Client client = fx.Connect();
+
+  // A pipelined burst: two distinct queries, one invalid request (empty
+  // keyword set) wedged between them, then a repeat of the first (a cache
+  // hit answered inline while the misses may still be computing).
+  std::vector<api::QueryRequest> requests = {
+      SmallRequest("faloutsos"), api::QueryRequest(""),
+      SmallRequest("databases"), SmallRequest("faloutsos")};
+  for (const api::QueryRequest& r : requests) {
+    ASSERT_TRUE(client.Send(r).ok());
+  }
+
+  std::vector<api::QueryResponse> responses;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    api::StatusOr<api::QueryResponse> r = client.Receive();
+    ASSERT_TRUE(r.ok()) << i << ": " << r.status().ToString();
+    responses.push_back(*std::move(r));
+  }
+  // Order is the request order, whatever order the pool finished in.
+  EXPECT_TRUE(responses[0].ok());
+  EXPECT_EQ(responses[1].status.code(), api::StatusCode::kInvalidArgument);
+  EXPECT_TRUE(responses[2].ok());
+  EXPECT_TRUE(responses[3].ok());
+  EXPECT_EQ(DeterministicResponseText(responses[0]),
+            DeterministicResponseText(responses[3]));
+  EXPECT_NE(DeterministicResponseText(responses[0]),
+            DeterministicResponseText(responses[2]));
+  EXPECT_EQ(fx.server.stats().frames_in, 4u);
+  EXPECT_EQ(fx.server.stats().responses_out, 4u);
+}
+
+TEST(NetServer, MalformedPayloadIsAnsweredInBandAndStreamSurvives) {
+  ServerFixture fx;
+  Client client = fx.Connect();
+
+  // Well-framed garbage: framing stays in sync, so the server answers
+  // kCodecError in-band instead of dropping the connection.
+  ASSERT_TRUE(client.SendPayload("this is not a codec document").ok());
+  api::StatusOr<api::QueryResponse> rejected = client.Receive();
+  ASSERT_TRUE(rejected.ok()) << rejected.status().ToString();
+  EXPECT_EQ(rejected->status.code(), api::StatusCode::kCodecError);
+  EXPECT_TRUE(rejected->result_list().empty());
+
+  // The same connection still serves real queries afterwards.
+  ASSERT_TRUE(client.Send(SmallRequest("faloutsos")).ok());
+  api::StatusOr<api::QueryResponse> served = client.Receive();
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+  EXPECT_TRUE(served->ok());
+
+  ServerStats stats = fx.server.stats();
+  EXPECT_EQ(stats.malformed_frames, 1u);
+  EXPECT_EQ(stats.framing_violations, 0u);
+  EXPECT_EQ(stats.frames_in, 2u);
+}
+
+TEST(NetServer, OversizedFramePrefixDropsTheConnection) {
+  ServerOptions options;
+  options.max_frame_bytes = 1024;
+  ServerFixture fx(options);
+  Client client = fx.Connect();
+
+  // A prefix announcing 2 MiB on a 1 KiB server: resynchronization is
+  // impossible, the only safe move is dropping the connection.
+  ASSERT_TRUE(client.SendBytes(
+      EncodeFrame(std::string(2 * 1024 * 1024, 'x'))).ok());
+  api::StatusOr<api::QueryResponse> response = client.Receive();
+  EXPECT_FALSE(response.ok());
+
+  for (int i = 0; i < 200 && fx.server.stats().framing_violations == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ServerStats stats = fx.server.stats();
+  EXPECT_EQ(stats.framing_violations, 1u);
+  EXPECT_EQ(stats.connections_closed, 1u);
+  EXPECT_EQ(stats.responses_out, 0u);
+}
+
+TEST(NetServer, SlowReaderIsBackpressuredNotBufferedWithoutBound) {
+  ServerOptions options;
+  options.outbound_high_watermark = 2 * 1024;  // pause reads almost at once
+  options.outbound_hard_cap = 256u << 20;      // but never disconnect
+  ServerFixture fx(options);
+  Client client = fx.Connect();
+
+  // Responses must dwarf what the kernel socket buffers can absorb or the
+  // server never sees EAGAIN and never needs to pause reads. A duplicated
+  // keyword canonicalizes to the same cache key as the single keyword —
+  // fat ~2 KiB request frames, one computed response served from cache —
+  // and l=40 with several results makes that one response heavyweight.
+  api::QueryRequest request("faloutsos");
+  request.WithL(40).WithMaxResults(8);
+  std::string fat_keywords;
+  for (int i = 0; i < 200; ++i) fat_keywords += "faloutsos ";
+  api::QueryRequest fat_request = request;
+  fat_request.WithKeywords(fat_keywords);
+  ASSERT_EQ(fat_request.CacheKey(), request.CacheKey());
+
+  const size_t response_bytes =
+      api::EncodeResponse(fx.service.Execute(request)).size();
+  ASSERT_GE(response_bytes, 256u) << "fixture response too small to "
+                                     "overwhelm kernel buffering";
+  // Enough pipelined copies that the response stream is ~32 MiB.
+  const uint64_t kRequests =
+      std::max<uint64_t>(2000, (32u << 20) / response_bytes);
+
+  // Sent by a thread that never reads: once the server pauses reads, TCP
+  // flow control backs the sender up and Send() itself blocks.
+  std::thread sender([&client, &fat_request, kRequests] {
+    for (uint64_t i = 0; i < kRequests; ++i) {
+      if (!client.Send(fat_request).ok()) return;
+    }
+  });
+
+  // Wait until the server's intake stalls: reads paused, queue bounded.
+  uint64_t last = 0;
+  int stable = 0;
+  for (int i = 0; i < 600 && stable < 3; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    uint64_t now = fx.server.stats().frames_in;
+    stable = (now > 0 && now == last) ? stable + 1 : 0;
+    last = now;
+  }
+  ServerStats stalled = fx.server.stats();
+  EXPECT_GT(stalled.frames_in, 0u);
+  EXPECT_LT(stalled.frames_in, kRequests)
+      << "backpressure never paused reads";
+  EXPECT_EQ(stalled.backpressure_closes, 0u);
+  EXPECT_LE(stalled.max_queued_bytes, options.outbound_hard_cap);
+
+  // Start draining: every request is eventually answered, none dropped.
+  for (uint64_t i = 0; i < kRequests; ++i) {
+    api::StatusOr<api::QueryResponse> response = client.Receive();
+    ASSERT_TRUE(response.ok()) << i << ": " << response.status().ToString();
+    EXPECT_TRUE(response->ok());
+  }
+  sender.join();
+  ServerStats final_stats = fx.server.stats();
+  EXPECT_EQ(final_stats.frames_in, kRequests);
+  EXPECT_EQ(final_stats.responses_out, kRequests);
+  EXPECT_EQ(final_stats.dropped_responses, 0u);
+  EXPECT_EQ(final_stats.backpressure_closes, 0u);
+  EXPECT_LE(final_stats.max_queued_bytes, options.outbound_hard_cap);
+}
+
+TEST(NetServer, GracefulShutdownDrainsInFlightRequests) {
+  ScoredDblp dblp(SmallDblpConfig());
+  GatedBackend gated(&dblp.backend);
+  search::SearchContext context = BuildDblpContext(dblp.d, &gated);
+  serve::QueryService service(context, SmallService());
+  Server server(&service);
+  ASSERT_TRUE(server.Start().ok());
+  api::StatusOr<Client> client =
+      Client::Connect("127.0.0.1", server.port(), /*timeout_ms=*/60'000);
+  ASSERT_TRUE(client.ok());
+
+  // Park a miss on the gate, then shut down while it is in flight.
+  gated.CloseGate();
+  api::QueryRequest request = SmallRequest("faloutsos");
+  ASSERT_TRUE(client->Send(request).ok());
+  gated.WaitUntilBlocked();
+
+  std::atomic<bool> shutdown_done{false};
+  bool drained = false;
+  std::thread shutter([&] {
+    drained = server.Shutdown();
+    shutdown_done.store(true);
+  });
+  // Drain must wait for the in-flight answer, not abandon it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_FALSE(shutdown_done.load());
+
+  gated.OpenGate();
+  // The response was computed, flushed and delivered before the close.
+  api::StatusOr<api::QueryResponse> response = client->Receive();
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_TRUE(response->ok());
+  shutter.join();
+  EXPECT_TRUE(drained);
+
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.responses_out, 1u);
+  EXPECT_EQ(stats.dropped_responses, 0u);
+
+  // The listener is gone: new connections are refused.
+  EXPECT_FALSE(Client::Connect("127.0.0.1", server.port(),
+                               /*timeout_ms=*/1000).ok());
+}
+
+TEST(NetServer, ShutdownIsIdempotentAndIdleShutdownIsFast) {
+  ServerFixture fx;
+  Client client = fx.Connect();  // an idle connection must not stall drain
+  EXPECT_TRUE(fx.server.Shutdown());
+  EXPECT_TRUE(fx.server.Shutdown());  // second call: remembered verdict
+}
+
+TEST(NetServer, StartupErrorsAreReportedNotFatal) {
+  ScoredDblp dblp(SmallDblpConfig());
+  search::SearchContext context = BuildDblpContext(dblp.d, &dblp.backend);
+  serve::QueryService service(context, SmallService());
+  ServerOptions options;
+  options.bind_address = "not an address";
+  Server server(&service, options);
+  EXPECT_FALSE(server.Start().ok());
+  // Destroying a never-started server is a no-op, not a hang.
+}
+
+}  // namespace
+}  // namespace osum::net

@@ -471,6 +471,103 @@ TEST(QueryServiceApi, SubmitBatchAsyncNeverBlocksTheSubmitter) {
   ASSERT_TRUE(futures[3].get().ok());
 }
 
+// Destruction-order regression: futures from SubmitBatchAsync may outlive
+// the QueryService. The destructor must block until in-flight misses
+// finish (pool_ is the last member, so it drains while cache/context are
+// still alive), and the futures stay valid afterwards — their shared state
+// is heap-owned, not service-owned. ASan/TSan turn any violation into a
+// hard failure here.
+TEST(QueryServiceApi, FuturesOutliveTheServiceWithoutUseAfterFree) {
+  ScoredDblp f(SmallDblpConfig());
+  GatedBackend gated(&f.backend);
+  search::SearchContext ctx = BuildDblpContext(f.d, &gated);
+  auto service = std::make_unique<QueryService>(ctx, SmallService());
+  search::QueryOptions options;
+  options.l = 8;
+
+  gated.CloseGate();
+  std::vector<api::QueryRequest> requests;
+  for (const char* q : {"databases", "mining"}) {
+    requests.push_back(api::QueryRequest(q).WithOptions(options));
+  }
+  std::vector<std::future<api::QueryResponse>> futures =
+      service->SubmitBatchAsync(std::move(requests));
+  gated.WaitUntilBlocked();
+
+  // Tear the service down while both misses are parked on the gate.
+  std::atomic<bool> destroyed{false};
+  std::thread destroyer([&] {
+    service.reset();
+    destroyed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  // The destructor is draining, not abandoning: it cannot finish while a
+  // miss is still executing.
+  EXPECT_FALSE(destroyed.load());
+
+  gated.OpenGate();
+  destroyer.join();
+  EXPECT_TRUE(destroyed.load());
+
+  // The service is gone; the futures still deliver real answers.
+  for (std::future<api::QueryResponse>& future : futures) {
+    api::QueryResponse response = future.get();
+    ASSERT_TRUE(response.ok()) << response.status.ToString();
+    EXPECT_FALSE(response.result_list().empty());
+  }
+}
+
+// The callback twin of SubmitBatchAsync (the TCP front end's entry point):
+// every request is answered exactly once, hits and invalids inline,
+// misses on the pool.
+TEST(QueryServiceApi, SubmitBatchAnswersEveryRequestExactlyOnce) {
+  ScoredDblp f(SmallDblpConfig());
+  search::SearchContext ctx = BuildDblpContext(f.d, &f.backend);
+  QueryService service(ctx, SmallService());
+  search::QueryOptions options;
+  options.l = 8;
+
+  ResultPtr warm = service.Query("faloutsos", options);
+  ASSERT_NE(warm, nullptr);
+
+  std::vector<api::QueryRequest> requests;
+  for (const char* q : {"faloutsos", "databases", "", "databases"}) {
+    requests.push_back(api::QueryRequest(q).WithOptions(options));
+  }
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<int> answered(requests.size(), 0);
+  std::vector<api::QueryResponse> responses(requests.size());
+  service.SubmitBatch(std::move(requests),
+                      [&](size_t i, api::QueryResponse response) {
+                        std::lock_guard<std::mutex> lock(mu);
+                        ++answered[i];
+                        responses[i] = std::move(response);
+                        cv.notify_all();
+                      });
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(30), [&] {
+      for (int count : answered) {
+        if (count == 0) return false;
+      }
+      return true;
+    }));
+  }
+  for (int count : answered) {
+    EXPECT_EQ(count, 1);
+  }
+  EXPECT_TRUE(responses[0].ok());
+  EXPECT_TRUE(responses[0].stats.cache_hit);
+  EXPECT_EQ(responses[0].results.get(), &warm->results);
+  EXPECT_TRUE(responses[1].ok());
+  EXPECT_EQ(responses[2].status.code(), api::StatusCode::kInvalidArgument);
+  EXPECT_TRUE(responses[3].ok());
+  // The duplicate coalesced onto one computation: shared immutable list.
+  EXPECT_EQ(responses[3].results.get(), responses[1].results.get());
+  EXPECT_EQ(service.metrics().cache.misses, 2u);  // warm + "databases"
+}
+
 // ExecuteBatch (the blocking layer over SubmitBatchAsync) must stay
 // byte-identical to serial execution and cache-aware across runs.
 TEST(QueryServiceApi, ExecuteBatchMatchesSerialAndStaysCacheAware) {

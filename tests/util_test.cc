@@ -1,6 +1,7 @@
 // Unit tests for osum::util — RNG determinism, distributions, summaries,
 // string helpers, the table printer and the thread-pool primitives.
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <future>
 #include <set>
@@ -220,6 +221,51 @@ TEST(ThreadPool, SubmitWithFutureReturnsValuesAndExceptions) {
   std::future<int> boom = pool.SubmitWithFuture(
       []() -> int { throw std::runtime_error("task failed"); });
   EXPECT_THROW(boom.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, StopDrainsQueuedTasksAndIsIdempotent) {
+  std::atomic<int> ran{0};
+  ThreadPool pool(2);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(pool.Submit([&ran] { ran.fetch_add(1); }));
+  }
+  pool.Stop();  // blocks until the queue drained and the workers joined
+  EXPECT_EQ(ran.load(), 20);
+  pool.Stop();  // second call is a no-op
+  EXPECT_EQ(ran.load(), 20);
+}  // destructor after Stop is also a no-op
+
+TEST(ThreadPool, SubmitAfterStopIsRejectedNotDropped) {
+  ThreadPool pool(2);
+  pool.Stop();
+  std::atomic<bool> ran{false};
+  // The defined post-stop contract: the task is refused (and destroyed
+  // unrun), never silently enqueued behind workers that already exited.
+  EXPECT_FALSE(pool.Submit([&ran] { ran.store(true); }));
+  EXPECT_FALSE(ran.load());
+}
+
+TEST(ThreadPool, SubmitWithFutureAfterStopRunsInline) {
+  ThreadPool pool(2);
+  pool.Stop();
+  // Futures must always resolve — post-stop the task runs on the calling
+  // thread, values and exceptions included.
+  std::future<int> value = pool.SubmitWithFuture([] { return 7; });
+  EXPECT_EQ(value.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_EQ(value.get(), 7);
+  std::future<int> boom = pool.SubmitWithFuture(
+      []() -> int { throw std::runtime_error("inline failure"); });
+  EXPECT_THROW(boom.get(), std::runtime_error);
+}
+
+TEST(ParallelFor, RunsSeriallyOnStoppedPool) {
+  ThreadPool pool(3);
+  pool.Stop();
+  std::vector<std::atomic<int>> hits(64);
+  ParallelFor(&pool, hits.size(),
+              [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1);
 }
 
 TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
