@@ -13,9 +13,19 @@
 //      interleaved with valid requests on one connection; every garbage
 //      frame must come back as an in-band kCodecError and every valid
 //      request must still succeed, all counted.
+//   4. overload: a dedicated server with a FakeClock and a gated backend —
+//      the single worker parks on a deadline-less blocker while
+//      tight-deadline misses pile into the pending queue past the
+//      watermark (lowest-budget-first admission sheds), the clock jumps
+//      past the tight budgets (dequeue sheds), and a generous-deadline
+//      request rides it all out and completes. Every shed count is decided
+//      by the deterministic shedding logic against a frozen clock, not by
+//      machine timing.
 //
 // The request/response counts (requests_sent, responses_ok,
-// malformed_rejects, and the server's own frames_in/responses_out) are
+// malformed_rejects, the overload section's sheds_at_admission /
+// sheds_at_dequeue / responses_deadline_exceeded, and the server's own
+// frames_in/responses_out) are
 // machine-independent: the same on every box, so bench/baselines/
 // bench_net.json gates them strictly under OSUM_PERF_LANE while the
 // timing rows stay report-only. The bench FAILS (exit 1) if any response
@@ -26,9 +36,11 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -41,6 +53,7 @@
 #include "net/client.h"
 #include "net/server.h"
 #include "search/engine.h"
+#include "serve/clock.h"
 #include "serve/query_service.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -238,6 +251,167 @@ WireResult RunWireSweep(uint16_t port,
   return result;
 }
 
+/// Delegating back end whose join calls park on a gate — the lever that
+/// keeps the overload section's single worker deterministically busy while
+/// tight-deadline requests queue up behind it (same idiom as the net and
+/// serve test suites).
+class GatedBackend : public core::OsBackend {
+ public:
+  explicit GatedBackend(core::OsBackend* inner) : inner_(inner) {}
+
+  const char* name() const override { return "gated"; }
+
+  void Fetch(graph::LinkTypeId link, rel::FkDirection dir,
+             rel::TupleId parent_tuple,
+             std::vector<rel::TupleId>* out) override {
+    Enter();
+    inner_->Fetch(link, dir, parent_tuple, out);
+  }
+  void FetchTop(graph::LinkTypeId link, rel::FkDirection dir,
+                rel::TupleId parent_tuple, size_t limit,
+                double min_importance,
+                std::vector<rel::TupleId>* out) override {
+    Enter();
+    inner_->FetchTop(link, dir, parent_tuple, limit, min_importance, out);
+  }
+
+  void CloseGate() {
+    std::lock_guard<std::mutex> lock(mu_);
+    gate_closed_ = true;
+  }
+  void OpenGate() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      gate_closed_ = false;
+    }
+    cv_.notify_all();
+  }
+  void WaitUntilBlocked() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return waiting_ > 0; });
+  }
+
+ private:
+  void Enter() {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!gate_closed_) return;
+    ++waiting_;
+    cv_.notify_all();
+    cv_.wait(lock, [&] { return !gate_closed_; });
+    --waiting_;
+  }
+
+  core::OsBackend* inner_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool gate_closed_ = false;
+  int waiting_ = 0;
+};
+
+struct OverloadResult {
+  uint64_t sheds_at_admission = 0;
+  uint64_t sheds_at_dequeue = 0;
+  uint64_t responses_deadline_exceeded = 0;
+  uint64_t responses_ok = 0;
+  bool drained = false;
+  uint64_t dropped = 0;
+  bool infra_ok = false;  // sends/receives all succeeded at the wire level
+};
+
+/// The overload section. Every count below is decided by the service's
+/// deterministic shedding logic against a frozen FakeClock, so the rows
+/// gate strictly across machines:
+///   - `watermark` tights with strictly increasing (still-tight) budgets
+///     fill the pending queue; each later arrival displaces the
+///     earliest-deadline victim, and the generous request displaces one
+///     more -> sheds_at_admission = tights - watermark + 1.
+///   - the clock jumps past every tight budget; the queued survivors are
+///     shed when the worker dequeues them -> sheds_at_dequeue =
+///     watermark - 1.
+///   - the deadline-less blocker and the generous request both complete.
+OverloadResult RunOverload(search::SearchContext& context, GatedBackend* gate,
+                           size_t watermark, size_t tights) {
+  OverloadResult result;
+  auto clock = std::make_shared<serve::FakeClock>();
+  serve::ServiceOptions service_options;
+  service_options.num_threads = 1;  // one worker: the pool the blocker parks
+  service_options.cache.num_shards = 2;
+  service_options.cache.clock = clock;
+  service_options.overload.max_pending_misses = watermark;
+  serve::QueryService service(context, service_options);
+  net::Server server(&service);
+  if (!server.Start().ok()) return result;
+  api::StatusOr<net::Client> client =
+      net::Client::Connect("127.0.0.1", server.port(), /*timeout_ms=*/60'000);
+  if (!client.ok()) {
+    std::fprintf(stderr, "overload connect: %s\n",
+                 client.status().ToString().c_str());
+    return result;
+  }
+
+  // Park the worker on a deadline-less miss, then pipeline the tights
+  // (distinct cache keys, deadlines strictly increasing so the watermark
+  // victim is always the earliest arrival — no tie-breaks) and one
+  // generous request that must survive the clock jump.
+  gate->CloseGate();
+  if (!client->Send(api::QueryRequest("faloutsos").WithL(10)).ok()) {
+    return result;
+  }
+  gate->WaitUntilBlocked();
+  for (size_t i = 0; i < tights; ++i) {
+    if (!client
+             ->Send(api::QueryRequest("databases")
+                        .WithL(8)
+                        .WithMaxResults(1 + i)
+                        .WithDeadlineMicros(1'000 + 10 * i))
+             .ok()) {
+      return result;
+    }
+  }
+  if (!client
+           ->Send(api::QueryRequest("mining").WithL(8).WithDeadlineMicros(
+               60'000'000))
+           .ok()) {
+    return result;
+  }
+  // Admission decisions happen on the server's loop thread; wait for the
+  // whole burst to be admitted-or-shed before burning the budgets.
+  const uint64_t expected_admission_sheds =
+      static_cast<uint64_t>(tights - watermark + 1);
+  for (int i = 0;
+       i < 12'000 && service.metrics().sheds_at_admission <
+                         expected_admission_sheds;
+       ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  clock->AdvanceMicros(1'000'000);  // > every tight budget, << the generous
+  gate->OpenGate();
+
+  for (size_t i = 0; i < tights + 2; ++i) {
+    api::StatusOr<api::QueryResponse> response = client->Receive();
+    if (!response.ok()) {
+      std::fprintf(stderr, "overload receive %zu: %s\n", i,
+                   response.status().ToString().c_str());
+      return result;
+    }
+    if (response->ok()) {
+      ++result.responses_ok;
+    } else if (response->status.code() ==
+               api::StatusCode::kDeadlineExceeded) {
+      ++result.responses_deadline_exceeded;
+    }
+  }
+  client->Close();
+  result.drained = server.Shutdown();
+  net::ServerStats stats = server.stats();
+  result.dropped = stats.dropped_responses;
+  serve::Metrics metrics = service.metrics();
+  result.sheds_at_admission = metrics.sheds_at_admission;
+  result.sheds_at_dequeue = metrics.sheds_at_dequeue;
+  result.infra_ok = true;
+  return result;
+}
+
 }  // namespace
 }  // namespace osum
 
@@ -342,6 +516,42 @@ int main(int argc, char** argv) {
   json.Add("wire", "count", "valid_ok",
            static_cast<double>(wire.valid_ok));
 
+  // 4. Deterministic overload section (own server, FakeClock, gated pool).
+  const size_t overload_watermark = tiny ? 4 : 8;
+  const size_t overload_tights = tiny ? 16 : 32;
+  GatedBackend gate(&backend);
+  std::vector<search::SearchContext::Subject> overload_subjects;
+  overload_subjects.push_back({d.author, datasets::DblpAuthorGds(d)});
+  overload_subjects.push_back({d.paper, datasets::DblpPaperGds(d)});
+  search::SearchContext overload_ctx = search::SearchContext::Build(
+      d.db, &gate, std::move(overload_subjects));
+  OverloadResult overload =
+      RunOverload(overload_ctx, &gate, overload_watermark, overload_tights);
+  util::PrintHeading(
+      std::cout, "overload (" + std::to_string(overload_tights) +
+                     " tight-deadline misses vs watermark " +
+                     std::to_string(overload_watermark) +
+                     ", frozen clock, 1 worker)");
+  util::TablePrinter overload_table({"metric", "value"});
+  overload_table.AddRow({"sheds at admission",
+                         std::to_string(overload.sheds_at_admission)});
+  overload_table.AddRow({"sheds at dequeue",
+                         std::to_string(overload.sheds_at_dequeue)});
+  overload_table.AddRow(
+      {"responses deadline_exceeded",
+       std::to_string(overload.responses_deadline_exceeded)});
+  overload_table.AddRow({"responses ok",
+                         std::to_string(overload.responses_ok)});
+  overload_table.Print(std::cout);
+  json.Add("overload", "count", "sheds_at_admission",
+           static_cast<double>(overload.sheds_at_admission));
+  json.Add("overload", "count", "sheds_at_dequeue",
+           static_cast<double>(overload.sheds_at_dequeue));
+  json.Add("overload", "count", "responses_deadline_exceeded",
+           static_cast<double>(overload.responses_deadline_exceeded));
+  json.Add("overload", "count", "responses_ok",
+           static_cast<double>(overload.responses_ok));
+
   bool drained = server.Shutdown();
   net::ServerStats stats = server.stats();
   json.Add("server", "count", "frames_in",
@@ -380,6 +590,35 @@ int main(int argc, char** argv) {
   if (!drained || stats.dropped_responses != 0) {
     std::printf("FAIL: shutdown did not drain cleanly (%llu dropped)\n",
                 static_cast<unsigned long long>(stats.dropped_responses));
+    return 1;
+  }
+  // Overload section: every count is fixed by the deterministic shedding
+  // logic — tights-watermark+1 admission sheds (each later tight and the
+  // generous request displace the earliest-deadline victim), watermark-1
+  // dequeue sheds (the queued survivors after the clock jump), and exactly
+  // the blocker plus the generous request complete.
+  const uint64_t want_admission =
+      static_cast<uint64_t>(overload_tights - overload_watermark + 1);
+  const uint64_t want_dequeue =
+      static_cast<uint64_t>(overload_watermark - 1);
+  if (!overload.infra_ok || !overload.drained || overload.dropped != 0 ||
+      overload.sheds_at_admission != want_admission ||
+      overload.sheds_at_dequeue != want_dequeue ||
+      overload.responses_deadline_exceeded !=
+          static_cast<uint64_t>(overload_tights) ||
+      overload.responses_ok != 2) {
+    std::printf(
+        "FAIL: overload section: admission %llu/%llu, dequeue %llu/%llu, "
+        "deadline_exceeded %llu/%llu, ok %llu/2, drained=%d, dropped=%llu\n",
+        static_cast<unsigned long long>(overload.sheds_at_admission),
+        static_cast<unsigned long long>(want_admission),
+        static_cast<unsigned long long>(overload.sheds_at_dequeue),
+        static_cast<unsigned long long>(want_dequeue),
+        static_cast<unsigned long long>(overload.responses_deadline_exceeded),
+        static_cast<unsigned long long>(overload_tights),
+        static_cast<unsigned long long>(overload.responses_ok),
+        overload.drained ? 1 : 0,
+        static_cast<unsigned long long>(overload.dropped));
     return 1;
   }
   std::printf("PASS: %llu/%llu responses delivered, %llu/%llu garbage "

@@ -32,9 +32,15 @@
 //                              0 = OS-assigned, printed on start) over the
 //                              serving layer, or stop it (graceful drain:
 //                              in-flight requests are answered first)
-//   connect <keywords...> [l]  round-trip one query through the TCP front
-//                              end over a real socket (length-prefixed v1
-//                              binary frames) and print the served answer
+//   connect [deadline=<us>] <keywords...> [l]
+//                              round-trip one query through the TCP front
+//                              end over a real socket (length-prefixed
+//                              binary frames) and print the served answer.
+//                              deadline= attaches a relative time budget
+//                              in microseconds (rides the v2 wire
+//                              revision); an expired request is answered
+//                              in-band with deadline_exceeded instead of
+//                              burning pool time
 //   save <dir>                 export the database as CSV + catalog
 //   help
 //
@@ -158,8 +164,11 @@ void PrintHelp() {
       "  metrics                    serving-layer counters + latencies\n"
       "  serve-tcp [port|stop]      start/stop the TCP front end (graceful\n"
       "                             drain on stop)\n"
-      "  connect <keywords...> [l]  round-trip a query over the TCP front\n"
-      "                             end's socket\n"
+      "  connect [deadline=<us>] <keywords...> [l]\n"
+      "                             round-trip a query over the TCP front\n"
+      "                             end's socket; deadline= attaches a\n"
+      "                             relative budget in microseconds (expired\n"
+      "                             work is shed as deadline_exceeded)\n"
       "  save <dir>                 export database as CSV\n"
       "  help");
 }
@@ -413,12 +422,15 @@ void RunCommand(Session& session, const std::string& line) {
       bool drained = session.tcp_server->Shutdown();
       net::ServerStats stats = session.tcp_server->stats();
       std::printf("tcp server stopped (%s): %llu frames in, %llu responses "
-                  "out, %llu malformed, %llu dropped\n",
+                  "out, %llu malformed, %llu dropped, %llu deadline "
+                  "exceeded\n",
                   drained ? "drained" : "drain timed out",
                   static_cast<unsigned long long>(stats.frames_in),
                   static_cast<unsigned long long>(stats.responses_out),
                   static_cast<unsigned long long>(stats.malformed_frames),
-                  static_cast<unsigned long long>(stats.dropped_responses));
+                  static_cast<unsigned long long>(stats.dropped_responses),
+                  static_cast<unsigned long long>(
+                      stats.responses_deadline_exceeded));
       session.tcp_server.reset();
       return;
     }
@@ -453,9 +465,26 @@ void RunCommand(Session& session, const std::string& line) {
       std::puts("tcp server not running; run 'serve-tcp' first");
       return;
     }
-    auto [keywords, number] = SplitTrailingNumber(args, 1);
+    // Optional deadline=<micros> knob, position-independent among the
+    // keywords; the rest of the line parses as before.
+    uint64_t deadline_micros = 0;
+    std::vector<std::string> rest = {args[0]};
+    for (size_t i = 1; i < args.size(); ++i) {
+      if (args[i].rfind("deadline=", 0) == 0) {
+        std::string value = args[i].substr(9);
+        if (value.empty() ||
+            value.find_first_not_of("0123456789") != std::string::npos) {
+          std::puts("usage: connect [deadline=<us>] <keywords...> [l]");
+          return;
+        }
+        deadline_micros = std::stoull(value);
+        continue;
+      }
+      rest.push_back(args[i]);
+    }
+    auto [keywords, number] = SplitTrailingNumber(rest, 1);
     if (keywords.empty()) {
-      std::puts("usage: connect <keywords...> [l]");
+      std::puts("usage: connect [deadline=<us>] <keywords...> [l]");
       return;
     }
     api::StatusOr<net::Client> client =
@@ -465,8 +494,10 @@ void RunCommand(Session& session, const std::string& line) {
       return;
     }
     util::WallTimer timer;
-    if (api::Status sent = client->Send(
-            api::QueryRequest(keywords).WithL(number.value_or(15)));
+    if (api::Status sent = client->Send(api::QueryRequest(keywords)
+                                            .WithL(number.value_or(15))
+                                            .WithDeadlineMicros(
+                                                deadline_micros));
         !sent.ok()) {
       std::printf("error: %s\n", sent.ToString().c_str());
       return;
@@ -530,7 +561,8 @@ int main(int argc, char** argv) {
         "budget faloutsos 40", "serve faloutsos 8", "serve faloutsos 8",
         "query --wire json faloutsos 5", "policy neg_ttl=60",
         "serve nosuchkeyword 8", "serve nosuchkeyword 8", "serve-tcp 0",
-        "connect faloutsos 8", "connect faloutsos 8", "serve-tcp stop",
+        "connect faloutsos 8", "connect deadline=60000000 faloutsos 8",
+        "serve-tcp stop",
         "metrics"}) {
     std::printf("\n$ %s\n", cmd);
     RunCommand(session, cmd);

@@ -51,7 +51,7 @@ if [[ "${OSUM_PERF_LANE:-0}" == "1" ]]; then
   build-release/bench/bench_net --json "${net_json}"
   python3 scripts/bench_diff.py bench/baselines/bench_net.json \
           "${net_json}" --strict \
-          --gate-metrics 'requests_sent|responses_ok|garbage_sent|malformed_rejects|valid_ok|frames_in|responses_out|malformed_frames|dropped_responses' \
+          --gate-metrics 'requests_sent|responses_ok|garbage_sent|malformed_rejects|valid_ok|frames_in|responses_out|malformed_frames|dropped_responses|sheds_at_admission|sheds_at_dequeue|responses_deadline_exceeded' \
           --gate-tolerance 0.001
   echo "==== perf lane green ===="
   exit 0

@@ -137,14 +137,18 @@ class Reader {
   std::string error_;
 };
 
-void PutHeader(std::string* out, uint8_t kind) {
+void PutHeader(std::string* out, uint8_t kind, uint16_t version) {
   out->append(kMagic, sizeof(kMagic));
-  PutU16(out, kWireVersion);
+  PutU16(out, version);
   PutU8(out, kind);
 }
 
-/// Checks magic/version/kind; on success the reader sits at the payload.
-Status ReadHeader(Reader* r, uint8_t want_kind) {
+/// Checks magic/version/kind; on success the reader sits at the payload
+/// and *version holds the decoded version. `max_version` is the newest
+/// revision the caller can interpret (responses stay v1; requests accept
+/// v1 and v2).
+Status ReadHeader(Reader* r, uint8_t want_kind, uint16_t max_version,
+                  uint16_t* version_out) {
   char magic[4];
   for (char& c : magic) c = static_cast<char>(r->U8());
   if (!r->ok()) return Status::CodecError(r->error());
@@ -152,10 +156,14 @@ Status ReadHeader(Reader* r, uint8_t want_kind) {
     return Status::CodecError("bad magic: not an OSUM wire document");
   }
   uint16_t version = r->U16();
-  if (r->ok() && version != kWireVersion) {
+  if (r->ok() && (version < kWireVersion || version > max_version)) {
     return Status::CodecError("unsupported wire version " +
                               std::to_string(version) + " (expected " +
-                              std::to_string(kWireVersion) + ")");
+                              std::to_string(kWireVersion) +
+                              (max_version > kWireVersion
+                                   ? ".." + std::to_string(max_version)
+                                   : "") +
+                              ")");
   }
   uint8_t kind = r->U8();
   if (!r->ok()) return Status::CodecError(r->error());
@@ -164,6 +172,7 @@ Status ReadHeader(Reader* r, uint8_t want_kind) {
         "wrong document kind " + std::to_string(kind) + " (expected " +
         std::to_string(want_kind) + ")");
   }
+  *version_out = version;
   return Status::Ok();
 }
 
@@ -186,7 +195,7 @@ StatusOr<ResultRanking> RankingFromWire(uint64_t v) {
 }
 
 StatusOr<StatusCode> StatusCodeFromWire(uint64_t v) {
-  if (v > static_cast<uint64_t>(StatusCode::kInternal)) {
+  if (v > static_cast<uint64_t>(StatusCode::kDeadlineExceeded)) {
     return Status::CodecError("unknown status code " + std::to_string(v));
   }
   return static_cast<StatusCode>(v);
@@ -682,15 +691,18 @@ const JsonValue* GetTyped(const JsonValue& obj, std::string_view key,
   return v;
 }
 
-/// Checks the {"v":1,"kind":...} envelope shared by both document kinds.
-Status CheckJsonEnvelope(const JsonValue& doc, std::string_view kind) {
+/// Checks the {"v":N,"kind":...} envelope shared by both document kinds;
+/// on success *version_out holds the document's version (<= max_version).
+Status CheckJsonEnvelope(const JsonValue& doc, std::string_view kind,
+                         uint64_t max_version, uint64_t* version_out) {
   std::string err;
   uint64_t v = 0;
   if (!GetU64(doc, "v", &v, &err)) return Status::CodecError(err);
-  if (v != kWireVersion) {
+  if (v < kWireVersion || v > max_version) {
     return Status::CodecError("unsupported wire version " +
                               std::to_string(v));
   }
+  *version_out = v;
   std::string k;
   if (!GetString(doc, "kind", &k, &err)) return Status::CodecError(err);
   if (k != kind) {
@@ -806,8 +818,34 @@ StatusOr<QueryResult> ResultFromJson(const JsonValue& v) {
 // ---------------------------------------------------------------------------
 
 std::string EncodeRequest(const QueryRequest& request) {
+  uint16_t version = request.deadline_micros() == 0 ? kWireVersion
+                                                    : kWireVersionDeadline;
+  StatusOr<std::string> bytes = EncodeRequestAt(request, version);
+  // Unreachable: the auto-picked version always carries the request.
+  return bytes.ok() ? *std::move(bytes) : std::string();
+}
+
+StatusOr<std::string> EncodeRequestAt(const QueryRequest& request,
+                                      uint16_t version) {
+  if (version != kWireVersion && version != kWireVersionDeadline) {
+    return Status::CodecError("cannot encode request at unknown wire version " +
+                              std::to_string(version));
+  }
+  // Version <-> deadline is strict both ways so every request value has
+  // exactly one encoding (the canonical-decode invariant the hostile
+  // sweeps rely on). Asking v1 to carry a deadline is a typed error, not
+  // a silent truncation.
+  if (version == kWireVersion && request.deadline_micros() != 0) {
+    return Status::CodecError(
+        "deadline_micros requires wire v2 (v1 cannot carry a deadline)");
+  }
+  if (version == kWireVersionDeadline && request.deadline_micros() == 0) {
+    return Status::CodecError(
+        "wire v2 requires a nonzero deadline_micros (deadline-less "
+        "requests encode as v1)");
+  }
   std::string out;
-  PutHeader(&out, kKindRequest);
+  PutHeader(&out, kKindRequest, version);
   PutStr(&out, request.keywords());
   const QueryOptions& o = request.options();
   PutU64(&out, o.l);
@@ -815,12 +853,16 @@ std::string EncodeRequest(const QueryRequest& request) {
   PutU8(&out, static_cast<uint8_t>(o.algorithm));
   PutU8(&out, o.use_prelim ? 1 : 0);
   PutU8(&out, static_cast<uint8_t>(o.ranking));
+  if (version == kWireVersionDeadline) {
+    PutU64(&out, request.deadline_micros());
+  }
   return out;
 }
 
 StatusOr<QueryRequest> DecodeRequest(std::string_view bytes) {
   Reader r(bytes);
-  Status header = ReadHeader(&r, kKindRequest);
+  uint16_t version = 0;
+  Status header = ReadHeader(&r, kKindRequest, kWireVersionDeadline, &version);
   if (!header.ok()) return header;
   std::string keywords = r.Str();
   QueryOptions o;
@@ -829,6 +871,15 @@ StatusOr<QueryRequest> DecodeRequest(std::string_view bytes) {
   uint8_t algorithm = r.U8();
   uint8_t use_prelim = r.U8();
   uint8_t ranking = r.U8();
+  uint64_t deadline_micros = 0;
+  if (version >= kWireVersionDeadline) {
+    deadline_micros = r.U64();
+    if (r.ok() && deadline_micros == 0) {
+      // A v2 document without a deadline has a v1 encoding; accepting it
+      // here would give one value two wire forms.
+      return Status::CodecError("v2 request with zero deadline_micros");
+    }
+  }
   if (!r.ok()) return Status::CodecError(r.error());
   if (!r.AtEnd()) return Status::CodecError("trailing bytes after request");
   StatusOr<core::SizeLAlgorithm> alg = AlgorithmFromWire(algorithm);
@@ -844,12 +895,13 @@ StatusOr<QueryRequest> DecodeRequest(std::string_view bytes) {
   o.algorithm = *alg;
   o.use_prelim = use_prelim != 0;
   o.ranking = *rank;
-  return QueryRequest(std::move(keywords), o);
+  return QueryRequest(std::move(keywords), o)
+      .WithDeadlineMicros(deadline_micros);
 }
 
 std::string EncodeResponse(const QueryResponse& response) {
   std::string out;
-  PutHeader(&out, kKindResponse);
+  PutHeader(&out, kKindResponse, kWireVersion);
   PutU8(&out, static_cast<uint8_t>(response.status.code()));
   PutStr(&out, response.status.message());
   PutU8(&out, response.stats.cache_hit ? 1 : 0);
@@ -863,7 +915,8 @@ std::string EncodeResponse(const QueryResponse& response) {
 
 StatusOr<QueryResponse> DecodeResponse(std::string_view bytes) {
   Reader r(bytes);
-  Status header = ReadHeader(&r, kKindResponse);
+  uint16_t version = 0;
+  Status header = ReadHeader(&r, kKindResponse, kWireVersion, &version);
   if (!header.ok()) return header;
   uint8_t code = r.U8();
   std::string message = r.Str();
@@ -908,7 +961,11 @@ StatusOr<QueryResponse> DecodeResponse(std::string_view bytes) {
 
 std::string RequestToJson(const QueryRequest& request) {
   const QueryOptions& o = request.options();
-  std::string out = "{\"v\":" + std::to_string(kWireVersion) +
+  // Same versioning rule as the binary form: v1 iff no deadline, so
+  // pre-deadline documents stay byte-identical.
+  uint16_t version = request.deadline_micros() == 0 ? kWireVersion
+                                                    : kWireVersionDeadline;
+  std::string out = "{\"v\":" + std::to_string(version) +
                     ",\"kind\":\"query_request\"";
   out += ",\"keywords\":" + JsonString(request.keywords());
   out += ",\"l\":" + std::to_string(o.l);
@@ -916,6 +973,9 @@ std::string RequestToJson(const QueryRequest& request) {
   out += ",\"algorithm\":" + std::to_string(static_cast<int>(o.algorithm));
   out += std::string(",\"use_prelim\":") + (o.use_prelim ? "true" : "false");
   out += ",\"ranking\":" + std::to_string(static_cast<int>(o.ranking));
+  if (version == kWireVersionDeadline) {
+    out += ",\"deadline_micros\":" + std::to_string(request.deadline_micros());
+  }
   out += "}";
   return out;
 }
@@ -924,7 +984,9 @@ StatusOr<QueryRequest> RequestFromJson(std::string_view json) {
   StatusOr<JsonValue> parsed = JsonParser(json).Parse();
   if (!parsed.ok()) return parsed.status();
   const JsonValue& doc = *parsed;
-  Status envelope = CheckJsonEnvelope(doc, "query_request");
+  uint64_t version = 0;
+  Status envelope = CheckJsonEnvelope(doc, "query_request",
+                                      kWireVersionDeadline, &version);
   if (!envelope.ok()) return envelope;
 
   std::string err;
@@ -939,6 +1001,20 @@ StatusOr<QueryRequest> RequestFromJson(std::string_view json) {
       !GetU64(doc, "ranking", &ranking, &err)) {
     return Status::CodecError(err);
   }
+  uint64_t deadline_micros = 0;
+  if (version >= kWireVersionDeadline) {
+    if (!GetU64(doc, "deadline_micros", &deadline_micros, &err)) {
+      return Status::CodecError(err);
+    }
+    if (deadline_micros == 0) {
+      return Status::CodecError("v2 request with zero deadline_micros");
+    }
+  } else if (doc.Find("deadline_micros") != nullptr) {
+    // v1 documents cannot carry a deadline; silently dropping the field
+    // would be the JSON twin of the binary truncation bug.
+    return Status::CodecError(
+        "deadline_micros requires wire v2 (v1 cannot carry a deadline)");
+  }
   StatusOr<core::SizeLAlgorithm> alg = AlgorithmFromWire(algorithm);
   if (!alg.ok()) return alg.status();
   StatusOr<ResultRanking> rank = RankingFromWire(ranking);
@@ -949,7 +1025,8 @@ StatusOr<QueryRequest> RequestFromJson(std::string_view json) {
   o.algorithm = *alg;
   o.use_prelim = use_prelim;
   o.ranking = *rank;
-  return QueryRequest(std::move(keywords), o);
+  return QueryRequest(std::move(keywords), o)
+      .WithDeadlineMicros(deadline_micros);
 }
 
 std::string ResponseToJson(const QueryResponse& response) {
@@ -976,7 +1053,9 @@ StatusOr<QueryResponse> ResponseFromJson(std::string_view json) {
   StatusOr<JsonValue> parsed = JsonParser(json).Parse();
   if (!parsed.ok()) return parsed.status();
   const JsonValue& doc = *parsed;
-  Status envelope = CheckJsonEnvelope(doc, "query_response");
+  uint64_t version = 0;
+  Status envelope = CheckJsonEnvelope(doc, "query_response", kWireVersion,
+                                      &version);
   if (!envelope.ok()) return envelope;
 
   std::string err;

@@ -7,10 +7,13 @@
 // doubles as their IEEE-754 bit pattern in a little-endian u64, strings as
 // u32 length + raw bytes:
 //
-//   header   magic "OSUM" | u16 version (=1) | u8 kind (1=request,
+//   header   magic "OSUM" | u16 version (1 or 2) | u8 kind (1=request,
 //            2=response)
 //   request  str keywords | u64 l | u64 max_results | u8 algorithm |
 //            u8 use_prelim | u8 ranking
+//            v2 appends: u64 deadline_micros (the relative time budget;
+//            MUST be nonzero — a request without a deadline encodes as v1,
+//            so every value has exactly one encoding)
 //   response u8 status_code | str status_message |
 //            u8 cache_hit | f64 compute_micros | u64 epoch |
 //            u32 num_results | num_results * result
@@ -34,7 +37,9 @@
 //     version / kind / enum values, and malformed trees all come back as
 //     Status kCodecError.
 //
-// The JSON form mirrors the same fields ({"v":1,"kind":...}); doubles are
+// The JSON form mirrors the same fields and the same versioning rule
+// ({"v":1,...}, or {"v":2,...,"deadline_micros":N} for deadline-carrying
+// requests); doubles are
 // printed with %.17g so they parse back bit-exact, and u64 fields share
 // JSON's usual 2^53 integer precision limit — binary is the canonical
 // format, JSON the interoperable one.
@@ -50,13 +55,30 @@
 
 namespace osum::api {
 
-/// Version stamped into every encoded document. Bump when the layout
-/// changes; decoders reject versions they do not know.
+/// Baseline version of the wire format; responses are always emitted at
+/// v1 (the status-code byte is append-only, so new codes ride on v1).
+/// Decoders reject versions they do not know.
 inline constexpr uint16_t kWireVersion = 1;
+
+/// Request revision carrying `deadline_micros`. Encoders pick the lowest
+/// version expressing the request (v1 iff no deadline), so v1 consumers
+/// keep working until a deadline actually appears on the wire.
+inline constexpr uint16_t kWireVersionDeadline = 2;
 
 // -- Binary (canonical) ----------------------------------------------------
 
+/// Encodes at the lowest version that can express the request: v1 when
+/// deadline_micros == 0 (byte-identical to the pre-deadline format), v2
+/// otherwise.
 std::string EncodeRequest(const QueryRequest& request);
+
+/// Encodes at a specific version, for callers pinned to an old peer.
+/// A request whose fields the version cannot carry is a typed
+/// kCodecError — v1 cannot carry a deadline, and v2 requires one (each
+/// value has exactly one canonical encoding).
+StatusOr<std::string> EncodeRequestAt(const QueryRequest& request,
+                                      uint16_t version);
+
 StatusOr<QueryRequest> DecodeRequest(std::string_view bytes);
 
 std::string EncodeResponse(const QueryResponse& response);

@@ -144,9 +144,20 @@ class QueryRequest {
     options_.ranking = ranking;
     return *this;
   }
+  QueryRequest& WithDeadlineMicros(uint64_t deadline_micros) {
+    deadline_micros_ = deadline_micros;
+    return *this;
+  }
 
   const std::string& keywords() const { return keywords_; }
   const QueryOptions& options() const { return options_; }
+  /// Relative time budget in microseconds; 0 means "no deadline". The
+  /// serving layer converts it to an absolute deadline at admission and
+  /// sheds the request (kDeadlineExceeded, no backend compute) once the
+  /// budget is spent. Deliberately NOT part of the cache key: the deadline
+  /// bounds *when* an answer is useful, never *what* the answer is, so two
+  /// requests differing only in budget share one cached result.
+  uint64_t deadline_micros() const { return deadline_micros_; }
 
   /// kOk, or kInvalidArgument naming the offending field: empty keyword
   /// set, max_results == 0, l > kMaxSynopsisL.
@@ -163,6 +174,7 @@ class QueryRequest {
  private:
   std::string keywords_;
   QueryOptions options_;
+  uint64_t deadline_micros_ = 0;  // 0 = no deadline
 };
 
 /// Per-query serving metadata carried on every response.

@@ -14,6 +14,8 @@ const char* StatusCodeName(StatusCode code) {
       return "codec_error";
     case StatusCode::kInternal:
       return "internal";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline_exceeded";
   }
   return "unknown";
 }

@@ -10,6 +10,9 @@
 //   - kBackendError        the join back end failed mid-query
 //   - kCodecError          wire bytes/JSON could not be decoded
 //   - kInternal            anything that indicates a bug in this library
+//   - kDeadlineExceeded    the request's time budget expired before an
+//                          answer could be produced (shed before compute,
+//                          or a client-side receive timeout)
 // StatusOr<T> carries either a value or a non-OK Status, for operations
 // (codec decode) whose failure is an expected input condition.
 #ifndef OSUM_API_STATUS_H_
@@ -31,6 +34,7 @@ enum class StatusCode : uint8_t {
   kBackendError = 2,
   kCodecError = 3,
   kInternal = 4,
+  kDeadlineExceeded = 5,
 };
 
 /// Short stable identifier ("ok", "invalid_argument", ...) used by the
@@ -57,6 +61,9 @@ class Status {
   }
   static Status Internal(std::string message) {
     return Status(StatusCode::kInternal, std::move(message));
+  }
+  static Status DeadlineExceeded(std::string message) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

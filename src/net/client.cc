@@ -1,8 +1,10 @@
 #include "net/client.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -50,8 +52,51 @@ api::StatusOr<Client> Client::Connect(const std::string& host, uint16_t port,
     ::close(fd);
     return api::Status::BackendError("bad host address: " + host);
   }
+  // Connect non-blocking and poll with the timeout: a plain blocking
+  // connect() to a blackholed address waits on the kernel's SYN-retry
+  // schedule (minutes), which is exactly the hang timeout_ms exists to
+  // prevent.
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    api::Status status = Errno("fcntl");
+    ::close(fd);
+    return status;
+  }
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    api::Status status = Errno("connect");
+    if (errno != EINPROGRESS) {
+      api::Status status = Errno("connect");
+      ::close(fd);
+      return status;
+    }
+    pollfd p{};
+    p.fd = fd;
+    p.events = POLLOUT;
+    for (;;) {
+      int rc = ::poll(&p, 1, timeout_ms > 0 ? timeout_ms : -1);
+      if (rc < 0 && errno == EINTR) continue;
+      if (rc == 0) {
+        ::close(fd);
+        return api::Status::DeadlineExceeded("connect timed out");
+      }
+      if (rc < 0) {
+        api::Status status = Errno("poll");
+        ::close(fd);
+        return status;
+      }
+      break;
+    }
+    int err = 0;
+    socklen_t err_len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len) != 0 ||
+        err != 0) {
+      if (err != 0) errno = err;
+      api::Status status = Errno("connect");
+      ::close(fd);
+      return status;
+    }
+  }
+  if (::fcntl(fd, F_SETFL, flags) != 0) {  // back to blocking I/O
+    api::Status status = Errno("fcntl");
     ::close(fd);
     return status;
   }
@@ -61,7 +106,11 @@ api::StatusOr<Client> Client::Connect(const std::string& host, uint16_t port,
     timeval tv{};
     tv.tv_sec = timeout_ms / 1000;
     tv.tv_usec = (timeout_ms % 1000) * 1000;
+    // Both directions: SO_RCVTIMEO bounds a server that never answers,
+    // SO_SNDTIMEO bounds one that never drains (send() blocks once the
+    // peer's receive window and our send buffer fill).
     ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
   }
   return Client(fd);
 }
@@ -82,6 +131,11 @@ api::Status Client::SendBytes(std::string_view bytes) {
                        MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // SO_SNDTIMEO fired: the server stopped draining and TCP pushed
+        // the backlog all the way back to us.
+        return api::Status::DeadlineExceeded("send timed out");
+      }
       return Errno("send");
     }
     sent += static_cast<size_t>(n);
@@ -100,6 +154,12 @@ api::StatusOr<api::QueryResponse> Client::Receive() {
       }
       if (n < 0) {
         if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          // SO_RCVTIMEO fired. Distinct from "connection closed" above:
+          // a timeout means the budget ran out with the server possibly
+          // still working, not that the backend failed.
+          return api::Status::DeadlineExceeded("receive timed out");
+        }
         return Errno("recv");
       }
       got += static_cast<size_t>(n);

@@ -31,9 +31,12 @@ class Client {
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
 
-  /// Blocking IPv4 connect. `timeout_ms` bounds every subsequent Receive
-  /// (SO_RCVTIMEO), so a dead server fails the call instead of hanging a
-  /// test lane; 0 means wait forever.
+  /// IPv4 connect. `timeout_ms` bounds the connect itself (non-blocking
+  /// connect + poll — a blackholed address fails with kDeadlineExceeded
+  /// instead of hanging on the kernel's SYN retries) and every subsequent
+  /// Receive (SO_RCVTIMEO) and Send* (SO_SNDTIMEO), so a dead, mute or
+  /// non-draining server fails the call instead of hanging a test lane;
+  /// 0 means wait forever.
   static api::StatusOr<Client> Connect(const std::string& host, uint16_t port,
                                        int timeout_ms = 10'000);
 
@@ -51,8 +54,9 @@ class Client {
   api::Status SendBytes(std::string_view bytes);
 
   /// Blocks for the next response frame and decodes it. Connection close
-  /// or receive timeout comes back as kBackendError; an undecodable or
-  /// oversized frame as kCodecError.
+  /// comes back as kBackendError; a receive timeout as kDeadlineExceeded
+  /// (the budget ran out — the server may still be working); an
+  /// undecodable or oversized frame as kCodecError.
   api::StatusOr<api::QueryResponse> Receive();
 
   /// Half-close: tells the server this client is done sending (the server

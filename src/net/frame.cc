@@ -40,6 +40,15 @@ bool FrameReassembler::Feed(std::string_view bytes) {
   return true;
 }
 
+bool FrameReassembler::HasCompleteFrame() const {
+  if (poisoned_ || buffered_bytes() < 4) return false;
+  uint32_t len = ReadLe32(buffer_.data() + consumed_);
+  // An oversized prefix counts as "Next() has work": calling it poisons
+  // the stream, which the caller must observe to drop the connection.
+  if (len > max_frame_bytes_) return true;
+  return buffered_bytes() >= 4 + static_cast<size_t>(len);
+}
+
 std::optional<std::string> FrameReassembler::Next() {
   if (poisoned_ || buffered_bytes() < 4) return std::nullopt;
   uint32_t len = ReadLe32(buffer_.data() + consumed_);

@@ -46,6 +46,12 @@ class FrameReassembler {
   /// needed (or the stream is poisoned).
   std::optional<std::string> Next();
 
+  /// True when Next() would make progress: a complete frame is buffered,
+  /// or the pending prefix is a framing violation Next() must surface.
+  /// Lets a scheduler keep per-connection backlogs queued here and take
+  /// one frame at a time without the pop-and-push-back dance.
+  bool HasCompleteFrame() const;
+
   bool poisoned() const { return poisoned_; }
 
   /// Bytes buffered but not yet returned by Next() — bounded by one

@@ -103,8 +103,12 @@ bool Server::Shutdown() {
   loop_thread_.join();
   // The loop thread is gone; its state is ours to finalize.
   for (auto& [id, conn] : connections_) {
+    uint64_t undispatched = 0;
+    while (conn->frames.HasCompleteFrame() && conn->frames.Next()) {
+      ++undispatched;
+    }
     stats_.dropped_responses.fetch_add(
-        conn->slots.size() +
+        undispatched + conn->slots.size() +
             (conn->outbound_offset < conn->outbound.size() ? 1 : 0),
         std::memory_order_relaxed);
     ::close(conn->fd);
@@ -135,6 +139,8 @@ ServerStats Server::stats() const {
       stats_.backpressure_closes.load(std::memory_order_relaxed);
   s.dropped_responses =
       stats_.dropped_responses.load(std::memory_order_relaxed);
+  s.responses_deadline_exceeded =
+      stats_.responses_deadline_exceeded.load(std::memory_order_relaxed);
   s.max_queued_bytes =
       stats_.max_queued_bytes.load(std::memory_order_relaxed);
   return s;
@@ -217,62 +223,124 @@ void Server::OnReadable(Connection* conn) {
     return;
   }
 
-  std::vector<api::QueryRequest> batch;
-  std::vector<uint64_t> seqs;
-  while (std::optional<std::string> payload = conn->frames.Next()) {
-    stats_.frames_in.fetch_add(1, std::memory_order_relaxed);
-    uint64_t seq = conn->next_slot_seq++;
-    conn->slots.emplace_back();
-    api::StatusOr<api::QueryRequest> decoded = api::DecodeRequest(*payload);
-    if (!decoded.ok()) {
-      // Framing is intact, so the stream stays in sync: answer in-band.
-      stats_.malformed_frames.fetch_add(1, std::memory_order_relaxed);
-      DeliverResponse(conn, seq,
-                      EncodeFrame(api::EncodeResponse(
-                          api::QueryResponse::Failure(decoded.status(),
-                                                      api::QueryStats()))));
+  // Frames stay queued in the reassembler; the scheduler takes one per
+  // connection per turn so a firehose cannot buy the whole pool with one
+  // read event.
+  EnqueueReady(conn);
+  PumpScheduler();
+  // PumpScheduler may have closed this connection (framing violation
+  // surfaced by Next, or a flush failure).
+  auto it = connections_.find(id);
+  if (it != connections_.end()) FlushConnection(it->second.get());
+}
+
+void Server::EnqueueReady(Connection* conn) {
+  if (conn->in_ready || !conn->frames.HasCompleteFrame()) return;
+  conn->in_ready = true;
+  ready_.push_back(conn->id);
+}
+
+void Server::SchedulePump() {
+  if (pump_scheduled_) return;
+  pump_scheduled_ = true;
+  loop_.Post([this] {
+    pump_scheduled_ = false;
+    PumpScheduler();
+  });
+}
+
+void Server::PumpScheduler() {
+  // Per-call budget: yield back to the loop between bursts so reads and
+  // writes interleave with dispatch even under a standing backlog.
+  constexpr int kPumpBudget = 64;
+  int budget = kPumpBudget;
+  while (budget > 0 && !ready_.empty() &&
+         inflight_requests_ < options_.max_inflight_requests) {
+    uint64_t id = ready_.front();
+    ready_.pop_front();
+    auto it = connections_.find(id);
+    if (it == connections_.end()) continue;  // closed while queued
+    Connection* conn = it->second.get();
+    conn->in_ready = false;
+    std::optional<std::string> payload = conn->frames.Next();
+    if (conn->frames.poisoned()) {
+      // A poisonous prefix queued behind valid frames surfaces here.
+      stats_.framing_violations.fetch_add(1, std::memory_order_relaxed);
+      CloseConnection(id);
       continue;
     }
-    batch.push_back(*std::move(decoded));
-    seqs.push_back(seq);
+    if (!payload) continue;
+    --budget;
+    DispatchFrame(conn, *payload);
+    // DispatchFrame answers hits/malformed inline (via the mailbox or
+    // directly), which never erases the connection — but flushing might.
+    EnqueueReady(conn);
+    FlushConnection(conn);
   }
-  if (conn->frames.poisoned()) {
-    // A poisonous prefix arrived behind valid frames; requests parsed in
-    // this batch die with the connection.
-    stats_.framing_violations.fetch_add(1, std::memory_order_relaxed);
-    CloseConnection(id);
+  if (!ready_.empty() &&
+      inflight_requests_ < options_.max_inflight_requests) {
+    SchedulePump();  // budget spent with runnable work left
+  }
+}
+
+void Server::DispatchFrame(Connection* conn, const std::string& payload) {
+  stats_.frames_in.fetch_add(1, std::memory_order_relaxed);
+  uint64_t seq = conn->next_slot_seq++;
+  conn->slots.emplace_back();
+  api::StatusOr<api::QueryRequest> decoded = api::DecodeRequest(payload);
+  if (!decoded.ok()) {
+    // Framing is intact, so the stream stays in sync: answer in-band.
+    stats_.malformed_frames.fetch_add(1, std::memory_order_relaxed);
+    DeliverResponse(conn, seq,
+                    EncodeFrame(api::EncodeResponse(
+                        api::QueryResponse::Failure(decoded.status(),
+                                                    api::QueryStats()))));
     return;
   }
-
-  if (!batch.empty()) {
-    // Pipelined requests multiplex onto the service's batched fan-out:
-    // hits answer inline on this (loop) thread, misses on the pool; every
-    // answer funnels through the mailbox back to the loop, which alone
-    // touches the connection.
-    std::shared_ptr<Mailbox> mailbox = mailbox_;
-    service_->SubmitBatch(
-        std::move(batch),
-        [this, id, seqs, mailbox](size_t i, api::QueryResponse response) {
-          // Encoding happens here — on a worker for misses — keeping the
-          // loop thread out of the expensive part.
-          std::string framed = EncodeFrame(api::EncodeResponse(response));
-          std::lock_guard<std::mutex> lock(mailbox->mu);
-          if (mailbox->loop == nullptr) return;  // shutdown won the race
-          mailbox->loop->Post([this, id, seq = seqs[i],
-                               framed = std::move(framed)]() mutable {
-            OnResponseReady(id, seq, std::move(framed));
-          });
-        });
+  // The deadline becomes absolute here, at dispatch: time a request spent
+  // waiting for its round-robin turn is already gone from its budget.
+  uint64_t deadline = 0;
+  if (decoded->deadline_micros() != 0) {
+    deadline = service_->clock()->NowMicros() + decoded->deadline_micros();
   }
-  FlushConnection(conn);
+  ++inflight_requests_;
+  const uint64_t id = conn->id;
+  std::vector<api::QueryRequest> batch;
+  batch.push_back(*std::move(decoded));
+  // Hits answer inline on this (loop) thread, misses on the pool; every
+  // answer funnels through the mailbox back to the loop, which alone
+  // touches the connection.
+  std::shared_ptr<Mailbox> mailbox = mailbox_;
+  service_->SubmitBatch(
+      std::move(batch), {deadline},
+      [this, id, seq, mailbox](size_t, api::QueryResponse response) {
+        if (response.status.code() == api::StatusCode::kDeadlineExceeded) {
+          stats_.responses_deadline_exceeded.fetch_add(
+              1, std::memory_order_relaxed);
+        }
+        // Encoding happens here — on a worker for misses — keeping the
+        // loop thread out of the expensive part.
+        std::string framed = EncodeFrame(api::EncodeResponse(response));
+        std::lock_guard<std::mutex> lock(mailbox->mu);
+        if (mailbox->loop == nullptr) return;  // shutdown won the race
+        mailbox->loop->Post(
+            [this, id, seq, framed = std::move(framed)]() mutable {
+              OnResponseReady(id, seq, std::move(framed));
+            });
+      });
 }
 
 void Server::OnResponseReady(uint64_t id, uint64_t seq, std::string framed) {
+  // The window slot frees whether or not the connection survived — the
+  // request it covered is answered either way.
+  if (inflight_requests_ > 0) --inflight_requests_;
   auto it = connections_.find(id);
-  if (it == connections_.end()) return;  // peer left; drop counted at close
-  Connection* conn = it->second.get();
-  DeliverResponse(conn, seq, std::move(framed));
-  FlushConnection(conn);
+  if (it != connections_.end()) {
+    Connection* conn = it->second.get();
+    DeliverResponse(conn, seq, std::move(framed));
+    FlushConnection(conn);
+  }  // else: peer left; drop counted at close
+  PumpScheduler();  // a slot opened; resume the round-robin
 }
 
 void Server::DeliverResponse(Connection* conn, uint64_t seq,
@@ -336,8 +404,13 @@ bool Server::FlushConnection(Connection* conn) {
     conn->reads_paused = false;
   }
   if (conn->peer_closed_read && conn->slots.empty() &&
+      !conn->frames.HasCompleteFrame() &&
       conn->outbound_offset >= conn->outbound.size()) {
-    CloseConnection(conn->id);  // peer done sending, we are done answering
+    // Peer done sending, we are done answering — and nothing complete is
+    // still waiting for its round-robin turn (a half-closed peer may have
+    // pipelined its whole burst before CloseWrite; each of those frames
+    // is an accepted request that must be answered before we hang up).
+    CloseConnection(conn->id);
     return false;
   }
   UpdateInterest(conn);
@@ -361,8 +434,15 @@ void Server::CloseConnection(uint64_t id) {
   auto it = connections_.find(id);
   if (it == connections_.end()) return;
   Connection* conn = it->second.get();
+  // Complete frames never dispatched die with the connection; drain them
+  // into the drop count so frames_in-level accounting still reconciles
+  // (they were never frames_in, but they were accepted bytes).
+  uint64_t undispatched = 0;
+  while (conn->frames.HasCompleteFrame() && conn->frames.Next()) {
+    ++undispatched;
+  }
   stats_.dropped_responses.fetch_add(
-      conn->slots.size() +
+      undispatched + conn->slots.size() +
           (conn->outbound_offset < conn->outbound.size() ? 1 : 0),
       std::memory_order_relaxed);
   loop_.Remove(conn->fd);
@@ -379,8 +459,13 @@ void Server::BeginDrain() {
     listen_fd_ = -1;
   }
   // draining_ is already set, so UpdateInterest drops every EPOLLIN:
-  // nothing new is read, in-flight answers keep flushing.
-  for (auto& [id, conn] : connections_) UpdateInterest(conn.get());
+  // nothing new is read, in-flight answers keep flushing. Complete frames
+  // already received still get dispatched — they were accepted.
+  for (auto& [id, conn] : connections_) {
+    UpdateInterest(conn.get());
+    EnqueueReady(conn.get());
+  }
+  PumpScheduler();
   MaybeFinishDrain();
 }
 
@@ -388,6 +473,7 @@ bool Server::HasPendingWork() const {
   for (const auto& [id, conn] : connections_) {
     if (!conn->slots.empty()) return true;
     if (conn->outbound_offset < conn->outbound.size()) return true;
+    if (conn->frames.HasCompleteFrame()) return true;
   }
   return false;
 }

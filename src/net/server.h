@@ -23,12 +23,23 @@
 // reader so slow the queue would pass outbound_hard_cap is disconnected
 // instead of growing the heap without bound.
 //
+// Fairness. Decoded requests are dispatched round-robin across ready
+// connections, one frame per connection per turn, with at most
+// max_inflight_requests outstanding in the service at once. A pipelining
+// firehose therefore queues in its own reassembler (and, via TCP, at the
+// sender) while an interactive connection's single request goes straight
+// through — one connection cannot monopolize the pool. Deadlines are
+// stamped at dispatch (request.deadline_micros relative to the service
+// clock), so time spent queued in the front end counts against the
+// budget and expired work is shed (kDeadlineExceeded) without compute.
+//
 // Shutdown. Graceful drain, the same pin-counted idea as
 // QueryService::RebindContext: stop accepting, stop reading, then wait
-// until every already-parsed request has been answered AND its response
-// bytes fully written, and only then stop the loop. Requests still
-// half-buffered in a reassembler are abandoned by design ("drain" means
-// finish what was accepted, not read more). A peer that refuses to drain
+// until every accepted request — dispatched, or complete in a
+// reassembler awaiting its round-robin turn — has been answered AND its
+// response bytes fully written, and only then stop the loop. Requests
+// still half-buffered in a reassembler are abandoned by design ("drain"
+// means finish what was accepted, not read more). A peer that refuses to drain
 // its socket forfeits after drain_timeout_ms and its undelivered
 // responses are counted, not silently lost.
 #ifndef OSUM_NET_SERVER_H_
@@ -69,6 +80,12 @@ struct ServerOptions {
   /// Graceful-drain budget for Shutdown(); afterwards remaining
   /// connections are closed and their undelivered responses counted.
   int drain_timeout_ms = 30'000;
+  /// Server-wide cap on requests dispatched into the service but not yet
+  /// answered. Beyond it, decoded-but-undispatched frames wait in their
+  /// connection's reassembler and the round-robin resumes as responses
+  /// complete — the window that makes per-connection fairness real
+  /// (without it, one firehose could still fill the pool's queue).
+  size_t max_inflight_requests = 256;
 };
 
 /// Monotonic server counters (a snapshot; see Server::stats).
@@ -88,8 +105,12 @@ struct ServerStats {
   /// Connections dropped for passing outbound_hard_cap.
   uint64_t backpressure_closes = 0;
   /// Responses that could not be delivered (peer disconnected with work
-  /// in flight, or forfeited at drain timeout).
+  /// in flight, or forfeited at drain timeout). Includes complete frames
+  /// never dispatched because their connection died first.
   uint64_t dropped_responses = 0;
+  /// Responses whose status was kDeadlineExceeded — requests shed by the
+  /// service (at admission or dequeue) because their budget expired.
+  uint64_t responses_deadline_exceeded = 0;
   /// High-water mark of per-connection queued response bytes — the
   /// observable the backpressure tests bound.
   uint64_t max_queued_bytes = 0;
@@ -143,6 +164,8 @@ class Server {
     uint32_t armed_events = 0;
     bool reads_paused = false;
     bool peer_closed_read = false;
+    /// Whether this connection is queued in ready_ (avoids duplicates).
+    bool in_ready = false;
 
     explicit Connection(size_t max_frame_bytes) : frames(max_frame_bytes) {}
   };
@@ -161,6 +184,22 @@ class Server {
   void OnAccept();
   void OnConnectionEvent(uint64_t id, uint32_t events);
   void OnReadable(Connection* conn);
+  /// Queues `conn` at the back of the round-robin if it has a complete
+  /// frame and is not queued already.
+  void EnqueueReady(Connection* conn);
+  /// The fairness scheduler: takes ONE frame from each ready connection
+  /// in turn, decoding and dispatching it into the service, until the
+  /// inflight window fills, the ready queue empties, or the per-pump
+  /// budget is spent (then it re-posts itself so socket events
+  /// interleave). Loop thread only.
+  void PumpScheduler();
+  /// Posts a PumpScheduler continuation if one is not already pending.
+  void SchedulePump();
+  /// Decodes and dispatches one frame payload for `conn`: malformed
+  /// payloads are answered in-band immediately; valid requests get their
+  /// deadline stamped against the service clock and enter the service as
+  /// a single-request batch, counting against the inflight window.
+  void DispatchFrame(Connection* conn, const std::string& payload);
   void OnResponseReady(uint64_t id, uint64_t seq, std::string framed);
   /// Fills the slot `seq` with its framed response bytes (idempotent;
   /// ignores sequences already delivered or never parsed).
@@ -196,6 +235,12 @@ class Server {
   std::unordered_map<uint64_t, std::unique_ptr<Connection>> connections_;
   uint64_t next_connection_id_ = 1;
 
+  // Fairness state; loop thread only. ready_ holds ids (not pointers) so
+  // a connection closed while queued is skipped harmlessly.
+  std::deque<uint64_t> ready_;
+  size_t inflight_requests_ = 0;
+  bool pump_scheduled_ = false;
+
   std::atomic<bool> draining_{false};
   std::mutex drain_mu_;
   std::condition_variable drain_cv_;
@@ -211,6 +256,7 @@ class Server {
     std::atomic<uint64_t> framing_violations{0};
     std::atomic<uint64_t> backpressure_closes{0};
     std::atomic<uint64_t> dropped_responses{0};
+    std::atomic<uint64_t> responses_deadline_exceeded{0};
     std::atomic<uint64_t> max_queued_bytes{0};
   } stats_;
 };

@@ -29,6 +29,11 @@ std::string FormatMetricsReport(const Metrics& m) {
          static_cast<unsigned long long>(m.cache.tracked_sightings),
          static_cast<unsigned long long>(m.cache.ttl_expiries),
          static_cast<unsigned long long>(m.cache.negative_ttl_expiries));
+  append("overload: sheds %llu at admission + %llu at dequeue, "
+         "%llu misses pending\n",
+         static_cast<unsigned long long>(m.sheds_at_admission),
+         static_cast<unsigned long long>(m.sheds_at_dequeue),
+         static_cast<unsigned long long>(m.pending_misses));
   auto line = [&](const char* label, const util::Summary& s) {
     if (s.count() == 0) {
       append("  %-12s (no samples)\n", label);

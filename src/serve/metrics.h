@@ -57,6 +57,16 @@ struct CacheMetrics {
 struct Metrics {
   CacheMetrics cache;
   uint64_t queries = 0;
+  /// Overload control (see OverloadOptions): requests answered
+  /// kDeadlineExceeded at admission — budget already spent on arrival, or
+  /// evicted lowest-budget-first by the pending-miss watermark — and at
+  /// dequeue (budget expired while queued behind the pool). Neither ever
+  /// touched the backend.
+  uint64_t sheds_at_admission = 0;
+  uint64_t sheds_at_dequeue = 0;
+  /// Pooled misses admitted but not yet computing (current occupancy —
+  /// the quantity the watermark bounds).
+  uint64_t pending_misses = 0;
   util::Summary latency_us;           // all queries
   util::Summary hit_latency_us;       // served from cache (incl. coalesced)
   util::Summary negative_hit_latency_us;  // hits that were OK-empty answers

@@ -57,10 +57,85 @@ QueryService::PinnedContext::~PinnedContext() {
 QueryService::QueryService(const search::SearchContext& context,
                            ServiceOptions options)
     : options_(options),
+      clock_(options.cache.clock != nullptr
+                 ? options.cache.clock
+                 : std::shared_ptr<const Clock>(SystemClock::Instance())),
       binding_(new Binding{&context, 0}),
       cache_(options.cache),
       pool_(options.num_threads == 0 ? util::ThreadPool::HardwareThreads()
                                      : options.num_threads) {}
+
+bool QueryService::AdmitMiss(uint64_t deadline,
+                             std::shared_ptr<MissTicket>* ticket_out) {
+  std::lock_guard<std::mutex> lock(pending_mu_);
+  const size_t watermark = options_.overload.max_pending_misses;
+  if (watermark != 0 && pending_misses_ >= watermark) {
+    // Shed lowest-budget-first: the earliest absolute deadline goes.
+    // Deadline-less work has infinite budget, so a finite-budget request
+    // never displaces it — and when nothing pending carries a deadline,
+    // the newcomer (finite or not, it is the youngest claim on a full
+    // queue) is the victim.
+    auto earliest = deadline_queue_.begin();
+    if (earliest == deadline_queue_.end() ||
+        (deadline != 0 && deadline <= earliest->first)) {
+      ++sheds_at_admission_;
+      return false;
+    }
+    earliest->second->shed = true;
+    earliest->second->in_queue = false;
+    deadline_queue_.erase(earliest);
+    --pending_misses_;
+    ++sheds_at_admission_;
+  }
+  auto ticket = std::make_shared<MissTicket>();
+  ticket->deadline = deadline;
+  if (deadline != 0) {
+    ticket->it = deadline_queue_.emplace(deadline, ticket);
+    ticket->in_queue = true;
+  }
+  ++pending_misses_;
+  *ticket_out = std::move(ticket);
+  return true;
+}
+
+QueryService::MissGate QueryService::BeginMiss(
+    const std::shared_ptr<MissTicket>& ticket) {
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    if (ticket->shed) {
+      // A watermark victim: de-registered and counted by the shedder.
+      return MissGate::kShedByWatermark;
+    }
+    if (ticket->in_queue) {
+      deadline_queue_.erase(ticket->it);
+      ticket->in_queue = false;
+    }
+    --pending_misses_;
+  }
+  if (ticket->deadline != 0 && clock_->NowMicros() >= ticket->deadline) {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    ++sheds_at_dequeue_;
+    return MissGate::kExpiredInQueue;
+  }
+  return MissGate::kProceed;
+}
+
+void QueryService::AbandonMiss(const std::shared_ptr<MissTicket>& ticket) {
+  std::lock_guard<std::mutex> lock(pending_mu_);
+  if (ticket->shed) return;  // the shedder already de-registered it
+  if (ticket->in_queue) {
+    deadline_queue_.erase(ticket->it);
+    ticket->in_queue = false;
+  }
+  --pending_misses_;
+}
+
+api::QueryResponse QueryService::ShedResponse(const char* why) {
+  api::QueryStats stats;
+  stats.epoch = cache_.epoch();
+  return api::QueryResponse::Failure(api::Status::DeadlineExceeded(why),
+                                     stats);
+}
 
 ResultPtr QueryService::ComputeCached(std::string_view keywords,
                                       const search::QueryOptions& options,
@@ -162,10 +237,35 @@ std::vector<std::future<api::QueryResponse>> QueryService::SubmitBatchAsync(
     // Miss: compute on the pool. The canonical key was computed exactly
     // once above and travels with the task; duplicates among the misses
     // coalesce inside ComputeCached's GetOrCompute. ExecuteWithKey never
-    // throws, so the future always resolves to a response.
+    // throws, so the future always resolves to a response. The miss rides
+    // the same overload machinery as SubmitBatch: its relative budget is
+    // stamped into an absolute deadline here, the watermark may shed it
+    // (or a lower-budget pending miss) now, and the deadline is
+    // re-checked at dequeue. SubmitWithFuture runs the task inline after
+    // Stop(), so the ticket is always consumed.
+    uint64_t deadline =
+        request.deadline_micros() == 0
+            ? 0
+            : clock_->NowMicros() + request.deadline_micros();
+    std::shared_ptr<MissTicket> ticket;
+    if (!AdmitMiss(deadline, &ticket)) {
+      futures.push_back(
+          ReadyResponse(ShedResponse("shed at admission: pool over "
+                                     "watermark, lowest budget first")));
+      continue;
+    }
     futures.push_back(pool_.SubmitWithFuture(
-        [this, request = std::move(request),
-         key = std::move(*key)]() -> api::QueryResponse {
+        [this, request = std::move(request), key = std::move(*key),
+         ticket = std::move(ticket)]() -> api::QueryResponse {
+          switch (BeginMiss(ticket)) {
+            case MissGate::kShedByWatermark:
+              return ShedResponse("shed while queued: pool over "
+                                  "watermark, lowest budget first");
+            case MissGate::kExpiredInQueue:
+              return ShedResponse("deadline expired while queued");
+            case MissGate::kProceed:
+              break;
+          }
           return ExecuteWithKey(request, key);
         }));
   }
@@ -175,14 +275,46 @@ std::vector<std::future<api::QueryResponse>> QueryService::SubmitBatchAsync(
 void QueryService::SubmitBatch(
     std::vector<api::QueryRequest> requests,
     std::function<void(size_t, api::QueryResponse)> on_done) {
+  // Relative budgets become absolute deadlines at entry; a front end that
+  // wants queueing time before this call to count against the budget
+  // stamps its own deadlines and uses the absolute overload directly.
+  std::vector<uint64_t> deadlines(requests.size(), 0);
+  uint64_t now = 0;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    if (requests[i].deadline_micros() != 0) {
+      if (now == 0) now = clock_->NowMicros();
+      deadlines[i] = now + requests[i].deadline_micros();
+    }
+  }
+  SubmitBatch(std::move(requests), std::move(deadlines), std::move(on_done));
+}
+
+void QueryService::SubmitBatch(
+    std::vector<api::QueryRequest> requests,
+    std::vector<uint64_t> deadlines_micros,
+    std::function<void(size_t, api::QueryResponse)> on_done) {
   for (size_t i = 0; i < requests.size(); ++i) {
     api::QueryRequest& request = requests[i];
+    const uint64_t deadline =
+        i < deadlines_micros.size() ? deadlines_micros[i] : 0;
     util::WallTimer timer;
     api::StatusOr<std::string> key = request.ValidatedKey();
     if (!key.ok()) {
       api::QueryStats stats;
       stats.epoch = cache_.epoch();
       on_done(i, api::QueryResponse::Failure(key.status(), stats));
+      continue;
+    }
+    // Admission budget check, before the cache is even consulted: an
+    // expired request gets kDeadlineExceeded for free — the contract is
+    // "no time is spent on work nobody is waiting for", not "answer if
+    // cheap".
+    if (deadline != 0 && clock_->NowMicros() >= deadline) {
+      {
+        std::lock_guard<std::mutex> lock(pending_mu_);
+        ++sheds_at_admission_;
+      }
+      on_done(i, ShedResponse("deadline expired at admission"));
       continue;
     }
     if (ResultPtr hit = cache_.Lookup(*key)) {
@@ -196,16 +328,41 @@ void QueryService::SubmitBatch(
       on_done(i, api::QueryResponse::Success(AliasResults(hit), stats));
       continue;
     }
-    // Miss: compute on the pool, same shape as SubmitBatchAsync.
-    // ExecuteWithKey never throws and on_done must not, so the task
-    // honors the pool's no-throw contract.
+    // Miss: the pending-miss watermark may shed this request now (it has
+    // the lowest budget of everything queued) or evict a lower-budget
+    // pending miss to make room.
+    std::shared_ptr<MissTicket> ticket;
+    if (!AdmitMiss(deadline, &ticket)) {
+      on_done(i, ShedResponse("shed at admission: pool over watermark, "
+                              "lowest budget first"));
+      continue;
+    }
+    // Compute on the pool, same shape as SubmitBatchAsync. ExecuteWithKey
+    // never throws and on_done must not, so the task honors the pool's
+    // no-throw contract. BeginMiss re-checks the budget at dequeue —
+    // time queued behind a backed-up pool counts.
     bool submitted = pool_.Submit(
         [this, i, request = std::move(request), key = std::move(*key),
-         on_done] { on_done(i, ExecuteWithKey(request, key)); });
+         ticket, on_done] {
+          switch (BeginMiss(ticket)) {
+            case MissGate::kShedByWatermark:
+              on_done(i, ShedResponse("shed while queued: pool over "
+                                      "watermark, lowest budget first"));
+              return;
+            case MissGate::kExpiredInQueue:
+              on_done(i, ShedResponse("deadline expired while queued"));
+              return;
+            case MissGate::kProceed:
+              break;
+          }
+          on_done(i, ExecuteWithKey(request, key));
+        });
     if (!submitted) {
       // Pool already stopped (teardown): every request is still answered
       // exactly once — a dropped callback would wedge the front end's
-      // drain accounting forever.
+      // drain accounting forever. The never-run task also never consumes
+      // its ticket, so roll the registration back here.
+      AbandonMiss(ticket);
       api::QueryStats stats;
       stats.epoch = cache_.epoch();
       on_done(i, api::QueryResponse::Failure(
@@ -332,6 +489,12 @@ void QueryService::RecordLatency(bool hit, bool negative, double micros) {
 Metrics QueryService::metrics() const {
   Metrics m;
   m.cache = cache_.metrics();
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    m.sheds_at_admission = sheds_at_admission_;
+    m.sheds_at_dequeue = sheds_at_dequeue_;
+    m.pending_misses = pending_misses_;
+  }
   std::lock_guard<std::mutex> lock(latency_mu_);
   m.queries = queries_;
   m.latency_us = all_latency_.Snapshot();

@@ -46,8 +46,10 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -57,17 +59,32 @@
 
 #include "api/query.h"
 #include "search/search_context.h"
+#include "serve/clock.h"
 #include "serve/metrics.h"
 #include "serve/result_cache.h"
 #include "util/thread_pool.h"
 
 namespace osum::serve {
 
+/// Overload-control knobs. The service converts each request's relative
+/// `deadline_micros` budget into an absolute deadline at admission (via
+/// the same injectable Clock the cache policies use) and sheds work that
+/// cannot be answered in time — before it ever touches the backend.
+struct OverloadOptions {
+  /// High watermark on pooled misses (admitted but not yet computing).
+  /// When an arriving miss finds this many already pending, the
+  /// lowest-budget request (earliest absolute deadline; deadline-less
+  /// work has infinite budget and is never the victim over finite-budget
+  /// work) is shed with kDeadlineExceeded. 0 = unlimited.
+  size_t max_pending_misses = 0;
+};
+
 struct ServiceOptions {
   /// Worker threads for the async paths and batch misses. 0 = hardware
   /// concurrency.
   size_t num_threads = 0;
   ResultCacheOptions cache;
+  OverloadOptions overload;
   /// Per-outcome latency reservoir size (most recent samples kept).
   size_t latency_window = 4096;
 };
@@ -115,6 +132,21 @@ class QueryService {
   /// pool has already stopped (service teardown), the miss is answered
   /// inline with kInternal rather than dropped.
   void SubmitBatch(std::vector<api::QueryRequest> requests,
+                   std::function<void(size_t, api::QueryResponse)> on_done);
+
+  /// Deadline-aware SubmitBatch: `deadlines_micros[i]` is the ABSOLUTE
+  /// deadline of requests[i] on this service's clock() (0 = none) — the
+  /// wire front end stamps `now + request.deadline_micros()` at decode
+  /// time, so time spent queued in the front end counts against the
+  /// budget. An expired request is answered kDeadlineExceeded at
+  /// admission without touching the cache or backend
+  /// (metrics().sheds_at_admission); a miss whose deadline expires while
+  /// queued behind the pool is answered the same way when dequeued,
+  /// before compute (metrics().sheds_at_dequeue). The plain SubmitBatch
+  /// overload derives deadlines from each request's relative budget at
+  /// entry and forwards here.
+  void SubmitBatch(std::vector<api::QueryRequest> requests,
+                   std::vector<uint64_t> deadlines_micros,
                    std::function<void(size_t, api::QueryResponse)> on_done);
 
   /// Blocking batch over SubmitBatchAsync: responses in input order.
@@ -177,6 +209,12 @@ class QueryService {
   }
   size_t num_threads() const { return pool_.size(); }
 
+  /// The time source deadlines are measured against: options.cache.clock,
+  /// or the shared SystemClock when none was injected. Front ends stamp
+  /// absolute deadlines (`clock()->NowMicros() + budget`) on this clock so
+  /// service-side expiry checks compare like with like.
+  const std::shared_ptr<const Clock>& clock() const { return clock_; }
+
   /// Counters + latency reservoir snapshot (see serve/metrics.h).
   Metrics metrics() const;
 
@@ -232,9 +270,53 @@ class QueryService {
   api::QueryResponse ExecuteWithKey(const api::QueryRequest& request,
                                     const std::string& key);
 
+  /// One admitted-but-not-started pooled miss. Lives in the pending
+  /// registry between admission and dequeue so the watermark shedder can
+  /// pick a victim by deadline; all fields are guarded by pending_mu_.
+  struct MissTicket {
+    uint64_t deadline = 0;  // absolute micros; 0 = no deadline
+    bool shed = false;      // victim of a watermark shed (already counted)
+    bool in_queue = false;  // registered in deadline_queue_
+    std::multimap<uint64_t, std::shared_ptr<MissTicket>>::iterator it;
+  };
+
+  /// Why a pooled miss was not computed (BeginMiss result).
+  enum class MissGate {
+    kProceed,
+    kShedByWatermark,   // admission-time victim; counted there
+    kExpiredInQueue,    // deadline passed while queued; counts at dequeue
+  };
+
+  /// Admission side of the watermark: registers the miss as pending, or
+  /// sheds lowest-budget-first when max_pending_misses is hit. Returns
+  /// false when the NEW request is the victim (caller answers
+  /// kDeadlineExceeded inline); the admission-expiry check is the
+  /// caller's, before the cache lookup.
+  bool AdmitMiss(uint64_t deadline, std::shared_ptr<MissTicket>* ticket_out);
+
+  /// Dequeue side: unregisters the ticket and re-checks the budget.
+  MissGate BeginMiss(const std::shared_ptr<MissTicket>& ticket);
+
+  /// Rolls back AdmitMiss when the pool rejected the task (teardown).
+  void AbandonMiss(const std::shared_ptr<MissTicket>& ticket);
+
+  /// The kDeadlineExceeded response for a shed request.
+  api::QueryResponse ShedResponse(const char* why);
+
   void RecordLatency(bool hit, bool negative, double micros);
 
   const ServiceOptions options_;
+  const std::shared_ptr<const Clock> clock_;
+
+  /// Pending pooled misses: count of everything admitted-not-started plus
+  /// a deadline-ordered index of the deadline-carrying subset (the
+  /// watermark shedder's victim queue). Shed counters live here too; all
+  /// guarded by pending_mu_.
+  mutable std::mutex pending_mu_;
+  size_t pending_misses_ = 0;
+  std::multimap<uint64_t, std::shared_ptr<MissTicket>> deadline_queue_;
+  uint64_t sheds_at_admission_ = 0;
+  uint64_t sheds_at_dequeue_ = 0;
 
   mutable std::mutex context_mu_;
   mutable std::condition_variable context_cv_;  // signaled when pins hit 0

@@ -78,12 +78,14 @@ void ExpectRequestRoundTrips(const QueryRequest& request) {
   EXPECT_EQ(decoded->keywords(), request.keywords());
   EXPECT_EQ(decoded->options().CacheKeyFragment(),
             request.options().CacheKeyFragment());
+  EXPECT_EQ(decoded->deadline_micros(), request.deadline_micros());
 
   std::string json = RequestToJson(request);
   StatusOr<QueryRequest> from_json = RequestFromJson(json);
   ASSERT_TRUE(from_json.ok()) << from_json.status().ToString();
   EXPECT_EQ(RequestToJson(*from_json), json);
   EXPECT_EQ(EncodeRequest(*from_json), bytes);
+  EXPECT_EQ(from_json->deadline_micros(), request.deadline_micros());
 }
 
 TEST(RequestCodec, RoundTripsEveryKnobCombination) {
@@ -126,6 +128,149 @@ TEST(RequestCodec, JsonToleratesWhitespaceAndFieldOrder) {
   EXPECT_EQ(request->options().algorithm, core::SizeLAlgorithm::kDpEnumerate);
   EXPECT_EQ(request->options().ranking, ResultRanking::kSummaryImportance);
   EXPECT_FALSE(request->options().use_prelim);
+}
+
+// -- Cross-version: the deadline revision (wire v2) ------------------------
+
+/// v1 blobs stay byte-identical to the pre-deadline format; a deadline
+/// flips the encoder to v2, which is exactly the v1 layout plus one
+/// trailing u64. Pinning the layout here keeps "v1 consumers keep working"
+/// an observable property rather than a comment.
+TEST(RequestCodecV2, DeadlineSelectsTheWireVersion) {
+  std::string v1 = EncodeRequest(QueryRequest("faloutsos").WithL(6));
+  ASSERT_GE(v1.size(), 7u);
+  EXPECT_EQ(static_cast<uint8_t>(v1[4]), kWireVersion);
+  EXPECT_EQ(static_cast<uint8_t>(v1[5]), 0);  // u16 version, little-endian
+
+  std::string v2 = EncodeRequest(
+      QueryRequest("faloutsos").WithL(6).WithDeadlineMicros(2'500));
+  EXPECT_EQ(static_cast<uint8_t>(v2[4]), kWireVersionDeadline);
+  EXPECT_EQ(static_cast<uint8_t>(v2[5]), 0);
+  ASSERT_EQ(v2.size(), v1.size() + 8);
+  EXPECT_EQ(v2.substr(0, 4), v1.substr(0, 4));  // magic
+  // Everything after the version — kind byte through ranking byte — is
+  // unchanged; only the deadline is appended.
+  EXPECT_EQ(v2.substr(6, v1.size() - 6), v1.substr(6));
+}
+
+TEST(RequestCodecV2, DeadlineRequestsRoundTripInBothForms) {
+  ExpectRequestRoundTrips(
+      QueryRequest("christos faloutsos").WithL(9).WithDeadlineMicros(1));
+  ExpectRequestRoundTrips(QueryRequest("databases")
+                              .WithL(4)
+                              .WithMaxResults(7)
+                              .WithAlgorithm(core::SizeLAlgorithm::kTopPathMemo)
+                              .WithPrelim(true)
+                              .WithRanking(ResultRanking::kSummaryImportance)
+                              .WithDeadlineMicros(2'500'000));
+  // Largest deadline both forms can carry (JSON shares the usual 2^53
+  // integer precision limit).
+  ExpectRequestRoundTrips(QueryRequest("mining").WithDeadlineMicros(
+      (uint64_t{1} << 53) - 1));
+
+  // Binary alone carries the full u64 range.
+  QueryRequest max_deadline =
+      QueryRequest("x").WithDeadlineMicros(UINT64_MAX);
+  StatusOr<QueryRequest> decoded =
+      DecodeRequest(EncodeRequest(max_deadline));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->deadline_micros(), UINT64_MAX);
+}
+
+/// The version-pinned encoder refuses combinations the version cannot
+/// express — refusing beats silent truncation (a v1 peer that never sees
+/// the deadline would happily compute past it).
+TEST(RequestCodecV2, VersionPinnedEncoderRefusesWhatItCannotCarry) {
+  QueryRequest plain = QueryRequest("faloutsos").WithL(6);
+  QueryRequest with_deadline =
+      QueryRequest("faloutsos").WithL(6).WithDeadlineMicros(2'500);
+
+  // Pinning to the version the request naturally selects is byte-identical
+  // to the auto-picking encoder.
+  StatusOr<std::string> at_v1 = EncodeRequestAt(plain, kWireVersion);
+  ASSERT_TRUE(at_v1.ok()) << at_v1.status().ToString();
+  EXPECT_EQ(*at_v1, EncodeRequest(plain));
+  StatusOr<std::string> at_v2 =
+      EncodeRequestAt(with_deadline, kWireVersionDeadline);
+  ASSERT_TRUE(at_v2.ok()) << at_v2.status().ToString();
+  EXPECT_EQ(*at_v2, EncodeRequest(with_deadline));
+
+  // v1 cannot carry a deadline.
+  EXPECT_EQ(EncodeRequestAt(with_deadline, kWireVersion).status().code(),
+            StatusCode::kCodecError);
+  // v2 requires one, so every value has exactly one canonical encoding.
+  EXPECT_EQ(EncodeRequestAt(plain, kWireVersionDeadline).status().code(),
+            StatusCode::kCodecError);
+  // Unknown versions are typed errors, not aborts.
+  EXPECT_EQ(EncodeRequestAt(plain, 0).status().code(),
+            StatusCode::kCodecError);
+  EXPECT_EQ(EncodeRequestAt(plain, 3).status().code(),
+            StatusCode::kCodecError);
+  EXPECT_EQ(EncodeRequestAt(with_deadline, 999).status().code(),
+            StatusCode::kCodecError);
+}
+
+TEST(RequestCodecV2, ZeroDeadlineOnTheV2WireIsRejected) {
+  std::string v2 =
+      EncodeRequest(QueryRequest("faloutsos").WithL(6).WithDeadlineMicros(1));
+  // Zero the trailing u64: a v2 blob claiming "no deadline". That value
+  // already has a v1 encoding, so accepting this would give it two wire
+  // forms and break the canonical-decode invariant the sweeps enforce.
+  for (size_t i = v2.size() - 8; i < v2.size(); ++i) v2[i] = '\0';
+  EXPECT_EQ(DecodeRequest(v2).status().code(), StatusCode::kCodecError);
+}
+
+/// Every strict prefix of a v2 blob is a typed error. The interesting
+/// length is size-8: a v2 header over an exactly-v1-shaped body, i.e. the
+/// truncation that silently drops the deadline — the decoder must notice
+/// the version promised eight more bytes.
+TEST(RequestCodecV2, EveryTruncationOfADeadlineBlobIsACodecError) {
+  std::string bytes = EncodeRequest(
+      QueryRequest("christos faloutsos").WithL(9).WithDeadlineMicros(77));
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    StatusOr<QueryRequest> decoded = DecodeRequest(bytes.substr(0, len));
+    ASSERT_FALSE(decoded.ok()) << "prefix of length " << len << " decoded";
+    EXPECT_EQ(decoded.status().code(), StatusCode::kCodecError) << len;
+  }
+}
+
+/// JSON mirrors the binary versioning rule exactly: the field travels on
+/// v2 documents only, and must be present and nonzero there.
+TEST(RequestCodecV2, JsonVersioningMirrorsTheBinaryRule) {
+  StatusOr<QueryRequest> parsed = RequestFromJson(R"({
+    "v": 2, "kind": "query_request", "keywords": "mining graphs",
+    "l": 12, "max_results": 4, "algorithm": 1, "use_prelim": false,
+    "ranking": 1, "deadline_micros": 2500
+  })");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->deadline_micros(), 2'500u);
+  EXPECT_EQ(parsed->keywords(), "mining graphs");
+
+  // A v1 document must not smuggle the field in — silently dropping it
+  // would be the JSON twin of the binary truncation bug.
+  EXPECT_EQ(RequestFromJson(
+                R"({"v":1,"kind":"query_request","keywords":"x","l":5,)"
+                R"("max_results":10,"algorithm":0,"use_prelim":true,)"
+                R"("ranking":0,"deadline_micros":7})")
+                .status()
+                .code(),
+            StatusCode::kCodecError);
+  // A v2 document without the field is incomplete...
+  EXPECT_EQ(RequestFromJson(
+                R"({"v":2,"kind":"query_request","keywords":"x","l":5,)"
+                R"("max_results":10,"algorithm":0,"use_prelim":true,)"
+                R"("ranking":0})")
+                .status()
+                .code(),
+            StatusCode::kCodecError);
+  // ...and a zero deadline belongs on v1, not v2.
+  EXPECT_EQ(RequestFromJson(
+                R"({"v":2,"kind":"query_request","keywords":"x","l":5,)"
+                R"("max_results":10,"algorithm":0,"use_prelim":true,)"
+                R"("ranking":0,"deadline_micros":0})")
+                .status()
+                .code(),
+            StatusCode::kCodecError);
 }
 
 TEST(ResponseCodec, RoundTripsRealResultsFromTheDataGraphBackend) {
@@ -453,6 +598,36 @@ TEST(RequestCodec, AppendedBytesAreAlwaysFatal) {
   SweepAppendedBytes(
       EncodeRequest(QueryRequest("databases").WithL(40).WithMaxResults(8)),
       decode, /*seed=*/0x7A15);
+}
+
+/// The seeded sweep over deadline-carrying (v2) blobs. Flips over the
+/// trailing u64 either land on another valid deadline (which must
+/// re-encode byte-identically) or — when they zero it or clip the version
+/// byte — must come back as typed kCodecError; truncations that shave the
+/// deadline off a v2 header must never decode as a v1 request.
+TEST(RequestCodecV2, HostileMutationSweepOverDeadlineRequests) {
+  SweepHostileMutations<QueryRequest>(
+      EncodeRequest(QueryRequest("christos faloutsos")
+                        .WithL(9)
+                        .WithDeadlineMicros(2'500'000)),
+      [](const std::string& b) { return DecodeRequest(b); },
+      [](const QueryRequest& r) { return EncodeRequest(r); },
+      /*seed=*/0x5EED2, /*iterations=*/1500);
+  // A single-byte deadline (1 µs) keeps seven of the trailing eight bytes
+  // zero, so flips there concentrate on the valid/invalid boundary.
+  SweepHostileMutations<QueryRequest>(
+      EncodeRequest(QueryRequest("databases").WithL(4).WithDeadlineMicros(1)),
+      [](const std::string& b) { return DecodeRequest(b); },
+      [](const QueryRequest& r) { return EncodeRequest(r); },
+      /*seed=*/0x5EED3, /*iterations=*/800);
+}
+
+TEST(RequestCodecV2, AppendedBytesAreAlwaysFatal) {
+  auto decode = [](const std::string& b) { return DecodeRequest(b); };
+  SweepAppendedBytes(EncodeRequest(QueryRequest("christos faloutsos")
+                                       .WithL(9)
+                                       .WithDeadlineMicros(2'500'000)),
+                     decode, /*seed=*/0x7A16);
 }
 
 TEST(ResponseCodec, RejectsMalformedJson) {

@@ -4,11 +4,17 @@
 // pipelining, backpressure against a slow reader (the outbound queue must
 // stay bounded), and graceful drain — Shutdown must answer and flush every
 // request it already accepted before the loop stops.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <stdexcept>
@@ -27,6 +33,7 @@
 #include "net/frame.h"
 #include "net/server.h"
 #include "search/engine.h"
+#include "serve/clock.h"
 #include "serve/query_service.h"
 
 namespace osum::net {
@@ -176,6 +183,69 @@ class GatedBackend : public core::OsBackend {
   std::condition_variable cv_;
   bool gate_closed_ = false;
   int waiting_ = 0;
+};
+
+/// Delegating back end that counts join calls — the witness that shed
+/// requests cost zero backend I/O.
+class CountingBackend : public core::OsBackend {
+ public:
+  explicit CountingBackend(core::OsBackend* inner) : inner_(inner) {}
+
+  const char* name() const override { return "counting"; }
+
+  void Fetch(graph::LinkTypeId link, rel::FkDirection dir,
+             rel::TupleId parent_tuple,
+             std::vector<rel::TupleId>* out) override {
+    fetches_.fetch_add(1, std::memory_order_relaxed);
+    inner_->Fetch(link, dir, parent_tuple, out);
+  }
+  void FetchTop(graph::LinkTypeId link, rel::FkDirection dir,
+                rel::TupleId parent_tuple, size_t limit,
+                double min_importance,
+                std::vector<rel::TupleId>* out) override {
+    fetches_.fetch_add(1, std::memory_order_relaxed);
+    inner_->FetchTop(link, dir, parent_tuple, limit, min_importance, out);
+  }
+
+  uint64_t fetches() const {
+    return fetches_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  core::OsBackend* inner_;
+  std::atomic<uint64_t> fetches_{0};
+};
+
+/// A bare kernel-level listener that never speaks the protocol — the prop
+/// for the client-hang regression tests. The kernel completes handshakes
+/// into the accept queue, so a Client can connect (and fill socket
+/// buffers) without this listener ever reading or writing.
+struct RawListener {
+  int fd = -1;
+  uint16_t port = 0;
+
+  explicit RawListener(int backlog = 4) {
+    fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) return;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+        ::listen(fd, backlog) != 0) {
+      ::close(fd);
+      fd = -1;
+      return;
+    }
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+      port = ntohs(addr.sin_port);
+    }
+  }
+  ~RawListener() {
+    if (fd >= 0) ::close(fd);
+  }
+  int Accept() { return ::accept(fd, nullptr, nullptr); }
 };
 
 /// One small DBLP database + engine context + service + running server.
@@ -438,6 +508,331 @@ TEST(NetServer, StartupErrorsAreReportedNotFatal) {
   Server server(&service, options);
   EXPECT_FALSE(server.Start().ok());
   // Destroying a never-started server is a no-op, not a hang.
+}
+
+// ---- per-connection fairness ---------------------------------------------
+
+// A pipelining firehose must not starve an interactive connection: with
+// round-robin dispatch and a bounded inflight window, the slow client's
+// single miss is answered after a handful of firehose computes, not after
+// the firehose's entire backlog. (Under the old drain-to-exhaustion
+// dispatch the firehose's whole burst entered the pool queue first and
+// this assertion fails by two orders of magnitude.)
+TEST(NetFairness, FirehoseCannotStarveTheInteractiveConnection) {
+  ScoredDblp dblp(SmallDblpConfig());
+  GatedBackend gated(&dblp.backend);
+  search::SearchContext context = BuildDblpContext(dblp.d, &gated);
+  serve::ServiceOptions so;
+  so.num_threads = 1;  // serial computes make "how many ran first" exact
+  so.cache.num_shards = 2;
+  serve::QueryService service(context, so);
+  ServerOptions options;
+  options.max_inflight_requests = 4;
+  Server server(&service, options);
+  ASSERT_TRUE(server.Start().ok());
+  auto connect = [&] {
+    api::StatusOr<Client> c =
+        Client::Connect("127.0.0.1", server.port(), /*timeout_ms=*/60'000);
+    EXPECT_TRUE(c.ok()) << c.status().ToString();
+    return std::move(c).value();
+  };
+  Client firehose = connect();
+  Client interactive = connect();
+
+  // Park the pool, then flood: every firehose request is a distinct-key
+  // miss (same keywords, different max_results), so nothing coalesces.
+  constexpr uint64_t kFlood = 200;
+  gated.CloseGate();
+  for (uint64_t i = 0; i < kFlood; ++i) {
+    ASSERT_TRUE(firehose
+                    .Send(api::QueryRequest("faloutsos").WithL(8).WithMaxResults(
+                        1 + i))
+                    .ok());
+  }
+  // Wait until the flood is on the server (window-many dispatched, the
+  // rest queued in the reassembler) before the interactive request shows
+  // up — the worst case for the slow client.
+  for (int i = 0; i < 600 && server.stats().frames_in < 4; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_GE(server.stats().frames_in, 4u);
+  ASSERT_TRUE(interactive
+                  .Send(api::QueryRequest("databases").WithL(8).WithMaxResults(
+                      1000))
+                  .ok());
+  gated.OpenGate();
+
+  api::StatusOr<api::QueryResponse> answer = interactive.Receive();
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  EXPECT_TRUE(answer->ok()) << answer->status.ToString();
+  // The interactive answer arrived while the firehose backlog was still
+  // mostly unserved: it waited for at most a window's worth of computes
+  // plus a couple of round-robin turns, not for kFlood of them.
+  uint64_t served_first = server.stats().responses_out;
+  EXPECT_LT(served_first, 32u)
+      << "interactive request waited behind the firehose backlog";
+
+  // Nothing is lost for the firehose either — every flooded request is
+  // eventually answered, in order.
+  for (uint64_t i = 0; i < kFlood; ++i) {
+    api::StatusOr<api::QueryResponse> r = firehose.Receive();
+    ASSERT_TRUE(r.ok()) << i << ": " << r.status().ToString();
+    EXPECT_TRUE(r->ok());
+  }
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.frames_in, kFlood + 1);
+  EXPECT_EQ(stats.responses_out, kFlood + 1);
+  EXPECT_EQ(stats.dropped_responses, 0u);
+}
+
+// ---- overload end to end -------------------------------------------------
+
+// The acceptance scenario: a firehose pipelines misses with tight
+// deadlines while a well-behaved client uses a generous one. The tight
+// budgets burn out while queued behind a parked pool; when the pool
+// resumes, the expired requests are answered kDeadlineExceeded WITHOUT
+// backend compute (pinned by backend I/O counters against a twin context)
+// and the well-behaved request is answered normally. Every counter
+// reconciles. Deadlines ride the v2 wire revision end to end.
+TEST(NetOverload, TightDeadlinesShedWithoutComputeGenerousOnesSucceed) {
+  ScoredDblp dblp(SmallDblpConfig());
+  CountingBackend counting(&dblp.backend);
+  GatedBackend gated(&counting);
+  search::SearchContext context = BuildDblpContext(dblp.d, &gated);
+  auto clock = std::make_shared<serve::FakeClock>();
+  serve::ServiceOptions so;
+  so.num_threads = 1;
+  so.cache.num_shards = 2;
+  so.cache.clock = clock;
+  serve::QueryService service(context, so);
+  Server server(&service);
+  ASSERT_TRUE(server.Start().ok());
+  auto connect = [&] {
+    api::StatusOr<Client> c =
+        Client::Connect("127.0.0.1", server.port(), /*timeout_ms=*/60'000);
+    EXPECT_TRUE(c.ok()) << c.status().ToString();
+    return std::move(c).value();
+  };
+  Client firehose = connect();
+  Client behaved = connect();
+
+  // Park the single worker on a deadline-less blocker.
+  gated.CloseGate();
+  ASSERT_TRUE(firehose.Send(SmallRequest("faloutsos")).ok());
+  gated.WaitUntilBlocked();
+  uint64_t fetches_before = counting.fetches();
+
+  // The firehose pipelines tight-deadline misses (distinct keys); they
+  // must all be dispatched — deadline stamped against the fake clock —
+  // before the budget burns.
+  constexpr uint64_t kTight = 20;
+  for (uint64_t i = 0; i < kTight; ++i) {
+    ASSERT_TRUE(firehose
+                    .Send(api::QueryRequest("databases")
+                              .WithL(8)
+                              .WithMaxResults(1 + i)
+                              .WithDeadlineMicros(1'000))
+                    .ok());
+  }
+  for (int i = 0; i < 1200 && server.stats().frames_in < kTight + 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_EQ(server.stats().frames_in, kTight + 1);
+  // The well-behaved client's budget is generous enough to survive the
+  // clock jump below.
+  ASSERT_TRUE(behaved
+                  .Send(api::QueryRequest("mining").WithL(8).WithMaxResults(
+                      2).WithDeadlineMicros(60'000'000))
+                  .ok());
+  for (int i = 0; i < 1200 && server.stats().frames_in < kTight + 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_EQ(server.stats().frames_in, kTight + 2);
+
+  // Burn the tight budgets while everything is queued, then resume.
+  clock->AdvanceMicros(5'000);
+  gated.OpenGate();
+
+  api::StatusOr<api::QueryResponse> blocker = firehose.Receive();
+  ASSERT_TRUE(blocker.ok()) << blocker.status().ToString();
+  EXPECT_TRUE(blocker->ok());
+  for (uint64_t i = 0; i < kTight; ++i) {
+    api::StatusOr<api::QueryResponse> r = firehose.Receive();
+    ASSERT_TRUE(r.ok()) << i << ": " << r.status().ToString();
+    EXPECT_EQ(r->status.code(), api::StatusCode::kDeadlineExceeded) << i;
+    EXPECT_TRUE(r->result_list().empty());
+  }
+  api::StatusOr<api::QueryResponse> ok = behaved.Receive();
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_TRUE(ok->ok()) << ok->status.ToString();
+
+  // Backend I/O pinned: the blocker and the well-behaved request are the
+  // only computes — a twin context priced both; the shed requests added
+  // nothing.
+  CountingBackend twin_counter(&dblp.backend);
+  search::SearchContext twin = BuildDblpContext(dblp.d, &twin_counter);
+  uint64_t twin_before = twin_counter.fetches();
+  search::QueryOptions blocker_options;
+  blocker_options.l = 8;
+  blocker_options.max_results = 2;
+  (void)twin.Query("faloutsos", blocker_options);
+  (void)twin.Query("mining", blocker_options);
+  EXPECT_EQ(counting.fetches() - fetches_before,
+            twin_counter.fetches() - twin_before);
+
+  // Every ledger reconciles: server, service, and the wire agree.
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.frames_in, kTight + 2);
+  EXPECT_EQ(stats.responses_out, kTight + 2);
+  EXPECT_EQ(stats.responses_deadline_exceeded, kTight);
+  EXPECT_EQ(stats.dropped_responses, 0u);
+  serve::Metrics m = service.metrics();
+  EXPECT_EQ(m.sheds_at_dequeue, kTight);
+  EXPECT_EQ(m.sheds_at_admission, 0u);
+  EXPECT_EQ(m.pending_misses, 0u);
+}
+
+// ---- half-close ----------------------------------------------------------
+
+// CloseWrite racing in-flight pooled misses: the client pipelines a burst
+// and half-closes before anything is answered. peer_closed_read is
+// observed while most of the burst is still undispatched (tiny inflight
+// window), and the server must answer every accepted request before it
+// hangs up — closing on half-close with complete frames still queued in
+// the reassembler would silently drop them.
+TEST(NetServer, CloseWriteRacingInFlightMissesLosesNothing) {
+  ScoredDblp dblp(SmallDblpConfig());
+  GatedBackend gated(&dblp.backend);
+  search::SearchContext context = BuildDblpContext(dblp.d, &gated);
+  serve::ServiceOptions so;
+  so.num_threads = 1;
+  so.cache.num_shards = 2;
+  serve::QueryService service(context, so);
+  ServerOptions options;
+  options.max_inflight_requests = 2;  // most of the burst stays undispatched
+  Server server(&service, options);
+  ASSERT_TRUE(server.Start().ok());
+  api::StatusOr<Client> client =
+      Client::Connect("127.0.0.1", server.port(), /*timeout_ms=*/60'000);
+  ASSERT_TRUE(client.ok());
+
+  constexpr uint64_t kBurst = 50;
+  gated.CloseGate();
+  for (uint64_t i = 0; i < kBurst; ++i) {
+    ASSERT_TRUE(client
+                    ->Send(api::QueryRequest("faloutsos").WithL(8).WithMaxResults(
+                        1 + i))
+                    .ok());
+  }
+  client->CloseWrite();  // races the dispatch of the whole burst
+  gated.WaitUntilBlocked();
+  gated.OpenGate();
+
+  for (uint64_t i = 0; i < kBurst; ++i) {
+    api::StatusOr<api::QueryResponse> r = client->Receive();
+    ASSERT_TRUE(r.ok()) << i << ": " << r.status().ToString();
+    EXPECT_TRUE(r->ok()) << i;
+  }
+  // After the last answer the server closes its side.
+  api::StatusOr<api::QueryResponse> eof = client->Receive();
+  EXPECT_FALSE(eof.ok());
+  EXPECT_EQ(eof.status().code(), api::StatusCode::kBackendError);
+
+  for (int i = 0; i < 600 && server.stats().connections_closed < 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.frames_in, kBurst);
+  EXPECT_EQ(stats.responses_out, kBurst);
+  EXPECT_EQ(stats.dropped_responses, 0u);
+  EXPECT_EQ(stats.connections_closed, 1u);
+}
+
+// ---- client timeout regressions ------------------------------------------
+
+// Connecting to a peer that never completes the handshake must fail
+// within the caller's timeout, not block on the kernel's minutes-long SYN
+// retry schedule. A full accept queue reproduces this deterministically
+// on loopback: with backlog 1 and an application that never accepts, the
+// kernel drops further SYNs and the connecting side just retries — the
+// old blocking connect() hung here until the retry schedule gave up.
+TEST(NetClient, ConnectTimesOutWhenTheHandshakeNeverCompletes) {
+  RawListener listener(/*backlog=*/1);
+  ASSERT_GE(listener.fd, 0);
+  std::vector<Client> parked;  // hold the accept-queue slots open
+  api::Status last;
+  auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < 32; ++i) {
+    api::StatusOr<Client> client =
+        Client::Connect("127.0.0.1", listener.port, /*timeout_ms=*/300);
+    if (!client.ok()) {
+      last = client.status();
+      break;
+    }
+    parked.push_back(std::move(client).value());
+  }
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_EQ(last.code(), api::StatusCode::kDeadlineExceeded)
+      << last.ToString();
+  EXPECT_LT(elapsed.count(), 30'000) << "connect ignored its timeout";
+}
+
+// A server that accepts but never reads: once the kernel buffers fill,
+// send() must time out (SO_SNDTIMEO) and surface kDeadlineExceeded — the
+// old client never set a send timeout and hung here forever.
+TEST(NetClient, SendToNonDrainingServerTimesOutInsteadOfHanging) {
+  RawListener listener;
+  ASSERT_GE(listener.fd, 0);
+  api::StatusOr<Client> client =
+      Client::Connect("127.0.0.1", listener.port, /*timeout_ms=*/300);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  // Flood until the socket buffers (client send + server receive) fill
+  // and the timeout fires. A bounded number of 1 MiB writes is far more
+  // than any default buffer pair holds.
+  std::string chunk(1 << 20, 'x');
+  api::Status status;
+  auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < 1024; ++i) {
+    status = client->SendBytes(chunk);
+    if (!status.ok()) break;
+  }
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_EQ(status.code(), api::StatusCode::kDeadlineExceeded)
+      << status.ToString();
+  EXPECT_LT(elapsed.count(), 30'000) << "send ignored its timeout";
+}
+
+// The receive-side distinction: a mute server is a TIMEOUT
+// (kDeadlineExceeded — the budget ran out, the server may still be
+// working), a closed connection is a FAILURE (kBackendError). The old
+// client reported both as kBackendError, making "retry elsewhere" and
+// "give up" indistinguishable.
+TEST(NetClient, ReceiveTimeoutAndServerCloseAreDistinctStatuses) {
+  RawListener listener;
+  ASSERT_GE(listener.fd, 0);
+  api::StatusOr<Client> mute =
+      Client::Connect("127.0.0.1", listener.port, /*timeout_ms=*/300);
+  ASSERT_TRUE(mute.ok()) << mute.status().ToString();
+  api::StatusOr<api::QueryResponse> timed_out = mute->Receive();
+  EXPECT_FALSE(timed_out.ok());
+  EXPECT_EQ(timed_out.status().code(), api::StatusCode::kDeadlineExceeded)
+      << timed_out.status().ToString();
+
+  RawListener second;  // fresh accept queue: its first connection is ours
+  ASSERT_GE(second.fd, 0);
+  api::StatusOr<Client> dropped =
+      Client::Connect("127.0.0.1", second.port, /*timeout_ms=*/2'000);
+  ASSERT_TRUE(dropped.ok()) << dropped.status().ToString();
+  int peer = second.Accept();
+  ASSERT_GE(peer, 0);
+  ::close(peer);  // server-side close, not a timeout
+  api::StatusOr<api::QueryResponse> closed = dropped->Receive();
+  EXPECT_FALSE(closed.ok());
+  EXPECT_EQ(closed.status().code(), api::StatusCode::kBackendError)
+      << closed.status().ToString();
 }
 
 }  // namespace

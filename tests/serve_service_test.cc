@@ -107,6 +107,37 @@ class GatedBackend : public core::OsBackend {
   int waiting_ = 0;
 };
 
+/// Delegating back end that counts join calls — the witness the shedding
+/// tests use to prove "answered kDeadlineExceeded WITHOUT backend work".
+class CountingBackend : public core::OsBackend {
+ public:
+  explicit CountingBackend(core::OsBackend* inner) : inner_(inner) {}
+
+  const char* name() const override { return "counting"; }
+
+  void Fetch(graph::LinkTypeId link, rel::FkDirection dir,
+             rel::TupleId parent_tuple,
+             std::vector<rel::TupleId>* out) override {
+    fetches_.fetch_add(1, std::memory_order_relaxed);
+    inner_->Fetch(link, dir, parent_tuple, out);
+  }
+  void FetchTop(graph::LinkTypeId link, rel::FkDirection dir,
+                rel::TupleId parent_tuple, size_t limit,
+                double min_importance,
+                std::vector<rel::TupleId>* out) override {
+    fetches_.fetch_add(1, std::memory_order_relaxed);
+    inner_->FetchTop(link, dir, parent_tuple, limit, min_importance, out);
+  }
+
+  uint64_t fetches() const {
+    return fetches_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  core::OsBackend* inner_;
+  std::atomic<uint64_t> fetches_{0};
+};
+
 /// The headline invariant on one backend: miss computes, hit returns the
 /// same immutable object, both byte-identical to an uncached Query.
 void ExpectHitMatchesRecompute(const search::SearchContext& ctx) {
@@ -760,6 +791,254 @@ TEST(QueryServicePolicy, SweepExpiredCacheDropsOnlyExpiredEntries) {
   EXPECT_EQ(service.metrics().cache.entries, 0u);
 }
 
+/// Collects SubmitBatch callbacks and blocks until all have fired.
+class BatchCollector {
+ public:
+  explicit BatchCollector(size_t n) : answered_(n, 0), responses_(n) {}
+
+  std::function<void(size_t, api::QueryResponse)> Sink() {
+    return [this](size_t i, api::QueryResponse response) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++answered_[i];
+      responses_[i] = std::move(response);
+      cv_.notify_all();
+    };
+  }
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    ASSERT_TRUE(cv_.wait_for(lock, std::chrono::seconds(30), [&] {
+      for (int count : answered_) {
+        if (count == 0) return false;
+      }
+      return true;
+    }));
+  }
+  const api::QueryResponse& response(size_t i) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return responses_[i];
+  }
+  int answered(size_t i) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return answered_[i];
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<int> answered_;
+  std::vector<api::QueryResponse> responses_;
+};
+
+// A request whose budget is already spent on arrival is answered
+// kDeadlineExceeded before the service spends anything on it — no cache
+// lookup, no backend I/O — even when a cached answer exists. ("No time is
+// spent on work nobody is waiting for", not "answer if cheap".)
+TEST(QueryServiceOverload, ExpiredAtAdmissionShedsWithoutBackendWork) {
+  ScoredDblp f(SmallDblpConfig());
+  CountingBackend counting(&f.backend);
+  search::SearchContext ctx = BuildDblpContext(f.d, &counting);
+  auto clock = std::make_shared<FakeClock>();
+  ServiceOptions so = SmallService();
+  so.cache.clock = clock;
+  QueryService service(ctx, so);
+  search::QueryOptions options;
+  options.l = 8;
+
+  // Warm the key so "shed beats a ready cache hit" is what gets proven.
+  ResultPtr warm = service.Query("databases", options);
+  ASSERT_NE(warm, nullptr);
+  uint64_t fetches_after_warm = counting.fetches();
+  uint64_t hits_after_warm = service.metrics().cache.hits;
+
+  std::vector<api::QueryRequest> requests;
+  requests.push_back(api::QueryRequest("databases").WithOptions(options));
+  std::vector<uint64_t> deadlines = {clock->NowMicros() - 1};
+  BatchCollector collector(1);
+  service.SubmitBatch(std::move(requests), std::move(deadlines),
+                      collector.Sink());
+  collector.Wait();
+
+  EXPECT_EQ(collector.response(0).status.code(),
+            api::StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(collector.response(0).result_list().empty());
+  EXPECT_EQ(counting.fetches(), fetches_after_warm);
+  Metrics m = service.metrics();
+  EXPECT_EQ(m.sheds_at_admission, 1u);
+  EXPECT_EQ(m.sheds_at_dequeue, 0u);
+  EXPECT_EQ(m.cache.hits, hits_after_warm);  // shed before the cache
+  EXPECT_EQ(m.pending_misses, 0u);
+}
+
+// The pending-miss watermark sheds lowest-budget-first: when the pool
+// backs up past max_pending_misses, the queued miss with the earliest
+// absolute deadline is the victim — unless the newcomer's own budget is
+// even lower, in which case it is shed inline instead.
+TEST(QueryServiceOverload, WatermarkShedsLowestBudgetFirst) {
+  ScoredDblp f(SmallDblpConfig());
+  GatedBackend gated(&f.backend);
+  search::SearchContext ctx = BuildDblpContext(f.d, &gated);
+  auto clock = std::make_shared<FakeClock>();
+  ServiceOptions so;
+  so.num_threads = 1;  // one worker: everything behind the gate queues
+  so.cache.num_shards = 2;
+  so.cache.clock = clock;
+  so.overload.max_pending_misses = 2;
+  QueryService service(ctx, so);
+  search::QueryOptions options;
+  options.l = 8;
+  const uint64_t now = clock->NowMicros();
+
+  auto submit_one = [&](const char* q, uint64_t deadline,
+                        BatchCollector* collector) {
+    std::vector<api::QueryRequest> requests;
+    requests.push_back(api::QueryRequest(q).WithOptions(options));
+    service.SubmitBatch(std::move(requests), {deadline}, collector->Sink());
+  };
+
+  // Park the single worker on a deadline-less miss so subsequent misses
+  // pile up as pending.
+  gated.CloseGate();
+  BatchCollector blocker(1);
+  submit_one("faloutsos", 0, &blocker);
+  gated.WaitUntilBlocked();  // worker busy; pending count is now exact
+
+  BatchCollector early(1), late(1), mid(1), hopeless(1);
+  submit_one("databases", now + 1'000, &early);  // pending #1
+  submit_one("mining", now + 2'000, &late);      // pending #2 — watermark
+  // Newcomer with more budget than the earliest pending: the earliest
+  // ("databases") is the victim and the newcomer takes its place.
+  submit_one("graphs", now + 1'500, &mid);
+  // Newcomer with less budget than every pending miss: shed inline.
+  submit_one("clustering", now + 500, &hopeless);
+  EXPECT_EQ(hopeless.answered(0), 1);
+  EXPECT_EQ(hopeless.response(0).status.code(),
+            api::StatusCode::kDeadlineExceeded);
+
+  gated.OpenGate();
+  blocker.Wait();
+  early.Wait();
+  late.Wait();
+  mid.Wait();
+
+  EXPECT_TRUE(blocker.response(0).ok());
+  EXPECT_EQ(early.response(0).status.code(),
+            api::StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(late.response(0).ok());
+  EXPECT_TRUE(mid.response(0).ok());
+  Metrics m = service.metrics();
+  EXPECT_EQ(m.sheds_at_admission, 2u);  // "databases" victim + "clustering"
+  EXPECT_EQ(m.sheds_at_dequeue, 0u);
+  EXPECT_EQ(m.pending_misses, 0u);
+}
+
+// Deadline-less work has infinite budget: it is never displaced by a
+// finite-budget newcomer — the newcomer is shed instead.
+TEST(QueryServiceOverload, DeadlinelessWorkIsNeverTheWatermarkVictim) {
+  ScoredDblp f(SmallDblpConfig());
+  GatedBackend gated(&f.backend);
+  search::SearchContext ctx = BuildDblpContext(f.d, &gated);
+  auto clock = std::make_shared<FakeClock>();
+  ServiceOptions so;
+  so.num_threads = 1;
+  so.cache.num_shards = 2;
+  so.cache.clock = clock;
+  so.overload.max_pending_misses = 1;
+  QueryService service(ctx, so);
+  search::QueryOptions options;
+  options.l = 8;
+
+  auto submit_one = [&](const char* q, uint64_t deadline,
+                        BatchCollector* collector) {
+    std::vector<api::QueryRequest> requests;
+    requests.push_back(api::QueryRequest(q).WithOptions(options));
+    service.SubmitBatch(std::move(requests), {deadline}, collector->Sink());
+  };
+
+  gated.CloseGate();
+  BatchCollector blocker(1);
+  submit_one("faloutsos", 0, &blocker);
+  gated.WaitUntilBlocked();
+
+  BatchCollector patient(1), newcomer(1);
+  submit_one("databases", 0, &patient);  // deadline-less, fills watermark
+  submit_one("mining", clock->NowMicros() + 1'000'000, &newcomer);
+  EXPECT_EQ(newcomer.answered(0), 1);  // shed inline, generous budget or not
+  EXPECT_EQ(newcomer.response(0).status.code(),
+            api::StatusCode::kDeadlineExceeded);
+
+  gated.OpenGate();
+  blocker.Wait();
+  patient.Wait();
+  EXPECT_TRUE(blocker.response(0).ok());
+  EXPECT_TRUE(patient.response(0).ok());
+  EXPECT_EQ(service.metrics().sheds_at_admission, 1u);
+}
+
+// A miss whose budget expires while queued behind a busy pool is answered
+// kDeadlineExceeded when dequeued, before compute: zero backend I/O for
+// the expired request, counted as a dequeue shed. Also exercises the
+// relative-budget SubmitBatch overload (the deadline here comes from
+// request.deadline_micros, stamped against the service clock at entry).
+TEST(QueryServiceOverload, ExpiredWhileQueuedShedsAtDequeueWithoutCompute) {
+  ScoredDblp f(SmallDblpConfig());
+  GatedBackend gated(&f.backend);
+  CountingBackend counting(&gated);
+  search::SearchContext ctx = BuildDblpContext(f.d, &counting);
+  auto clock = std::make_shared<FakeClock>();
+  ServiceOptions so;
+  so.num_threads = 1;
+  so.cache.num_shards = 2;
+  so.cache.clock = clock;
+  QueryService service(ctx, so);
+  search::QueryOptions options;
+  options.l = 8;
+
+  gated.CloseGate();
+  uint64_t fetches_before = counting.fetches();
+  BatchCollector blocker(1);
+  {
+    std::vector<api::QueryRequest> requests;
+    requests.push_back(api::QueryRequest("faloutsos").WithOptions(options));
+    service.SubmitBatch(std::move(requests), blocker.Sink());
+  }
+  gated.WaitUntilBlocked();
+
+  // Queue a miss with a 1ms budget via the RELATIVE overload, then burn
+  // the budget while it waits behind the parked worker.
+  BatchCollector doomed(1);
+  {
+    std::vector<api::QueryRequest> requests;
+    requests.push_back(api::QueryRequest("databases")
+                           .WithOptions(options)
+                           .WithDeadlineMicros(1'000));
+    service.SubmitBatch(std::move(requests), doomed.Sink());
+  }
+  clock->AdvanceMicros(2'000);
+  gated.OpenGate();
+  blocker.Wait();
+  doomed.Wait();
+
+  EXPECT_TRUE(blocker.response(0).ok());
+  EXPECT_EQ(doomed.response(0).status.code(),
+            api::StatusCode::kDeadlineExceeded);
+  // The blocker's compute is the only backend traffic after the gate
+  // opened: the expired miss never touched it.
+  uint64_t blocker_fetches = counting.fetches() - fetches_before;
+  EXPECT_GT(blocker_fetches, 0u);
+  // A twin context over its own counter establishes exactly how many
+  // fetches one uncached "faloutsos" compute costs.
+  CountingBackend twin_counter(&f.backend);
+  search::SearchContext twin_ctx = BuildDblpContext(f.d, &twin_counter);
+  uint64_t twin_before = twin_counter.fetches();
+  (void)twin_ctx.Query("faloutsos", options);
+  EXPECT_EQ(blocker_fetches, twin_counter.fetches() - twin_before);
+
+  Metrics m = service.metrics();
+  EXPECT_EQ(m.sheds_at_dequeue, 1u);
+  EXPECT_EQ(m.sheds_at_admission, 0u);
+  EXPECT_EQ(m.pending_misses, 0u);
+}
+
 // Pins the exact report the CLI's `metrics` command prints (osum_cli
 // delegates to FormatMetricsReport, so this is the CLI output-shape test
 // the negative-hit counters needed).
@@ -778,6 +1057,9 @@ TEST(MetricsReport, ShapePinnedForTheCli) {
   m.cache.tracked_sightings = 2;
   m.cache.ttl_expiries = 8;
   m.cache.negative_ttl_expiries = 9;
+  m.sheds_at_admission = 3;
+  m.sheds_at_dequeue = 1;
+  m.pending_misses = 2;
   for (double v : {1.0, 2.0, 4.0}) m.latency_us.Add(v);
   for (double v : {1.0, 2.0}) m.hit_latency_us.Add(v);
   m.miss_latency_us.Add(4.0);
@@ -787,6 +1069,8 @@ TEST(MetricsReport, ShapePinnedForTheCli) {
             "entries 3 (~4096 bytes), evictions 5, epoch 2\n"
             "policy: admission rejects 6 (2 tracked), ttl expiries "
             "8 positive + 9 negative\n"
+            "overload: sheds 3 at admission + 1 at dequeue, "
+            "2 misses pending\n"
             "  latency      p50 2.0 us, p99 4.0 us, max 4.0 us\n"
             "    hits       p50 1.5 us, p99 2.0 us, max 2.0 us\n"
             "    neg hits   (no samples)\n"
