@@ -29,9 +29,17 @@
 # stay a visible drift report, never a spurious red. A gated row going
 # missing also fails (the gate cannot be silently emptied).
 # Usage: scripts/ci.sh            (JOBS=<n> to override parallelism)
+#        scripts/ci.sh lint       (static-analysis lane; see scripts/lint.sh)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
+
+# The static-analysis lane: Clang thread-safety build, clang-tidy,
+# clang-format, shellcheck/pyflakes. --require-tools makes a missing tool a
+# failure — CI installs the full set, so nothing is silently skipped there.
+if [[ "${1:-}" == "lint" ]]; then
+  exec ./scripts/lint.sh --require-tools
+fi
 
 if [[ "${OSUM_PERF_LANE:-0}" == "1" ]]; then
   echo "==== perf lane: full-size bench_cache vs baseline (--strict) ===="

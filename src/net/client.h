@@ -8,6 +8,11 @@
 // single-threaded per direction: one thread may Send while another
 // Receives (the load generator does exactly that), but neither side
 // supports two concurrent callers.
+//
+// Lock-discipline note (see util/thread_annotations.h): Client owns no
+// mutexes — the send and receive halves touch disjoint state and the
+// per-direction exclusivity above is the caller's contract — so there is
+// nothing here for the thread-safety analysis to annotate.
 #ifndef OSUM_NET_CLIENT_H_
 #define OSUM_NET_CLIENT_H_
 

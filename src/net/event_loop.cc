@@ -24,12 +24,21 @@ EventLoop::EventLoop() {
 }
 
 EventLoop::~EventLoop() {
+  AssertLoopThread();  // Run() has returned; the destroying thread owns us
   for (int fd : deferred_close_) ::close(fd);
   if (wake_fd_ >= 0) ::close(wake_fd_);
   if (epoll_fd_ >= 0) ::close(epoll_fd_);
 }
 
+void EventLoop::AssertLoopThread() {
+  if (!running_.load(std::memory_order_acquire)) {
+    role_.BindToCurrentThread();
+  }
+  role_.AssertHeld();
+}
+
 bool EventLoop::Add(int fd, uint32_t events, FdCallback callback) {
+  AssertLoopThread();
   if (!ok()) return false;
   epoll_event ev{};
   ev.events = events;
@@ -40,6 +49,7 @@ bool EventLoop::Add(int fd, uint32_t events, FdCallback callback) {
 }
 
 bool EventLoop::Modify(int fd, uint32_t events) {
+  AssertLoopThread();
   epoll_event ev{};
   ev.events = events;
   ev.data.fd = fd;
@@ -47,12 +57,14 @@ bool EventLoop::Modify(int fd, uint32_t events) {
 }
 
 void EventLoop::Remove(int fd) {
+  AssertLoopThread();
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
   callbacks_.erase(fd);
 }
 
 void EventLoop::DeferClose(int fd) {
-  if (running_) {
+  AssertLoopThread();
+  if (running_.load(std::memory_order_relaxed)) {
     deferred_close_.push_back(fd);
   } else {
     ::close(fd);
@@ -61,7 +73,7 @@ void EventLoop::DeferClose(int fd) {
 
 void EventLoop::Post(std::function<void()> fn) {
   {
-    std::lock_guard<std::mutex> lock(posted_mu_);
+    util::MutexLock lock(posted_mu_);
     posted_.push_back(std::move(fn));
   }
   if (wake_fd_ >= 0) {
@@ -74,7 +86,7 @@ void EventLoop::Post(std::function<void()> fn) {
 void EventLoop::RunPosted() {
   std::vector<std::function<void()>> batch;
   {
-    std::lock_guard<std::mutex> lock(posted_mu_);
+    util::MutexLock lock(posted_mu_);
     batch.swap(posted_);
   }
   for (auto& fn : batch) fn();
@@ -82,7 +94,11 @@ void EventLoop::RunPosted() {
 
 void EventLoop::Run() {
   if (!ok()) return;
-  running_ = true;
+  // The calling thread takes the loop role for the duration of Run();
+  // thereafter every loop-thread-only entry point asserts it.
+  role_.BindToCurrentThread();
+  AssertLoopThread();
+  running_.store(true, std::memory_order_release);
   constexpr int kMaxEvents = 64;
   epoll_event events[kMaxEvents];
   while (!stop_.load(std::memory_order_acquire)) {
@@ -117,7 +133,7 @@ void EventLoop::Run() {
   RunPosted();
   for (int fd : deferred_close_) ::close(fd);
   deferred_close_.clear();
-  running_ = false;
+  running_.store(false, std::memory_order_release);
 }
 
 void EventLoop::Stop() {

@@ -15,9 +15,11 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace osum::net {
 
@@ -66,19 +68,35 @@ class EventLoop {
   void Stop();
 
  private:
-  void RunPosted();
+  /// Entry guard for the loop-thread-only methods: before Run() starts,
+  /// rebinding the role to the caller is legal (setup is externally
+  /// synchronized); once the loop runs, an off-thread caller trips the
+  /// assert. Tells the analysis role_ is held for the rest of the scope.
+  void AssertLoopThread() ASSERT_CAPABILITY(role_);
+
+  void RunPosted() EXCLUDES(posted_mu_);
+
+  /// The "loop thread only" contract above, as a checkable capability:
+  /// the loop-thread-only methods assert it (see AssertLoopThread in the
+  /// .cc), and the analysis ties the fields below to it. Before Run()
+  /// starts (and after it returns) the role is free to rebind — that is
+  /// what lets the owning thread Add() during setup and the destructor
+  /// run anywhere sane.
+  util::ThreadRole role_;
 
   int epoll_fd_ = -1;
   int wake_fd_ = -1;  // eventfd: Post/Stop wake a blocked epoll_wait
   std::atomic<bool> stop_{false};
 
   // Loop-thread-only state.
-  std::unordered_map<int, FdCallback> callbacks_;
-  std::vector<int> deferred_close_;
-  bool running_ = false;
+  std::unordered_map<int, FdCallback> callbacks_ GUARDED_BY(role_);
+  std::vector<int> deferred_close_ GUARDED_BY(role_);
+  /// Atomic because the pre-Run role handoff reads it from whichever
+  /// thread calls Add/DeferClose during setup.
+  std::atomic<bool> running_{false};
 
-  std::mutex posted_mu_;
-  std::vector<std::function<void()>> posted_;
+  util::Mutex posted_mu_;
+  std::vector<std::function<void()>> posted_ GUARDED_BY(posted_mu_);
 };
 
 }  // namespace osum::net

@@ -30,9 +30,14 @@ Server::Server(serve::QueryService* service, ServerOptions options)
 Server::~Server() { Shutdown(); }
 
 api::Status Server::Start() {
-  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  util::MutexLock lifecycle(lifecycle_mu_);
   if (started_) return api::Status::Internal("server already started");
   if (!loop_.ok()) return api::Status::Internal("event loop setup failed");
+  // No loop thread exists yet (started_ was false, lifecycle_mu_ held):
+  // the caller takes the loop role for the setup phase and hands it to
+  // the loop thread at spawn below.
+  loop_role_.BindToCurrentThread();
+  loop_role_.AssertHeld();
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
                         0);
@@ -66,42 +71,63 @@ api::Status Server::Start() {
   }
   port_ = ntohs(addr.sin_port);
 
-  if (!loop_.Add(listen_fd_, EPOLLIN, [this](uint32_t) { OnAccept(); })) {
+  if (!loop_.Add(listen_fd_, EPOLLIN, [this](uint32_t) {
+        loop_role_.AssertHeld();  // loop callbacks run on the loop thread
+        OnAccept();
+      })) {
     ::close(listen_fd_);
     listen_fd_ = -1;
     return api::Status::Internal("epoll registration failed");
   }
   {
-    std::lock_guard<std::mutex> lock(mailbox_->mu);
+    util::MutexLock lock(mailbox_->mu);
     mailbox_->loop = &loop_;
   }
-  loop_thread_ = std::thread([this] { loop_.Run(); });
+  loop_thread_ = std::thread([this] {
+    // Role handoff: the spawned thread IS the loop thread from here until
+    // Run() returns (std::thread construction synchronizes-with this).
+    loop_role_.BindToCurrentThread();
+    loop_.Run();
+  });
   started_ = true;
   return {};
 }
 
 bool Server::Shutdown() {
-  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  util::MutexLock lifecycle(lifecycle_mu_);
   if (!started_ || stopped_) return drain_ok_;
   draining_.store(true, std::memory_order_release);
-  loop_.Post([this] { BeginDrain(); });
+  loop_.Post([this] {
+    loop_role_.AssertHeld();  // posted tasks run on the loop thread
+    BeginDrain();
+  });
   {
-    std::unique_lock<std::mutex> lock(drain_mu_);
-    drain_ok_ = drain_cv_.wait_for(
-        lock, std::chrono::milliseconds(options_.drain_timeout_ms),
-        [this] { return drain_idle_; });
+    // Explicit deadline loop (the predicate overload would hide the
+    // guarded drain_idle_ read inside an unannotated lambda). WaitUntil
+    // returning false = deadline passed; re-check the predicate once more
+    // either way, per the usual condvar contract.
+    util::MutexLock lock(drain_mu_);
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(options_.drain_timeout_ms);
+    while (!drain_idle_) {
+      if (!drain_cv_.WaitUntil(drain_mu_, deadline)) break;
+    }
+    drain_ok_ = drain_idle_;
   }
   // Detach late pool completions from the loop before stopping it: any
   // worker inside the mailbox right now finishes its Post first (mutex),
   // any worker arriving later sees loop == nullptr and abandons the
   // response — for a connection this shutdown is about to force-close.
   {
-    std::lock_guard<std::mutex> lock(mailbox_->mu);
+    util::MutexLock lock(mailbox_->mu);
     mailbox_->loop = nullptr;
   }
   loop_.Stop();
   loop_thread_.join();
-  // The loop thread is gone; its state is ours to finalize.
+  // The loop thread is gone (join synchronizes-with its exit); reclaim
+  // the loop role — its state is ours to finalize.
+  loop_role_.BindToCurrentThread();
+  loop_role_.AssertHeld();
   for (auto& [id, conn] : connections_) {
     uint64_t undispatched = 0;
     while (conn->frames.HasCompleteFrame() && conn->frames.Next()) {
@@ -167,6 +193,7 @@ void Server::OnAccept() {
     conn->armed_events = EPOLLIN;
     if (!loop_.Add(fd, EPOLLIN,
                    [this, id](uint32_t events) {
+                     loop_role_.AssertHeld();
                      OnConnectionEvent(id, events);
                    })) {
       ::close(fd);
@@ -244,6 +271,7 @@ void Server::SchedulePump() {
   if (pump_scheduled_) return;
   pump_scheduled_ = true;
   loop_.Post([this] {
+    loop_role_.AssertHeld();
     pump_scheduled_ = false;
     PumpScheduler();
   });
@@ -321,10 +349,11 @@ void Server::DispatchFrame(Connection* conn, const std::string& payload) {
         // Encoding happens here — on a worker for misses — keeping the
         // loop thread out of the expensive part.
         std::string framed = EncodeFrame(api::EncodeResponse(response));
-        std::lock_guard<std::mutex> lock(mailbox->mu);
+        util::MutexLock lock(mailbox->mu);
         if (mailbox->loop == nullptr) return;  // shutdown won the race
         mailbox->loop->Post(
             [this, id, seq, framed = std::move(framed)]() mutable {
+              loop_role_.AssertHeld();
               OnResponseReady(id, seq, std::move(framed));
             });
       });
@@ -482,10 +511,10 @@ void Server::MaybeFinishDrain() {
   if (!draining_.load(std::memory_order_acquire)) return;
   if (HasPendingWork()) return;
   {
-    std::lock_guard<std::mutex> lock(drain_mu_);
+    util::MutexLock lock(drain_mu_);
     drain_idle_ = true;
   }
-  drain_cv_.notify_all();
+  drain_cv_.NotifyAll();
 }
 
 }  // namespace osum::net

@@ -46,11 +46,9 @@
 #define OSUM_NET_SERVER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -60,6 +58,8 @@
 #include "net/event_loop.h"
 #include "net/frame.h"
 #include "serve/query_service.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace osum::net {
 
@@ -130,7 +130,13 @@ class Server {
   api::Status Start();
 
   /// The bound port (resolves option port 0 to the kernel's pick).
-  uint16_t port() const { return port_; }
+  /// Locked: port_ is written by Start() on whatever thread calls it, and
+  /// read here possibly from another — the annotation pass surfaced this
+  /// as an unguarded cross-thread read.
+  uint16_t port() const {
+    util::MutexLock lock(lifecycle_mu_);
+    return port_;
+  }
 
   /// Graceful drain then stop; idempotent. Returns true when every
   /// in-flight request drained within drain_timeout_ms, false when
@@ -177,74 +183,93 @@ class Server {
   /// connection it was for is being force-closed anyway, which is where
   /// the drop is counted).
   struct Mailbox {
-    std::mutex mu;
-    EventLoop* loop = nullptr;
+    util::Mutex mu;
+    EventLoop* loop GUARDED_BY(mu) = nullptr;
   };
 
-  void OnAccept();
-  void OnConnectionEvent(uint64_t id, uint32_t events);
-  void OnReadable(Connection* conn);
+  /// Every method below marked REQUIRES(loop_role_) is "loop thread
+  /// only": callable from loop callbacks (which assert the role on
+  /// entry), from Start() before the loop thread exists, or from
+  /// Shutdown() after joining it — the role rebinds at exactly those
+  /// handoff points.
+  void OnAccept() REQUIRES(loop_role_);
+  void OnConnectionEvent(uint64_t id, uint32_t events)
+      REQUIRES(loop_role_);
+  void OnReadable(Connection* conn) REQUIRES(loop_role_);
   /// Queues `conn` at the back of the round-robin if it has a complete
   /// frame and is not queued already.
-  void EnqueueReady(Connection* conn);
+  void EnqueueReady(Connection* conn) REQUIRES(loop_role_);
   /// The fairness scheduler: takes ONE frame from each ready connection
   /// in turn, decoding and dispatching it into the service, until the
   /// inflight window fills, the ready queue empties, or the per-pump
   /// budget is spent (then it re-posts itself so socket events
-  /// interleave). Loop thread only.
-  void PumpScheduler();
+  /// interleave).
+  void PumpScheduler() REQUIRES(loop_role_);
   /// Posts a PumpScheduler continuation if one is not already pending.
-  void SchedulePump();
+  void SchedulePump() REQUIRES(loop_role_);
   /// Decodes and dispatches one frame payload for `conn`: malformed
   /// payloads are answered in-band immediately; valid requests get their
   /// deadline stamped against the service clock and enter the service as
   /// a single-request batch, counting against the inflight window.
-  void DispatchFrame(Connection* conn, const std::string& payload);
-  void OnResponseReady(uint64_t id, uint64_t seq, std::string framed);
+  void DispatchFrame(Connection* conn, const std::string& payload)
+      REQUIRES(loop_role_);
+  void OnResponseReady(uint64_t id, uint64_t seq, std::string framed)
+      REQUIRES(loop_role_);
   /// Fills the slot `seq` with its framed response bytes (idempotent;
   /// ignores sequences already delivered or never parsed).
-  void DeliverResponse(Connection* conn, uint64_t seq, std::string framed);
+  void DeliverResponse(Connection* conn, uint64_t seq, std::string framed)
+      REQUIRES(loop_role_);
   /// Moves ready front slots into the write buffer, writes until EAGAIN,
   /// arms/disarms EPOLLOUT, applies backpressure. May close `conn`;
   /// returns false when it did.
-  bool FlushConnection(Connection* conn);
+  bool FlushConnection(Connection* conn) REQUIRES(loop_role_);
   /// Recomputes and applies the connection's epoll interest set.
-  void UpdateInterest(Connection* conn);
-  void CloseConnection(uint64_t id);
-  void BeginDrain();
+  void UpdateInterest(Connection* conn) REQUIRES(loop_role_);
+  void CloseConnection(uint64_t id) REQUIRES(loop_role_);
+  void BeginDrain() REQUIRES(loop_role_);
   /// Signals Shutdown once draining and no connection holds undelivered
-  /// work. Loop thread only.
-  void MaybeFinishDrain();
-  bool HasPendingWork() const;
+  /// work.
+  void MaybeFinishDrain() REQUIRES(loop_role_) EXCLUDES(drain_mu_);
+  bool HasPendingWork() const REQUIRES(loop_role_);
 
   serve::QueryService* const service_;
   const ServerOptions options_;
 
+  /// "One loop thread owns every connection object", as a capability:
+  /// held by the constructing thread, handed to the loop thread at the
+  /// top of Start()'s spawn lambda, and reclaimed by Shutdown() right
+  /// after joining it (each handoff sits on a real synchronization
+  /// point). Server models its own role rather than borrowing
+  /// EventLoop's so the REQUIRES expressions stay within this class.
+  util::ThreadRole loop_role_;
+
   EventLoop loop_;
   std::thread loop_thread_;
-  int listen_fd_ = -1;
-  uint16_t port_ = 0;
-  bool started_ = false;
-  bool stopped_ = false;
-  bool drain_ok_ = true;
-  std::mutex lifecycle_mu_;  // serializes Start/Shutdown/destructor
+  int listen_fd_ GUARDED_BY(loop_role_) = -1;
+  uint16_t port_ GUARDED_BY(lifecycle_mu_) = 0;
+  bool started_ GUARDED_BY(lifecycle_mu_) = false;
+  bool stopped_ GUARDED_BY(lifecycle_mu_) = false;
+  bool drain_ok_ GUARDED_BY(lifecycle_mu_) = true;
+  /// Serializes Start/Shutdown/destructor; mutable so port() can lock it.
+  mutable util::Mutex lifecycle_mu_;
 
   std::shared_ptr<Mailbox> mailbox_ = std::make_shared<Mailbox>();
 
   // Loop-thread-only connection table.
-  std::unordered_map<uint64_t, std::unique_ptr<Connection>> connections_;
-  uint64_t next_connection_id_ = 1;
+  std::unordered_map<uint64_t, std::unique_ptr<Connection>> connections_
+      GUARDED_BY(loop_role_);
+  uint64_t next_connection_id_ GUARDED_BY(loop_role_) = 1;
 
   // Fairness state; loop thread only. ready_ holds ids (not pointers) so
   // a connection closed while queued is skipped harmlessly.
-  std::deque<uint64_t> ready_;
-  size_t inflight_requests_ = 0;
-  bool pump_scheduled_ = false;
+  std::deque<uint64_t> ready_ GUARDED_BY(loop_role_);
+  size_t inflight_requests_ GUARDED_BY(loop_role_) = 0;
+  bool pump_scheduled_ GUARDED_BY(loop_role_) = false;
 
   std::atomic<bool> draining_{false};
-  std::mutex drain_mu_;
-  std::condition_variable drain_cv_;
-  bool drain_idle_ = false;  // guarded by drain_mu_
+  util::Mutex drain_mu_;
+  util::CondVar drain_cv_;
+  bool drain_idle_ GUARDED_BY(drain_mu_) = false;
 
   // Counters live as atomics so stats() needs no lock against the loop.
   struct {

@@ -44,14 +44,14 @@ util::Summary QueryService::LatencyRing::Snapshot() const {
 
 QueryService::PinnedContext::PinnedContext(QueryService* service)
     : service_(service) {
-  std::lock_guard<std::mutex> lock(service_->context_mu_);
+  util::MutexLock lock(service_->context_mu_);
   binding_ = service_->binding_.get();
   ++binding_->pins;
 }
 
 QueryService::PinnedContext::~PinnedContext() {
-  std::lock_guard<std::mutex> lock(service_->context_mu_);
-  if (--binding_->pins == 0) service_->context_cv_.notify_all();
+  util::MutexLock lock(service_->context_mu_);
+  if (--binding_->pins == 0) service_->context_cv_.NotifyAll();
 }
 
 QueryService::QueryService(const search::SearchContext& context,
@@ -67,7 +67,7 @@ QueryService::QueryService(const search::SearchContext& context,
 
 bool QueryService::AdmitMiss(uint64_t deadline,
                              std::shared_ptr<MissTicket>* ticket_out) {
-  std::lock_guard<std::mutex> lock(pending_mu_);
+  util::MutexLock lock(pending_mu_);
   const size_t watermark = options_.overload.max_pending_misses;
   if (watermark != 0 && pending_misses_ >= watermark) {
     // Shed lowest-budget-first: the earliest absolute deadline goes.
@@ -101,7 +101,7 @@ bool QueryService::AdmitMiss(uint64_t deadline,
 QueryService::MissGate QueryService::BeginMiss(
     const std::shared_ptr<MissTicket>& ticket) {
   {
-    std::lock_guard<std::mutex> lock(pending_mu_);
+    util::MutexLock lock(pending_mu_);
     if (ticket->shed) {
       // A watermark victim: de-registered and counted by the shedder.
       return MissGate::kShedByWatermark;
@@ -113,7 +113,7 @@ QueryService::MissGate QueryService::BeginMiss(
     --pending_misses_;
   }
   if (ticket->deadline != 0 && clock_->NowMicros() >= ticket->deadline) {
-    std::lock_guard<std::mutex> lock(pending_mu_);
+    util::MutexLock lock(pending_mu_);
     ++sheds_at_dequeue_;
     return MissGate::kExpiredInQueue;
   }
@@ -121,7 +121,7 @@ QueryService::MissGate QueryService::BeginMiss(
 }
 
 void QueryService::AbandonMiss(const std::shared_ptr<MissTicket>& ticket) {
-  std::lock_guard<std::mutex> lock(pending_mu_);
+  util::MutexLock lock(pending_mu_);
   if (ticket->shed) return;  // the shedder already de-registered it
   if (ticket->in_queue) {
     deadline_queue_.erase(ticket->it);
@@ -311,7 +311,7 @@ void QueryService::SubmitBatch(
     // cheap".
     if (deadline != 0 && clock_->NowMicros() >= deadline) {
       {
-        std::lock_guard<std::mutex> lock(pending_mu_);
+        util::MutexLock lock(pending_mu_);
         ++sheds_at_admission_;
       }
       on_done(i, ShedResponse("deadline expired at admission"));
@@ -458,7 +458,7 @@ std::vector<ResultPtr> QueryService::QueryBatch(
 void QueryService::RebindContext(const search::SearchContext& context) {
   std::unique_ptr<Binding> old;
   {
-    std::lock_guard<std::mutex> lock(context_mu_);
+    util::MutexLock lock(context_mu_);
     old = std::move(binding_);
     binding_.reset(new Binding{&context, 0});
   }
@@ -470,12 +470,15 @@ void QueryService::RebindContext(const search::SearchContext& context) {
   // Drain. No new pin can reach `old` (binding_ no longer points to it),
   // so wait for the in-flight ones to release; only once the count hits
   // zero is the documented "caller may now destroy the old context" safe.
-  std::unique_lock<std::mutex> lock(context_mu_);
-  context_cv_.wait(lock, [&] { return old->pins == 0; });
+  // Explicit predicate loop: `old->pins` is guarded by context_mu_ by
+  // convention (retired bindings are only touched under it), and the loop
+  // keeps that read inside the annotated critical section.
+  util::MutexLock lock(context_mu_);
+  while (old->pins != 0) context_cv_.Wait(context_mu_);
 }
 
 void QueryService::RecordLatency(bool hit, bool negative, double micros) {
-  std::lock_guard<std::mutex> lock(latency_mu_);
+  util::MutexLock lock(latency_mu_);
   ++queries_;
   all_latency_.Add(micros, options_.latency_window);
   (hit ? hit_latency_ : miss_latency_).Add(micros, options_.latency_window);
@@ -490,12 +493,12 @@ Metrics QueryService::metrics() const {
   Metrics m;
   m.cache = cache_.metrics();
   {
-    std::lock_guard<std::mutex> lock(pending_mu_);
+    util::MutexLock lock(pending_mu_);
     m.sheds_at_admission = sheds_at_admission_;
     m.sheds_at_dequeue = sheds_at_dequeue_;
     m.pending_misses = pending_misses_;
   }
-  std::lock_guard<std::mutex> lock(latency_mu_);
+  util::MutexLock lock(latency_mu_);
   m.queries = queries_;
   m.latency_us = all_latency_.Snapshot();
   m.hit_latency_us = hit_latency_.Snapshot();

@@ -44,14 +44,12 @@
 #ifndef OSUM_SERVE_QUERY_SERVICE_H_
 #define OSUM_SERVE_QUERY_SERVICE_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
@@ -62,6 +60,8 @@
 #include "serve/clock.h"
 #include "serve/metrics.h"
 #include "serve/result_cache.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace osum::serve {
@@ -204,7 +204,7 @@ class QueryService {
   /// it stays valid only under the caller's own lifetime coordination
   /// (no concurrent RebindContext-then-destroy).
   const search::SearchContext& context() const {
-    std::lock_guard<std::mutex> lock(context_mu_);
+    util::MutexLock lock(context_mu_);
     return *binding_->ctx;
   }
   size_t num_threads() const { return pool_.size(); }
@@ -272,7 +272,10 @@ class QueryService {
 
   /// One admitted-but-not-started pooled miss. Lives in the pending
   /// registry between admission and dequeue so the watermark shedder can
-  /// pick a victim by deadline; all fields are guarded by pending_mu_.
+  /// pick a victim by deadline; all fields are guarded by pending_mu_
+  /// (by convention — tickets are shared heap objects, so the analysis
+  /// cannot bind their fields to the service's mutex; every access site
+  /// is inside a pending_mu_ critical section in this file).
   struct MissTicket {
     uint64_t deadline = 0;  // absolute micros; 0 = no deadline
     bool shed = false;      // victim of a watermark shed (already counted)
@@ -292,18 +295,22 @@ class QueryService {
   /// false when the NEW request is the victim (caller answers
   /// kDeadlineExceeded inline); the admission-expiry check is the
   /// caller's, before the cache lookup.
-  bool AdmitMiss(uint64_t deadline, std::shared_ptr<MissTicket>* ticket_out);
+  bool AdmitMiss(uint64_t deadline, std::shared_ptr<MissTicket>* ticket_out)
+      EXCLUDES(pending_mu_);
 
   /// Dequeue side: unregisters the ticket and re-checks the budget.
-  MissGate BeginMiss(const std::shared_ptr<MissTicket>& ticket);
+  MissGate BeginMiss(const std::shared_ptr<MissTicket>& ticket)
+      EXCLUDES(pending_mu_);
 
   /// Rolls back AdmitMiss when the pool rejected the task (teardown).
-  void AbandonMiss(const std::shared_ptr<MissTicket>& ticket);
+  void AbandonMiss(const std::shared_ptr<MissTicket>& ticket)
+      EXCLUDES(pending_mu_);
 
   /// The kDeadlineExceeded response for a shed request.
   api::QueryResponse ShedResponse(const char* why);
 
-  void RecordLatency(bool hit, bool negative, double micros);
+  void RecordLatency(bool hit, bool negative, double micros)
+      EXCLUDES(latency_mu_);
 
   const ServiceOptions options_;
   const std::shared_ptr<const Clock> clock_;
@@ -312,24 +319,26 @@ class QueryService {
   /// a deadline-ordered index of the deadline-carrying subset (the
   /// watermark shedder's victim queue). Shed counters live here too; all
   /// guarded by pending_mu_.
-  mutable std::mutex pending_mu_;
-  size_t pending_misses_ = 0;
-  std::multimap<uint64_t, std::shared_ptr<MissTicket>> deadline_queue_;
-  uint64_t sheds_at_admission_ = 0;
-  uint64_t sheds_at_dequeue_ = 0;
+  mutable util::Mutex pending_mu_;
+  size_t pending_misses_ GUARDED_BY(pending_mu_) = 0;
+  std::multimap<uint64_t, std::shared_ptr<MissTicket>> deadline_queue_
+      GUARDED_BY(pending_mu_);
+  uint64_t sheds_at_admission_ GUARDED_BY(pending_mu_) = 0;
+  uint64_t sheds_at_dequeue_ GUARDED_BY(pending_mu_) = 0;
 
-  mutable std::mutex context_mu_;
-  mutable std::condition_variable context_cv_;  // signaled when pins hit 0
-  std::unique_ptr<Binding> binding_;
+  mutable util::Mutex context_mu_;
+  mutable util::CondVar context_cv_;  // signaled when pins hit 0
+  std::unique_ptr<Binding> binding_ GUARDED_BY(context_mu_)
+      PT_GUARDED_BY(context_mu_);
 
   ResultCache cache_;
 
-  mutable std::mutex latency_mu_;
-  uint64_t queries_ = 0;
-  LatencyRing all_latency_;
-  LatencyRing hit_latency_;
-  LatencyRing negative_hit_latency_;
-  LatencyRing miss_latency_;
+  mutable util::Mutex latency_mu_;
+  uint64_t queries_ GUARDED_BY(latency_mu_) = 0;
+  LatencyRing all_latency_ GUARDED_BY(latency_mu_);
+  LatencyRing hit_latency_ GUARDED_BY(latency_mu_);
+  LatencyRing negative_hit_latency_ GUARDED_BY(latency_mu_);
+  LatencyRing miss_latency_ GUARDED_BY(latency_mu_);
 
   // Last member on purpose: destroyed first, so the pool drains queued
   // tasks (which touch cache_/context_/latency rings) while the rest of

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <bit>
+#include <optional>
 #include <utility>
+
+#include "util/mutex.h"
 
 namespace osum::serve {
 namespace {
@@ -149,7 +152,7 @@ uint64_t ResultCache::DeadlineFor(const CachedResult& value,
 ResultPtr ResultCache::Lookup(const std::string& key) {
   std::string ikey = InternalKey(epoch(), key);
   Shard& shard = ShardFor(ikey);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  util::MutexLock lock(shard.mu);
   auto it = shard.map.find(std::string_view(ikey));
   if (it == shard.map.end()) return nullptr;
   if (EraseIfExpired(&shard, it->second)) return nullptr;
@@ -168,8 +171,12 @@ ResultPtr ResultCache::GetOrCompute(
   Shard& shard = ShardFor(ikey);
 
   std::shared_ptr<std::promise<ResultPtr>> promise;
+  // Set inside the lock scope, waited on after it: the coalesced path must
+  // block outside the shard lock, and a scoped MutexLock (unlike the old
+  // hand-unlocked unique_lock) makes that ordering structural.
+  std::optional<std::shared_future<ResultPtr>> wait_on;
   {
-    std::unique_lock<std::mutex> lock(shard.mu);
+    util::MutexLock lock(shard.mu);
     auto it = shard.map.find(std::string_view(ikey));
     if (it != shard.map.end() &&
         !EraseIfExpired(&shard, it->second)) {
@@ -188,22 +195,22 @@ ResultPtr ResultCache::GetOrCompute(
       // result outside the lock. The computing thread is guaranteed to be
       // actively running `compute` (it is never queued), so this wait
       // always makes progress even from thread-pool workers.
-      std::shared_future<ResultPtr> future = inflight->second;
       coalesced_waits_.fetch_add(1, std::memory_order_relaxed);
-      lock.unlock();
-      return future.get();
+      wait_on = inflight->second;
+    } else {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      promise = std::make_shared<std::promise<ResultPtr>>();
+      shard.inflight.emplace(ikey, promise->get_future().share());
     }
-    misses_.fetch_add(1, std::memory_order_relaxed);
-    promise = std::make_shared<std::promise<ResultPtr>>();
-    shard.inflight.emplace(ikey, promise->get_future().share());
   }
+  if (wait_on) return wait_on->get();
 
   ResultPtr value;
   try {
     value = std::make_shared<const CachedResult>(compute());
   } catch (...) {
     {
-      std::lock_guard<std::mutex> lock(shard.mu);
+      util::MutexLock lock(shard.mu);
       shard.inflight.erase(ikey);
     }
     promise->set_exception(std::current_exception());
@@ -211,7 +218,7 @@ ResultPtr ResultCache::GetOrCompute(
   }
 
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    util::MutexLock lock(shard.mu);
     shard.inflight.erase(ikey);
     // Publish only if the epoch still matches (a context rebuild must not
     // resurrect results computed against the old context), nobody filled
@@ -243,35 +250,39 @@ ResultPtr ResultCache::GetOrCompute(
 
 size_t ResultCache::SweepExpired() {
   size_t swept = 0;
-  for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+  for (auto& shard_ptr : shards_) {
+    // A reference local keeps the held capability (`shard.mu`) and the
+    // helpers' REQUIRES(shard->mu) textually identical for the analysis.
+    Shard& shard = *shard_ptr;
+    util::MutexLock lock(shard.mu);
     uint64_t now = clock_->NowMicros();
-    for (auto it = shard->lru.begin(); it != shard->lru.end();) {
+    for (auto it = shard.lru.begin(); it != shard.lru.end();) {
       auto next = std::next(it);
       // Reuse the one clock read for the whole shard — a full sweep must
       // not pay a steady_clock call per entry under the lock.
-      if (EraseExpiredAt(shard.get(), it, now)) ++swept;
+      if (EraseExpiredAt(&shard, it, now)) ++swept;
       it = next;
     }
     // Sightings age out back-to-front: the list is ordered by recording
     // time, so pruning stops at the first still-in-window record. A zero
     // window means sightings never age (only the cap bounds them).
-    while (policy_.admission_window_micros != 0 && !shard->sightings.empty() &&
-           now >= shard->sightings.back().seen_micros +
+    while (policy_.admission_window_micros != 0 && !shard.sightings.empty() &&
+           now >= shard.sightings.back().seen_micros +
                       policy_.admission_window_micros) {
-      shard->sighting_map.erase(std::string_view(shard->sightings.back().key));
-      shard->sightings.pop_back();
+      shard.sighting_map.erase(std::string_view(shard.sightings.back().key));
+      shard.sightings.pop_back();
     }
   }
   return swept;
 }
 
 void ResultCache::Clear() {
-  for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
-    shard->map.clear();
-    shard->lru.clear();
-    shard->bytes = 0;
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    util::MutexLock lock(shard.mu);
+    shard.map.clear();
+    shard.lru.clear();
+    shard.bytes = 0;
   }
 }
 
@@ -297,11 +308,12 @@ CacheMetrics ResultCache::metrics() const {
   m.negative_ttl_expiries =
       negative_ttl_expiries_.load(std::memory_order_relaxed);
   m.epoch = epoch();
-  for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
-    m.entries += shard->lru.size();
-    m.approx_bytes += shard->bytes;
-    m.tracked_sightings += shard->sightings.size();
+  for (const auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    util::MutexLock lock(shard.mu);
+    m.entries += shard.lru.size();
+    m.approx_bytes += shard.bytes;
+    m.tracked_sightings += shard.sightings.size();
   }
   return m;
 }

@@ -61,7 +61,6 @@
 #include <future>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -69,6 +68,8 @@
 #include "search/search_context.h"
 #include "serve/clock.h"
 #include "serve/metrics.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace osum::serve {
 
@@ -196,39 +197,42 @@ class ResultCache {
   using SightingList = std::list<Sighting>;
 
   struct Shard {
-    std::mutex mu;
-    Lru lru;  // front = most recently used
-    std::unordered_map<std::string_view, Lru::iterator> map;
-    std::unordered_map<std::string, std::shared_future<ResultPtr>> inflight;
-    size_t bytes = 0;
-    SightingList sightings;  // front = most recently recorded
-    std::unordered_map<std::string_view, SightingList::iterator> sighting_map;
+    util::Mutex mu;
+    Lru lru GUARDED_BY(mu);  // front = most recently used
+    std::unordered_map<std::string_view, Lru::iterator> map GUARDED_BY(mu);
+    std::unordered_map<std::string, std::shared_future<ResultPtr>> inflight
+        GUARDED_BY(mu);
+    size_t bytes GUARDED_BY(mu) = 0;
+    SightingList sightings GUARDED_BY(mu);  // front = most recently recorded
+    std::unordered_map<std::string_view, SightingList::iterator> sighting_map
+        GUARDED_BY(mu);
   };
 
   std::string InternalKey(uint64_t epoch, const std::string& key) const;
   Shard& ShardFor(const std::string& internal_key);
-  /// Caller holds shard.mu. Evicts from the LRU tail until both per-shard
-  /// budgets hold, never touching the front (most recent) entry.
-  void EvictOverBudget(Shard* shard);
-  /// Caller holds shard.mu. True when `it`'s entry has a deadline the
-  /// clock reached; erases it and counts the expiry when so. Reads the
-  /// clock only for entries that actually carry a deadline, so the
-  /// no-TTL hit path costs no clock call. With admission enabled, the
-  /// erased key gets a sighting — an expired hot key re-admits on its
-  /// first recompute instead of being doorkeeper-rejected once per TTL
-  /// period.
-  bool EraseIfExpired(Shard* shard, Lru::iterator it);
+  /// Evicts from the LRU tail until both per-shard budgets hold, never
+  /// touching the front (most recent) entry.
+  void EvictOverBudget(Shard* shard) REQUIRES(shard->mu);
+  /// True when `it`'s entry has a deadline the clock reached; erases it
+  /// and counts the expiry when so. Reads the clock only for entries that
+  /// actually carry a deadline, so the no-TTL hit path costs no clock
+  /// call. With admission enabled, the erased key gets a sighting — an
+  /// expired hot key re-admits on its first recompute instead of being
+  /// doorkeeper-rejected once per TTL period.
+  bool EraseIfExpired(Shard* shard, Lru::iterator it) REQUIRES(shard->mu);
   /// The body of EraseIfExpired against a caller-supplied timestamp —
   /// SweepExpired reads the clock once per shard, not once per entry.
-  bool EraseExpiredAt(Shard* shard, Lru::iterator it, uint64_t now);
-  /// Caller holds shard.mu. Records (or refreshes and front-moves) a
-  /// sighting of `ikey` at `now`, evicting the oldest past the cap.
-  void RecordSighting(Shard* shard, const std::string& ikey, uint64_t now);
-  /// Caller holds shard.mu. The doorkeeper decision for an insert of
-  /// `ikey` at `now`: true admits (consuming the sighting), false records
-  /// or refreshes a sighting and rejects.
+  bool EraseExpiredAt(Shard* shard, Lru::iterator it, uint64_t now)
+      REQUIRES(shard->mu);
+  /// Records (or refreshes and front-moves) a sighting of `ikey` at
+  /// `now`, evicting the oldest past the cap.
+  void RecordSighting(Shard* shard, const std::string& ikey, uint64_t now)
+      REQUIRES(shard->mu);
+  /// The doorkeeper decision for an insert of `ikey` at `now`: true
+  /// admits (consuming the sighting), false records or refreshes a
+  /// sighting and rejects.
   bool AdmitOrRecordSighting(Shard* shard, const std::string& ikey,
-                             uint64_t now);
+                             uint64_t now) REQUIRES(shard->mu);
   /// Entry deadline for a value inserted at `now` (0 = never expires).
   uint64_t DeadlineFor(const CachedResult& value, uint64_t now) const;
 

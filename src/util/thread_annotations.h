@@ -1,0 +1,88 @@
+// Clang thread-safety-analysis annotation macros (no-ops elsewhere).
+//
+// These macros turn locking contracts into compile-time checkable
+// capabilities: a mutex declared CAPABILITY is something a thread can
+// hold, GUARDED_BY ties a field to the capability that must be held to
+// touch it, and REQUIRES/ACQUIRE/RELEASE describe what a function expects
+// or does. Under Clang with -Wthread-safety (always on for this project's
+// targets; promoted to -Werror=thread-safety by the OSUM_LINT lane, see
+// scripts/lint.sh) a guarded field read without its lock, a lock-scope
+// mistake, or a REQUIRES violation is a compile error. Under GCC every
+// macro expands to nothing, so the annotated tree builds identically.
+//
+// Use the util::Mutex/util::CondVar/util::MutexLock wrappers
+// (util/mutex.h) rather than raw std primitives in concurrent code — the
+// std types carry no annotations, so the analysis cannot see them (and
+// scripts/lint.sh greps them out of the migrated layers).
+//
+// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+#ifndef OSUM_UTIL_THREAD_ANNOTATIONS_H_
+#define OSUM_UTIL_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define OSUM_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define OSUM_THREAD_ANNOTATION__(x)
+#endif
+
+/// Declares a class to be a capability (e.g. CAPABILITY("mutex")).
+#define CAPABILITY(x) OSUM_THREAD_ANNOTATION__(capability(x))
+
+/// Declares an RAII class whose lifetime acquires/releases a capability.
+#define SCOPED_CAPABILITY OSUM_THREAD_ANNOTATION__(scoped_lockable)
+
+/// Field/variable may only be accessed while holding the capability.
+#define GUARDED_BY(x) OSUM_THREAD_ANNOTATION__(guarded_by(x))
+
+/// Pointer field: the *pointee* may only be accessed while holding it.
+#define PT_GUARDED_BY(x) OSUM_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/// Function requires the capabilities to be held on entry (and does not
+/// release them).
+#define REQUIRES(...) \
+  OSUM_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  OSUM_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capabilities and holds them on return.
+#define ACQUIRE(...) \
+  OSUM_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  OSUM_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capabilities (which must be held on entry).
+#define RELEASE(...) \
+  OSUM_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  OSUM_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns the given value.
+#define TRY_ACQUIRE(...) \
+  OSUM_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+
+/// Function must NOT be called with the capabilities held (documents and
+/// checks against self-deadlock on non-reentrant locks).
+#define EXCLUDES(...) OSUM_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/// Function (runtime-)asserts the capability is held and tells the
+/// analysis so for the rest of the calling scope — the bridge for
+/// invariants a mutex does not model, e.g. util::ThreadRole's
+/// "loop thread only" affinity.
+#define ASSERT_CAPABILITY(x) \
+  OSUM_THREAD_ANNOTATION__(assert_capability(x))
+
+/// Function returns a reference to the capability that guards its class.
+#define RETURN_CAPABILITY(x) OSUM_THREAD_ANNOTATION__(lock_returned(x))
+
+/// Ordering hints for deadlock detection.
+#define ACQUIRED_BEFORE(...) \
+  OSUM_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  OSUM_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+
+/// Escape hatch: body is not analyzed. Use only where the analysis cannot
+/// follow a correct pattern, and say why at the use site.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  OSUM_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+#endif  // OSUM_UTIL_THREAD_ANNOTATIONS_H_

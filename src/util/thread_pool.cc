@@ -17,26 +17,26 @@ ThreadPool::ThreadPool(size_t num_threads) {
 ThreadPool::~ThreadPool() { Stop(); }
 
 void ThreadPool::Stop() {
-  std::lock_guard<std::mutex> stop_lock(stop_mu_);
+  MutexLock stop_lock(stop_mu_);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (stop_) return;  // already stopped; stop_mu_ ordered us after the join
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& w : workers_) w.join();
 }
 
 bool ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     // Post-stop the workers may already have drained and exited; enqueueing
     // would drop the task on the floor without anyone noticing. Refuse
     // instead, and let the caller deliver its completion another way.
     if (stop_) return false;
     queue_.push_back(std::move(task));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
   return true;
 }
 
@@ -48,8 +48,10 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      // Explicit predicate loop (not the lambda overload) so the guarded
+      // reads stay inside this annotated scope.
+      while (!stop_ && queue_.empty()) cv_.Wait(mu_);
       if (queue_.empty()) return;  // stop_ set and queue drained
       task = std::move(queue_.front());
       queue_.pop_front();

@@ -8,17 +8,18 @@
 #ifndef OSUM_UTIL_THREAD_POOL_H_
 #define OSUM_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace osum::util {
 
@@ -41,7 +42,7 @@ class ThreadPool {
   /// enqueued (the workers may already be gone, so a late push would be
   /// silently dropped) — it is destroyed unrun and Submit returns false,
   /// so callers that must deliver a completion can do so themselves.
-  bool Submit(std::function<void()> task);
+  bool Submit(std::function<void()> task) EXCLUDES(mu_);
 
   /// Enqueues `fn` and returns a future for its result (the asynchronous
   /// submission path of serve::QueryService). Unlike Submit, `fn` may
@@ -69,22 +70,25 @@ class ThreadPool {
   /// callers block until the first call finishes joining). Must not be
   /// called from a task running on this pool (self-join). The destructor
   /// calls it.
-  void Stop();
+  void Stop() EXCLUDES(stop_mu_, mu_);
 
   /// std::thread::hardware_concurrency with a floor of 1 (the standard
   /// allows it to report 0).
   static size_t HardwareThreads();
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mu_);
 
   /// Serializes Stop() callers through the join phase, so "Stop returned"
   /// always means "workers joined" — even for the loser of a Stop race.
-  std::mutex stop_mu_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stop_ = false;
+  /// Always taken before mu_.
+  Mutex stop_mu_ ACQUIRED_BEFORE(mu_);
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  bool stop_ GUARDED_BY(mu_) = false;
+  /// Immutable after the constructor returns (only Stop joins through it,
+  /// serialized by stop_mu_); not guarded.
   std::vector<std::thread> workers_;
 };
 
