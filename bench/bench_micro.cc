@@ -1,15 +1,34 @@
 // google-benchmark microbenchmarks of the algorithm kernels on synthetic
 // OS trees: scaling of the size-l algorithms with n and l, OS generation,
 // prelim-l generation and ObjectRank iterations.
+//
+// With `--json <path>` the driver instead runs the deterministic DP
+// hot-path workload (ISSUE 10) and emits machine-independent
+// bench::JsonReport rows the perf lane gates near-exactly:
+//   - dp_queries / dp_allocations / dp_bytes_reserved — a batch of size-l
+//     DP runs through one shared DpScratch must cost O(1) arena blocks
+//     total, not O(nodes) allocations per tree;
+//   - partials_reused / partials_misses / partials_inserts /
+//     partials_entries — the per-(subject, l) memo must get nonzero reuse
+//     on an overlapping-keyword workload.
+// Both sections carry internal correctness guards (shared-scratch vs
+// fresh selections; memo-on vs memo-off DeterministicResultText) and exit
+// nonzero on any mismatch, so the perf lane cannot green-light a fast but
+// wrong hot path.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "api/codec.h"
+#include "bench_common.h"
 #include "core/os_backend.h"
 #include "core/os_generator.h"
 #include "core/size_l.h"
 #include "datasets/dblp.h"
+#include "search/search_context.h"
 #include "util/rng.h"
 
 namespace {
@@ -37,6 +56,23 @@ void BM_SizeLDp(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SizeLDp)
+    ->Args({100, 10})
+    ->Args({1000, 10})
+    ->Args({1000, 50})
+    ->Args({10000, 10})
+    ->Args({10000, 50});
+
+// The arena-backed variant: same DP, table storage reused across
+// iterations through one DpScratch (the per-worker steady state).
+void BM_SizeLDpScratch(benchmark::State& state) {
+  core::OsTree os = RandomTree(1, static_cast<size_t>(state.range(0)));
+  size_t l = static_cast<size_t>(state.range(1));
+  core::DpScratch scratch;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::SizeLDp(os, l, &scratch));
+  }
+}
+BENCHMARK(BM_SizeLDpScratch)
     ->Args({100, 10})
     ->Args({1000, 10})
     ->Args({1000, 50})
@@ -139,24 +175,144 @@ void BM_DataGraphBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_DataGraphBuild);
 
+// ---------------------------------------------------------------------------
+// Deterministic --json mode (the perf-lane gate rows).
+
+// A batch of size-l DP runs through ONE shared DpScratch. The gate rows
+// pin the arena claim: block_allocations stays a small constant (the
+// geometric block list warms once) no matter how many trees run through.
+int ReportDpBatch(bench::JsonReport& report, bool tiny) {
+  const size_t trees = tiny ? 8 : 48;
+  const size_t n = tiny ? 200 : 4000;
+  const size_t l = 25;
+  core::DpScratch scratch;
+  uint64_t operations = 0;
+  for (size_t i = 0; i < trees; ++i) {
+    core::OsTree os = RandomTree(100 + i, n);
+    core::SizeLStats stats;
+    core::Selection shared = core::SizeLDp(os, l, &scratch, &stats);
+    core::Selection fresh = core::SizeLDp(os, l);
+    if (shared.nodes != fresh.nodes ||
+        shared.importance != fresh.importance) {
+      std::fprintf(stderr,
+                   "FAIL: shared-scratch DP diverged from fresh DP "
+                   "(tree %zu)\n",
+                   i);
+      return 1;
+    }
+    operations += stats.operations;
+  }
+  report.Add("dp", "batch", "dp_queries", static_cast<double>(trees));
+  report.Add("dp", "batch", "dp_operations", static_cast<double>(operations));
+  report.Add("dp", "batch", "dp_allocations",
+             static_cast<double>(scratch.arena.block_allocations()));
+  report.Add("dp", "batch", "dp_bytes_reserved",
+             static_cast<double>(scratch.arena.bytes_reserved()));
+  std::printf("dp: %zu trees (n=%zu, l=%zu), %llu ops, %llu arena blocks, "
+              "%llu bytes reserved\n",
+              trees, n, l, static_cast<unsigned long long>(operations),
+              static_cast<unsigned long long>(
+                  scratch.arena.block_allocations()),
+              static_cast<unsigned long long>(
+                  scratch.arena.bytes_reserved()));
+  return 0;
+}
+
+// An overlapping-keyword workload through SearchContext, memo-on vs
+// memo-off. The reuse counters are single-threaded and deterministic; the
+// byte-equivalence guard makes "fast but wrong" impossible to gate green.
+int ReportPartialsWorkload(bench::JsonReport& report, bool tiny) {
+  datasets::Dblp d = datasets::BuildDblp();
+  datasets::ApplyDblpScores(&d, 1, 0.85);
+  core::DataGraphBackend backend(d.db, d.links, d.data_graph);
+
+  auto build = [&] {
+    std::vector<search::SearchContext::Subject> subjects;
+    subjects.push_back({d.author, datasets::DblpAuthorGds(d)});
+    subjects.push_back({d.paper, datasets::DblpPaperGds(d)});
+    return search::SearchContext::Build(d.db, &backend, std::move(subjects));
+  };
+  search::SearchContext with_memo = build();
+  search::SearchContext without_memo = build();
+  core::PartialsMemoOptions off;
+  off.enabled = false;
+  without_memo.partials_memo().Configure(off);
+
+  // Every keyword set overlaps the others on the Faloutsos/databases
+  // subjects, so passes 2+ reuse the memoized per-subject synopses.
+  std::vector<std::string> queries = {"databases", "faloutsos",
+                                      "christos faloutsos", "databases"};
+  search::QueryOptions options;
+  options.l = tiny ? 5 : 15;
+  const int passes = tiny ? 2 : 4;
+  for (int pass = 0; pass < passes; ++pass) {
+    for (const std::string& q : queries) {
+      std::string on =
+          api::DeterministicResultText(with_memo.Query(q, options));
+      std::string plain =
+          api::DeterministicResultText(without_memo.Query(q, options));
+      if (on != plain) {
+        std::fprintf(stderr,
+                     "FAIL: memo-on query diverged from memo-off "
+                     "(pass %d, query \"%s\")\n",
+                     pass, q.c_str());
+        return 1;
+      }
+    }
+  }
+
+  core::PartialsMemoMetrics m = with_memo.partials_memo().metrics();
+  report.Add("partials", "overlap", "partials_reused",
+             static_cast<double>(m.hits));
+  report.Add("partials", "overlap", "partials_misses",
+             static_cast<double>(m.misses));
+  report.Add("partials", "overlap", "partials_inserts",
+             static_cast<double>(m.inserts));
+  report.Add("partials", "overlap", "partials_entries",
+             static_cast<double>(m.entries));
+  std::printf("partials: %llu reused, %llu misses, %llu inserts, "
+              "%llu entries\n",
+              static_cast<unsigned long long>(m.hits),
+              static_cast<unsigned long long>(m.misses),
+              static_cast<unsigned long long>(m.inserts),
+              static_cast<unsigned long long>(m.entries));
+  if (m.hits == 0) {
+    std::fprintf(stderr,
+                 "FAIL: overlapping workload produced zero partials "
+                 "reuse\n");
+    return 1;
+  }
+  return 0;
+}
+
+int RunDeterministicReport(bench::JsonReport& report, bool tiny) {
+  int rc = ReportDpBatch(report, tiny);
+  if (rc != 0) return rc;
+  rc = ReportPartialsWorkload(report, tiny);
+  if (rc != 0) return rc;
+  return report.Write() ? 0 : 1;
+}
+
 }  // namespace
 
-// Custom main instead of BENCHMARK_MAIN: the repo-wide `--json <path>`
-// flag (see bench::JsonReport in bench_common.h) maps onto
-// google-benchmark's own JSON reporter so bench_micro baselines land in
-// the same bench/baselines/ workflow as the table drivers.
+// Custom main: `--json <path>` selects the deterministic gate-row report
+// above (bench::JsonReport format, same bench/baselines/ workflow as the
+// table drivers); without it the google-benchmark timing tables run.
+// `--tiny` shrinks the deterministic workload, or maps onto a short
+// --benchmark_min_time in timing mode.
 int main(int argc, char** argv) {
+  osum::bench::JsonReport report =
+      osum::bench::JsonReport::FromArgs(argc, argv, "bench_micro");
+  bool tiny = osum::bench::TinyFromArgs(argc, argv);
+  if (report.active()) {
+    return RunDeterministicReport(report, tiny);
+  }
+
   std::vector<std::string> args(argv, argv + argc);
   std::vector<std::string> translated;
   translated.reserve(args.size() + 1);
   for (size_t i = 0; i < args.size(); ++i) {
-    if (args[i] == "--json" && i + 1 < args.size()) {
-      translated.push_back("--benchmark_out=" + args[++i]);
-      translated.push_back("--benchmark_out_format=json");
-    } else if (args[i].rfind("--json=", 0) == 0) {
-      translated.push_back("--benchmark_out=" + args[i].substr(7));
-      translated.push_back("--benchmark_out_format=json");
-    } else if (args[i] == "--tiny") {
+    if (args[i] == "--tiny") {
       // Smoke mode: one fast iteration per benchmark.
       translated.push_back("--benchmark_min_time=0.01");
     } else {

@@ -61,6 +61,23 @@ if [[ "${OSUM_PERF_LANE:-0}" == "1" ]]; then
           "${net_json}" --strict \
           --gate-metrics 'requests_sent|responses_ok|garbage_sent|malformed_rejects|valid_ok|frames_in|responses_out|malformed_frames|dropped_responses|sheds_at_admission|sheds_at_dequeue|responses_deadline_exceeded' \
           --gate-tolerance 0.001
+  # DP hot-path gate (ISSUE 10): bench_micro's --json mode is a seeded,
+  # single-threaded workload, so the arena-allocation and partials-reuse
+  # rows are machine-independent and gate near-exactly. The target only
+  # exists when google-benchmark is installed; skipping on machines
+  # without it is explicit, never a silent compile-failure swallow.
+  if cmake --build build-release --target help | grep -q 'bench_micro'; then
+    echo "==== perf lane: full-size bench_micro vs baseline (--strict) ===="
+    cmake --build build-release -j "${JOBS}" --target bench_micro
+    micro_json="build-release/bench_micro_perf.json"
+    build-release/bench/bench_micro --json "${micro_json}"
+    python3 scripts/bench_diff.py bench/baselines/bench_micro.json \
+            "${micro_json}" --strict \
+            --gate-metrics 'dp_queries|dp_operations|dp_allocations|dp_bytes_reserved|partials_reused|partials_misses|partials_inserts|partials_entries' \
+            --gate-tolerance 0.001
+  else
+    echo "==== perf lane: bench_micro skipped (google-benchmark not found) ===="
+  fi
   echo "==== perf lane green ===="
   exit 0
 fi
@@ -94,6 +111,20 @@ smoke_json="build-release/bench_cache_smoke.json"
 build-release/bench/bench_cache --tiny --json "${smoke_json}"
 python3 -m json.tool "${smoke_json}" > /dev/null
 echo "bench JSON smoke ok: ${smoke_json}"
+
+# DP hot-path smoke: bench_micro's deterministic --json mode exits
+# nonzero if shared-scratch DP or the partials memo ever diverges from
+# the fresh compute, or if the overlap workload gets zero reuse. Guarded
+# on the binary: the target is absent without google-benchmark.
+if [[ -x build-release/bench/bench_micro ]]; then
+  echo "==== dp hot-path smoke (bench_micro --tiny --json) ===="
+  micro_smoke_json="build-release/bench_micro_smoke.json"
+  build-release/bench/bench_micro --tiny --json "${micro_smoke_json}"
+  python3 -m json.tool "${micro_smoke_json}" > /dev/null
+  echo "dp hot-path smoke ok: ${micro_smoke_json}"
+else
+  echo "==== dp hot-path smoke skipped (no bench_micro binary) ===="
+fi
 
 # TCP front-end smoke: bench_net drives a real server over loopback
 # sockets at --tiny sizes — it exits nonzero on any lost response,

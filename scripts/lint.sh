@@ -133,6 +133,7 @@ fi
 section "annotation coverage (grep)"
 ANNOTATED_HEADERS=(
   src/util/thread_pool.h
+  src/core/partials_memo.h
   src/serve/result_cache.h
   src/serve/query_service.h
   src/net/event_loop.h
@@ -150,7 +151,8 @@ done
 if grep -rn --include='*.h' --include='*.cc' \
     -e 'std::mutex' -e 'std::condition_variable' \
     -e 'std::lock_guard' -e 'std::scoped_lock' \
-    src/util/thread_pool.h src/util/thread_pool.cc src/serve src/net; then
+    src/util/thread_pool.h src/util/thread_pool.cc \
+    src/core/partials_memo.h src/core/partials_memo.cc src/serve src/net; then
   echo "[lint] FAIL: raw std lock primitives in migrated layers (use" \
        "util::Mutex/util::CondVar/util::MutexLock from util/mutex.h)" >&2
   FAILED=1
@@ -160,7 +162,8 @@ fi
 
 # std::unique_lock is allowed only inside util/mutex.h's CondVar bridge.
 if grep -rn --include='*.h' --include='*.cc' 'std::unique_lock' \
-    src/util/thread_pool.h src/util/thread_pool.cc src/serve src/net; then
+    src/util/thread_pool.h src/util/thread_pool.cc \
+    src/core/partials_memo.h src/core/partials_memo.cc src/serve src/net; then
   echo "[lint] FAIL: std::unique_lock outside util/mutex.h" >&2
   FAILED=1
 fi

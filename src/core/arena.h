@@ -1,0 +1,129 @@
+// Bump allocation for the DP hot path.
+//
+// The size-l DP used to build its tables node-at-a-time through the global
+// allocator (a vector-of-vectors per table); profiling showed the hot path
+// dominated by allocator traffic, not knapsack arithmetic. Arena replaces
+// that with block-granular bump allocation: Reset() rewinds to the start of
+// the block list without releasing memory, so a batch of queries driven
+// through one arena performs O(1) large allocations total instead of
+// O(nodes) small ones per tree.
+//
+// Deliberately minimal: trivially-destructible element types only (nothing
+// is ever destroyed, only rewound), single-threaded (one arena per worker,
+// see DpScratch in size_l.h), and instrumented — block_allocations() /
+// bytes_reserved() are cumulative, machine-independent counters that
+// bench_micro turns into perf-lane gate rows.
+#ifndef OSUM_CORE_ARENA_H_
+#define OSUM_CORE_ARENA_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace osum::core {
+
+/// A growable bump allocator over a list of geometrically growing blocks.
+/// Allocate() bumps within the current block and falls through to the next
+/// (or a fresh, larger) block on overflow; Reset() rewinds to offset zero
+/// keeping every block, so steady-state reuse allocates nothing.
+class Arena {
+ public:
+  static constexpr size_t kDefaultFirstBlockBytes = size_t{64} * 1024;
+
+  explicit Arena(size_t first_block_bytes = kDefaultFirstBlockBytes)
+      : next_block_bytes_(first_block_bytes > 0 ? first_block_bytes
+                                                : kDefaultFirstBlockBytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Uninitialized storage for `count` Ts. The pointer stays valid until
+  /// the next Reset(). count == 0 returns a distinct, aligned, dereference-
+  /// forbidden pointer (never nullptr) so empty spans need no special case.
+  template <typename T>
+  T* AllocateArray(size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena never runs destructors");
+    return static_cast<T*>(Allocate(count * sizeof(T), alignof(T)));
+  }
+
+  void* Allocate(size_t bytes, size_t align) {
+    // Blocks come from operator new[], so their base satisfies any
+    // fundamental alignment; aligning the offset is enough.
+    while (true) {
+      if (block_ < blocks_.size()) {
+        size_t at = AlignUp(offset_, align);
+        if (at + bytes <= blocks_[block_].size) {
+          offset_ = at + bytes;
+          bytes_used_peak_ =
+              std::max<uint64_t>(bytes_used_peak_, UsedThroughCurrentBlock());
+          return blocks_[block_].data.get() + at;
+        }
+        // Advance into the next (strictly larger) block; the stranded tail
+        // of this one is reclaimed by the next Reset().
+        ++block_;
+        offset_ = 0;
+        continue;
+      }
+      AddBlock(bytes + align);
+    }
+  }
+
+  /// Rewinds to the start of the block list; keeps all blocks.
+  void Reset() {
+    block_ = 0;
+    offset_ = 0;
+  }
+
+  /// Cumulative count of blocks ever requested from the global allocator
+  /// (never decreases, not reset by Reset()). The bench-gated measure of
+  /// "large allocations per batch".
+  uint64_t block_allocations() const { return blocks_.size(); }
+
+  /// Total bytes currently held across all blocks.
+  uint64_t bytes_reserved() const { return bytes_reserved_; }
+
+  /// High-water mark of live bytes handed out between Resets (alignment
+  /// padding and stranded block tails included).
+  uint64_t bytes_used_peak() const { return bytes_used_peak_; }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    size_t size = 0;
+  };
+
+  static size_t AlignUp(size_t at, size_t align) {
+    return (at + align - 1) & ~(align - 1);
+  }
+
+  size_t UsedThroughCurrentBlock() const {
+    size_t used = offset_;
+    for (size_t b = 0; b < block_; ++b) used += blocks_[b].size;
+    return used;
+  }
+
+  void AddBlock(size_t min_bytes) {
+    size_t size = next_block_bytes_;
+    while (size < min_bytes) size *= 2;
+    next_block_bytes_ = size * 2;
+    blocks_.push_back(Block{std::make_unique<std::byte[]>(size), size});
+    bytes_reserved_ += size;
+    block_ = blocks_.size() - 1;
+    offset_ = 0;
+  }
+
+  std::vector<Block> blocks_;
+  size_t block_ = 0;   // index of the block being bumped
+  size_t offset_ = 0;  // bump offset within blocks_[block_]
+  size_t next_block_bytes_;
+  uint64_t bytes_reserved_ = 0;
+  uint64_t bytes_used_peak_ = 0;
+};
+
+}  // namespace osum::core
+
+#endif  // OSUM_CORE_ARENA_H_

@@ -1,8 +1,17 @@
 // Exact size-l algorithms: tree-knapsack DP and the paper's literal
 // combination-enumeration DP (Algorithm 1).
+//
+// Both back ends run on flat structure-of-arrays tables bump-allocated
+// from a caller-owned DpScratch (see arena.h): per-node rows live in
+// single contiguous buffers addressed by offset spans prefix-summed from
+// cap[]. The merge arithmetic and tie-breaking are unchanged from the
+// vector-of-vectors implementation — selections are byte-identical, which
+// the differential suite pins.
 #include <algorithm>
-#include <cassert>
+#include <cmath>
 #include <limits>
+#include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "core/dp_internal.h"
@@ -14,10 +23,13 @@ namespace {
 
 constexpr double kNegInf = -std::numeric_limits<double>::infinity();
 
-// Subtree sizes via reverse BFS-order scan (children have larger indices).
-std::vector<int32_t> SubtreeSizes(const OsTree& os) {
-  std::vector<int32_t> size(os.size(), 1);
-  for (OsNodeId v = static_cast<OsNodeId>(os.size()) - 1; v > 0; --v) {
+// Subtree sizes via reverse BFS-order scan (children have larger indices),
+// into arena storage.
+int32_t* SubtreeSizes(const OsTree& os, Arena* arena) {
+  const OsNodeId n = static_cast<OsNodeId>(os.size());
+  int32_t* size = arena->AllocateArray<int32_t>(n);
+  std::fill_n(size, n, 1);
+  for (OsNodeId v = n - 1; v > 0; --v) {
     size[os.node(v).parent] += size[v];
   }
   return size;
@@ -27,91 +39,157 @@ std::vector<int32_t> SubtreeSizes(const OsTree& os) {
 
 namespace internal {
 
-DpTables ComputeDpTables(const OsTree& os, size_t l) {
+DpTables ComputeDpTables(const OsTree& os, size_t l, DpScratch* scratch) {
+  Arena& arena = scratch->arena;
+  arena.Reset();
+
   DpTables t;
   const int32_t n = static_cast<int32_t>(os.size());
+  t.n = n;
   t.L = static_cast<int32_t>(std::min<size_t>(l, os.size()));
 
-  std::vector<int32_t> subtree = SubtreeSizes(os);
+  int32_t* subtree = SubtreeSizes(os, &arena);
 
   // cap[v]: max nodes selectable from v's subtree in any solution through
   // v = min(L - depth(v), |subtree(v)|). Nodes at depth >= L can never
   // appear (the root path alone would exceed L) — the paper's footnote 1.
-  t.cap.assign(n, 0);
+  int32_t* cap = arena.AllocateArray<int32_t>(n);
   for (OsNodeId v = 0; v < n; ++v) {
-    t.cap[v] = std::min(t.L - os.node(v).depth, subtree[v]);
+    cap[v] = std::min(t.L - os.node(v).depth, subtree[v]);
   }
 
-  t.best.resize(n);
-  t.usable_children.resize(n);
-  t.picks.resize(n);
+  // One prefix-sum pass over cap[] sizes every table and fixes every
+  // node's offset span. Nodes with cap <= 0 get empty rows.
+  size_t* best_off = arena.AllocateArray<size_t>(n);
+  size_t* child_off = arena.AllocateArray<size_t>(n + 1);
+  size_t* picks_off = arena.AllocateArray<size_t>(n);
+  size_t best_total = 0;
+  size_t child_total = 0;
+  size_t picks_total = 0;
+  for (OsNodeId v = 0; v < n; ++v) {
+    best_off[v] = best_total;
+    child_off[v] = child_total;
+    picks_off[v] = picks_total;
+    if (cap[v] <= 0) continue;
+    size_t usable = 0;
+    for (OsNodeId c : os.node(v).children) {
+      usable += cap[c] >= 1 ? 1 : 0;
+    }
+    best_total += static_cast<size_t>(cap[v]) + 1;
+    child_total += usable;
+    picks_total += usable * static_cast<size_t>(cap[v]);
+  }
+  child_off[n] = child_total;
+
+  double* best = arena.AllocateArray<double>(best_total);
+  OsNodeId* children = arena.AllocateArray<OsNodeId>(child_total);
+  int32_t* picks = arena.AllocateArray<int32_t>(picks_total);
+  // Knapsack working rows, shared by every node (budget <= L - 1).
+  double* r = arena.AllocateArray<double>(t.L + 1);
+  double* nr = arena.AllocateArray<double>(t.L + 1);
 
   for (OsNodeId v = n - 1; v >= 0; --v) {
-    if (t.cap[v] <= 0) continue;
+    if (cap[v] <= 0) continue;
     const OsNode& node = os.node(v);
-    const int32_t budget = t.cap[v] - 1;  // nodes available for children
+    const int32_t budget = cap[v] - 1;  // nodes available for children
 
+    OsNodeId* vkids = children + child_off[v];
+    size_t nkids = 0;
     for (OsNodeId c : node.children) {
-      if (t.cap[c] >= 1) t.usable_children[v].push_back(c);
+      if (cap[c] >= 1) vkids[nkids++] = c;
     }
 
     // Knapsack merge over children: r[m] = best importance using m nodes
     // from the first t children.
-    std::vector<double> r(budget + 1, kDpNegInf);
+    std::fill_n(r, budget + 1, kDpNegInf);
     r[0] = 0.0;
-    t.picks[v].resize(t.usable_children[v].size());
     int32_t reach = 0;  // nodes reachable from children merged so far
-    for (size_t c_idx = 0; c_idx < t.usable_children[v].size(); ++c_idx) {
-      OsNodeId c = t.usable_children[v][c_idx];
-      reach = std::min(budget, reach + t.cap[c]);
-      std::vector<double> nr(budget + 1, kDpNegInf);
-      std::vector<int32_t>& pick = t.picks[v][c_idx];
-      pick.assign(budget + 1, 0);
+    for (size_t c_idx = 0; c_idx < nkids; ++c_idx) {
+      OsNodeId c = vkids[c_idx];
+      reach = std::min(budget, reach + cap[c]);
+      std::fill_n(nr, budget + 1, kDpNegInf);
+      int32_t* pick =
+          picks + picks_off[v] + c_idx * static_cast<size_t>(cap[v]);
+      std::fill_n(pick, budget + 1, 0);
+      const double* cbest = best + best_off[c];
       for (int32_t m = 0; m <= reach; ++m) {
         // j nodes to child c, m - j to earlier children.
-        int32_t jmax = std::min(m, t.cap[c]);
+        int32_t jmax = std::min(m, cap[c]);
         for (int32_t j = 0; j <= jmax; ++j) {
           ++t.operations;
           double prev = r[m - j];
           if (prev <= kDpNegInf) continue;
-          double cand = prev + (j > 0 ? t.best[c][j] : 0.0);
+          double cand = prev + (j > 0 ? cbest[j] : 0.0);
           if (cand > nr[m]) {
             nr[m] = cand;
             pick[m] = j;
           }
         }
       }
-      r.swap(nr);
+      std::swap(r, nr);
     }
 
-    t.best[v].assign(t.cap[v] + 1, kDpNegInf);
-    t.best[v][0] = 0.0;
-    for (int32_t i = 1; i <= t.cap[v]; ++i) {
-      if (r[i - 1] > kDpNegInf) {
-        t.best[v][i] = node.local_importance + r[i - 1];
-      }
+    double* vbest = best + best_off[v];
+    vbest[0] = 0.0;
+    for (int32_t i = 1; i <= cap[v]; ++i) {
+      vbest[i] = r[i - 1] > kDpNegInf ? node.local_importance + r[i - 1]
+                                      : kDpNegInf;
     }
   }
+
+  t.cap = cap;
+  t.best = best;
+  t.best_off = best_off;
+  t.children = children;
+  t.child_off = child_off;
+  t.picks = picks;
+  t.picks_off = picks_off;
   return t;
 }
 
+namespace {
+
+[[noreturn]] void ThrowCorruptTables(const char* what) {
+  throw std::logic_error(what);
+}
+
+}  // namespace
+
 Selection ReconstructDp(const OsTree& os, const DpTables& tables, size_t l) {
   Selection result;
+  // Real checks, not assert: a malformed request or table must fail loudly
+  // in Release builds instead of silently yielding a garbage selection.
+  // Each check is one branch per selected node — noise next to the merge.
+  if (l < 1 || l > static_cast<size_t>(tables.L)) {
+    throw std::invalid_argument(
+        "ReconstructDp: l must be in [1, L] for the computed tables");
+  }
   const int32_t target = static_cast<int32_t>(l);
-  assert(target >= 1 && target <= tables.L);
-  assert(tables.best[kOsRoot][target] > kDpNegInf);
+  if (tables.n <= 0 || tables.cap[kOsRoot] < target ||
+      !(tables.BestAt(kOsRoot, target) > kDpNegInf)) {
+    ThrowCorruptTables("ReconstructDp: best[root][l] is not finite");
+  }
   std::vector<std::pair<OsNodeId, int32_t>> stack{{kOsRoot, target}};
   while (!stack.empty()) {
     auto [v, i] = stack.back();
     stack.pop_back();
+    if (i < 1 || i > tables.cap[v]) {
+      ThrowCorruptTables(
+          "ReconstructDp: picks assign a child more nodes than its cap");
+    }
     result.nodes.push_back(v);
     int32_t m = i - 1;
-    for (size_t t = tables.usable_children[v].size(); t-- > 0;) {
-      int32_t j = tables.picks[v][t][m];
-      if (j > 0) stack.push_back({tables.usable_children[v][t], j});
+    const size_t row = tables.picks_off[v];
+    const size_t width = static_cast<size_t>(tables.cap[v]);
+    for (size_t t = tables.child_off[v + 1] - tables.child_off[v]; t-- > 0;) {
+      int32_t j = tables.picks[row + t * width + m];
+      if (j > 0) stack.push_back({tables.children[tables.child_off[v] + t], j});
       m -= j;
     }
-    assert(m == 0);
+    if (m != 0) {
+      ThrowCorruptTables(
+          "ReconstructDp: picks row does not account for every node");
+    }
   }
   std::sort(result.nodes.begin(), result.nodes.end());
   result.importance = SelectionImportance(os, result.nodes);
@@ -120,31 +198,48 @@ Selection ReconstructDp(const OsTree& os, const DpTables& tables, size_t l) {
 
 }  // namespace internal
 
-Selection SizeLDp(const OsTree& os, size_t l, SizeLStats* stats) {
+Selection SizeLDp(const OsTree& os, size_t l, DpScratch* scratch,
+                  SizeLStats* stats) {
   Selection result;
   if (os.empty() || l == 0) return result;
   internal::DpTables tables =
-      internal::ComputeDpTables(os, std::min(l, os.size()));
+      internal::ComputeDpTables(os, std::min(l, os.size()), scratch);
   result = internal::ReconstructDp(os, tables, std::min(l, os.size()));
   if (stats != nullptr) stats->operations = tables.operations;
   return result;
 }
 
+Selection SizeLDp(const OsTree& os, size_t l, SizeLStats* stats) {
+  DpScratch scratch;
+  return SizeLDp(os, l, &scratch, stats);
+}
+
 namespace {
 
-// State for the literal enumeration DP.
+// State for the literal enumeration DP. All tables are flat arena spans;
+// "unset" memo cells are NaN because kNegInf is a legitimate memoized
+// value (an infeasible state) that no computation can confuse with unset.
 struct EnumState {
   const OsTree* os;
   int32_t L;
   uint64_t op_budget;
   uint64_t ops = 0;
   bool aborted = false;
-  std::vector<int32_t> cap;
-  std::vector<std::vector<OsNodeId>> usable_children;
-  // memo[v][i]: best importance of an i-node subtree rooted at v, or unset.
-  std::vector<std::vector<std::optional<double>>> memo;
-  // memo_choice[v][i]: the per-child node counts of the best combination.
-  std::vector<std::vector<std::vector<int32_t>>> memo_choice;
+  const int32_t* cap = nullptr;        // [n]
+  const OsNodeId* children = nullptr;  // usable children, flat
+  const size_t* child_off = nullptr;   // [n + 1]
+  // memo row of v: cap[v] + 1 cells at memo_off[v]; memo[v][i] = best
+  // importance of an i-node subtree rooted at v, NaN while unset.
+  double* memo = nullptr;
+  const size_t* memo_off = nullptr;  // [n]
+  // memo_choice row (v, i): the per-child node counts of the best
+  // combination — nc(v) cells at choice_off[v] + i * nc(v).
+  int32_t* memo_choice = nullptr;
+  const size_t* choice_off = nullptr;  // [n]
+
+  size_t NumChildren(OsNodeId v) const {
+    return child_off[v + 1] - child_off[v];
+  }
 
   double Solve(OsNodeId v, int32_t i);
   // Enumerates all assignments of `remaining` nodes to children [t..] of v;
@@ -158,24 +253,33 @@ struct EnumState {
 double EnumState::Solve(OsNodeId v, int32_t i) {
   if (aborted) return kNegInf;
   if (i <= 0 || i > cap[v]) return kNegInf;
-  auto& cell = memo[v][i];
-  if (cell.has_value()) return *cell;
+  double& cell = memo[memo_off[v] + static_cast<size_t>(i)];
+  if (!std::isnan(cell)) return cell;
   if (++ops > op_budget) {
     aborted = true;
     return kNegInf;
   }
   double w = os->node(v).local_importance;
   double value;
-  std::vector<int32_t> best_counts(usable_children[v].size(), 0);
+  const size_t nc = NumChildren(v);
+  std::vector<int32_t> best_counts(nc, 0);
   if (i == 1) {
     value = w;
   } else {
-    std::vector<int32_t> counts(usable_children[v].size(), 0);
+    std::vector<int32_t> counts(nc, 0);
     double sub = Enumerate(v, 0, i - 1, &counts, &best_counts);
     value = sub == kNegInf ? kNegInf : w + sub;
   }
+  if (aborted) {
+    // The op budget tripped mid-Enumerate: `value` reflects a truncated
+    // search, and memoizing it would poison this state — a later consult
+    // would misreport a feasible state as infeasible (or suboptimal).
+    // Abort paths leave the cell unset.
+    return kNegInf;
+  }
   cell = value;
-  memo_choice[v][i] = std::move(best_counts);
+  std::copy(best_counts.begin(), best_counts.end(),
+            memo_choice + choice_off[v] + static_cast<size_t>(i) * nc);
   return value;
 }
 
@@ -188,13 +292,13 @@ double EnumState::Enumerate(OsNodeId v, size_t t, int32_t remaining,
     aborted = true;
     return kNegInf;
   }
-  const auto& children = usable_children[v];
-  if (t == children.size()) {
+  const size_t nc = NumChildren(v);
+  if (t == nc) {
     if (remaining != 0) return kNegInf;
     *best_counts = *counts;
     return 0.0;
   }
-  OsNodeId c = children[t];
+  OsNodeId c = children[child_off[v] + t];
   double best_total = kNegInf;
   std::vector<int32_t> local_best;
   // The literal "all combinations" loop: every split of `remaining` between
@@ -220,9 +324,11 @@ double EnumState::Enumerate(OsNodeId v, size_t t, int32_t remaining,
 }  // namespace
 
 Selection SizeLDpEnumerate(const OsTree& os, size_t l, uint64_t op_budget,
-                           SizeLStats* stats) {
+                           DpScratch* scratch, SizeLStats* stats) {
   Selection result;
   if (os.empty() || l == 0) return result;
+  Arena& arena = scratch->arena;
+  arena.Reset();
   const int32_t n = static_cast<int32_t>(os.size());
   const int32_t L = static_cast<int32_t>(std::min<size_t>(l, os.size()));
 
@@ -230,22 +336,53 @@ Selection SizeLDpEnumerate(const OsTree& os, size_t l, uint64_t op_budget,
   st.os = &os;
   st.L = L;
   st.op_budget = op_budget;
-  std::vector<int32_t> subtree = SubtreeSizes(os);
-  st.cap.resize(n);
-  st.usable_children.resize(n);
-  st.memo.resize(n);
-  st.memo_choice.resize(n);
+
+  int32_t* subtree = SubtreeSizes(os, &arena);
+  int32_t* cap = arena.AllocateArray<int32_t>(n);
   for (OsNodeId v = 0; v < n; ++v) {
-    st.cap[v] = std::min(L - os.node(v).depth, subtree[v]);
-    if (st.cap[v] < 0) st.cap[v] = 0;
-    st.memo[v].resize(st.cap[v] + 1);
-    st.memo_choice[v].resize(st.cap[v] + 1);
+    cap[v] = std::min(L - os.node(v).depth, subtree[v]);
+    if (cap[v] < 0) cap[v] = 0;
+  }
+
+  size_t* child_off = arena.AllocateArray<size_t>(n + 1);
+  size_t* memo_off = arena.AllocateArray<size_t>(n);
+  size_t* choice_off = arena.AllocateArray<size_t>(n);
+  size_t child_total = 0;
+  size_t memo_total = 0;
+  size_t choice_total = 0;
+  for (OsNodeId v = 0; v < n; ++v) {
+    child_off[v] = child_total;
+    memo_off[v] = memo_total;
+    choice_off[v] = choice_total;
+    size_t usable = 0;
     for (OsNodeId c : os.node(v).children) {
-      if (std::min(L - os.node(c).depth, subtree[c]) >= 1) {
-        st.usable_children[v].push_back(c);
-      }
+      usable += cap[c] >= 1 ? 1 : 0;
+    }
+    child_total += usable;
+    memo_total += static_cast<size_t>(cap[v]) + 1;
+    choice_total += (static_cast<size_t>(cap[v]) + 1) * usable;
+  }
+  child_off[n] = child_total;
+
+  OsNodeId* children = arena.AllocateArray<OsNodeId>(child_total);
+  for (OsNodeId v = 0; v < n; ++v) {
+    OsNodeId* vkids = children + child_off[v];
+    size_t k = 0;
+    for (OsNodeId c : os.node(v).children) {
+      if (cap[c] >= 1) vkids[k++] = c;
     }
   }
+  double* memo = arena.AllocateArray<double>(memo_total);
+  std::fill_n(memo, memo_total, std::numeric_limits<double>::quiet_NaN());
+  int32_t* memo_choice = arena.AllocateArray<int32_t>(choice_total);
+
+  st.cap = cap;
+  st.children = children;
+  st.child_off = child_off;
+  st.memo = memo;
+  st.memo_off = memo_off;
+  st.memo_choice = memo_choice;
+  st.choice_off = choice_off;
 
   double value = st.Solve(kOsRoot, L);
   if (stats != nullptr) {
@@ -259,14 +396,24 @@ Selection SizeLDpEnumerate(const OsTree& os, size_t l, uint64_t op_budget,
     auto [v, i] = stack.back();
     stack.pop_back();
     result.nodes.push_back(v);
-    const auto& counts = st.memo_choice[v][i];
-    for (size_t t = 0; t < counts.size(); ++t) {
-      if (counts[t] > 0) stack.push_back({st.usable_children[v][t], counts[t]});
+    const size_t nc = st.NumChildren(v);
+    const int32_t* counts =
+        st.memo_choice + st.choice_off[v] + static_cast<size_t>(i) * nc;
+    for (size_t t = 0; t < nc; ++t) {
+      if (counts[t] > 0) {
+        stack.push_back({st.children[st.child_off[v] + t], counts[t]});
+      }
     }
   }
   std::sort(result.nodes.begin(), result.nodes.end());
   result.importance = SelectionImportance(os, result.nodes);
   return result;
+}
+
+Selection SizeLDpEnumerate(const OsTree& os, size_t l, uint64_t op_budget,
+                           SizeLStats* stats) {
+  DpScratch scratch;
+  return SizeLDpEnumerate(os, l, op_budget, &scratch, stats);
 }
 
 }  // namespace osum::core

@@ -1,40 +1,58 @@
 // Internal: the tree-knapsack DP tables shared by SizeLDp (single l) and
 // SizeLDpAll (all l from one pass). Not part of the public API.
+//
+// Flat structure-of-arrays layout: every table is one contiguous buffer in
+// the owning DpScratch's arena, addressed through per-node offset spans
+// computed from cap[] in a single prefix-sum pass. A DpTables value is a
+// *view* — it borrows arena storage and is invalidated by the next call
+// that reuses the scratch.
 #ifndef OSUM_CORE_DP_INTERNAL_H_
 #define OSUM_CORE_DP_INTERNAL_H_
 
+#include <cstddef>
 #include <cstdint>
-#include <vector>
 
 #include "core/os_tree.h"
+#include "core/size_l.h"
 
 namespace osum::core::internal {
 
 inline constexpr double kDpNegInf = -1e300;
 
-/// Bottom-up knapsack tables for budget L.
+/// Bottom-up knapsack tables for budget L, flattened.
 struct DpTables {
+  int32_t n = 0;
   int32_t L = 0;
   /// cap[v] = min(L - depth(v), |subtree(v)|): max nodes selectable from
   /// v's subtree in any root-connected solution through v.
-  std::vector<int32_t> cap;
+  const int32_t* cap = nullptr;  // [n]
+  /// best row of v: cap[v] + 1 cells at best_off[v] (absent if cap[v] <= 0).
   /// best[v][i], i in [0, cap[v]]: max importance of an i-node connected
   /// subtree rooted at v (i >= 1 includes v); best[v][0] = 0.
-  std::vector<std::vector<double>> best;
-  /// Children of v with cap >= 1, in child order (merge order).
-  std::vector<std::vector<OsNodeId>> usable_children;
-  /// picks[v][t][m]: nodes assigned to usable child t of v when m nodes
-  /// total are spread over children [0..t]. Drives reconstruction.
-  std::vector<std::vector<std::vector<int32_t>>> picks;
+  const double* best = nullptr;
+  const size_t* best_off = nullptr;  // [n]
+  /// Children of v with cap >= 1, in child order (merge order):
+  /// children[child_off[v] .. child_off[v + 1]).
+  const OsNodeId* children = nullptr;
+  const size_t* child_off = nullptr;  // [n + 1]
+  /// picks row (v, t): cap[v] cells at picks_off[v] + t * cap[v];
+  /// cell m = nodes assigned to usable child t of v when m + 1 nodes total
+  /// go through v (m spread over children [0..t]). Drives reconstruction.
+  const int32_t* picks = nullptr;
+  const size_t* picks_off = nullptr;  // [n]
   uint64_t operations = 0;
+
+  double BestAt(OsNodeId v, int32_t i) const { return best[best_off[v] + i]; }
 };
 
-/// Runs the bottom-up merge for budget L = min(l, |os|).
-DpTables ComputeDpTables(const OsTree& os, size_t l);
+/// Runs the bottom-up merge for budget L = min(l, |os|). Table storage
+/// comes from `scratch->arena` (reset on entry).
+DpTables ComputeDpTables(const OsTree& os, size_t l, DpScratch* scratch);
 
 /// Reconstructs the optimal selection of exactly `l` nodes (l <= L) from
-/// the tables. Requires best[root][l] to be finite, which holds whenever
-/// l <= |os| because the whole tree is one feasible subtree.
+/// the tables. Throws std::invalid_argument if l is outside [1, L] and
+/// std::logic_error if the tables are internally inconsistent — malformed
+/// input must fail loudly in Release builds, not yield a garbage selection.
 Selection ReconstructDp(const OsTree& os, const DpTables& tables, size_t l);
 
 }  // namespace osum::core::internal

@@ -11,7 +11,8 @@ std::vector<Selection> SizeLDpAll(const OsTree& os, size_t max_l) {
   std::vector<Selection> result;
   if (os.empty() || max_l == 0) return result;
   const size_t L = std::min(max_l, os.size());
-  internal::DpTables tables = internal::ComputeDpTables(os, L);
+  DpScratch scratch;
+  internal::DpTables tables = internal::ComputeDpTables(os, L, &scratch);
   result.reserve(L);
   for (size_t l = 1; l <= L; ++l) {
     result.push_back(internal::ReconstructDp(os, tables, l));

@@ -21,12 +21,13 @@ const char* AlgorithmName(SizeLAlgorithm a) {
 }
 
 Selection RunSizeL(SizeLAlgorithm a, const OsTree& os, size_t l,
-                   SizeLStats* stats) {
+                   DpScratch* scratch, SizeLStats* stats) {
   switch (a) {
     case SizeLAlgorithm::kDp:
-      return SizeLDp(os, l, stats);
+      return SizeLDp(os, l, scratch, stats);
     case SizeLAlgorithm::kDpEnumerate:
-      return SizeLDpEnumerate(os, l, /*op_budget=*/200'000'000, stats);
+      return SizeLDpEnumerate(os, l, /*op_budget=*/200'000'000, scratch,
+                              stats);
     case SizeLAlgorithm::kBottomUp:
       return SizeLBottomUp(os, l, stats);
     case SizeLAlgorithm::kTopPath:
@@ -37,6 +38,12 @@ Selection RunSizeL(SizeLAlgorithm a, const OsTree& os, size_t l,
       return SizeLBruteForce(os, l, stats);
   }
   return {};
+}
+
+Selection RunSizeL(SizeLAlgorithm a, const OsTree& os, size_t l,
+                   SizeLStats* stats) {
+  DpScratch scratch;
+  return RunSizeL(a, os, l, &scratch, stats);
 }
 
 }  // namespace osum::core

@@ -25,9 +25,21 @@
 #include <cstdint>
 #include <optional>
 
+#include "core/arena.h"
 #include "core/os_tree.h"
 
 namespace osum::core {
+
+/// Caller-owned scratch for the DP back ends (SizeLDp / SizeLDpEnumerate /
+/// SizeLDpAll). Holds the bump arena that backs the flattened DP tables;
+/// pass one scratch to a batch of calls and after warm-up every tree reuses
+/// the same blocks, so the batch performs O(1) large allocations instead of
+/// O(nodes) small ones. Not thread-safe — one scratch per worker thread,
+/// one call at a time. Each call Reset()s the arena, so tables built
+/// through a scratch are invalidated by the next call that uses it.
+struct DpScratch {
+  Arena arena;
+};
 
 /// Operation counters reported by the algorithms (used by the efficiency
 /// benches to explain scaling behaviour).
@@ -44,11 +56,22 @@ struct SizeLStats {
 /// Exact optimum (Algorithm 1 semantics). O(n * l^2) worst case.
 Selection SizeLDp(const OsTree& os, size_t l, SizeLStats* stats = nullptr);
 
+/// SizeLDp against a reusable scratch: identical selection, but all table
+/// storage comes from `scratch->arena` (reset on entry, reused across
+/// calls).
+Selection SizeLDp(const OsTree& os, size_t l, DpScratch* scratch,
+                  SizeLStats* stats = nullptr);
+
 /// The paper's literal combination-enumeration DP. Aborts (returns an
 /// empty selection with stats->aborted = true) once `op_budget` elementary
 /// steps are exceeded.
 Selection SizeLDpEnumerate(const OsTree& os, size_t l, uint64_t op_budget,
                            SizeLStats* stats = nullptr);
+
+/// SizeLDpEnumerate against a reusable scratch (same contract as the
+/// SizeLDp scratch overload).
+Selection SizeLDpEnumerate(const OsTree& os, size_t l, uint64_t op_budget,
+                           DpScratch* scratch, SizeLStats* stats = nullptr);
 
 /// Greedy Bottom-Up Pruning (Algorithm 2). O(n log n).
 Selection SizeLBottomUp(const OsTree& os, size_t l,
@@ -83,6 +106,12 @@ const char* AlgorithmName(SizeLAlgorithm a);
 /// Uniform dispatch (enumerate uses a default budget of 200M steps).
 Selection RunSizeL(SizeLAlgorithm a, const OsTree& os, size_t l,
                    SizeLStats* stats = nullptr);
+
+/// RunSizeL with a reusable scratch. The DP back ends draw their tables
+/// from it; the greedy algorithms ignore it (their per-call state is
+/// already O(n) flat vectors).
+Selection RunSizeL(SizeLAlgorithm a, const OsTree& os, size_t l,
+                   DpScratch* scratch, SizeLStats* stats = nullptr);
 
 }  // namespace osum::core
 

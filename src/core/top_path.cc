@@ -10,8 +10,8 @@
 //    selection only recomputes the subtrees that were actually re-rooted.
 // Both produce identical selections (ties broken on smaller node id).
 #include <algorithm>
-#include <cassert>
 #include <queue>
+#include <stdexcept>
 #include <vector>
 
 #include "core/size_l.h"
@@ -19,6 +19,14 @@
 namespace osum::core {
 
 namespace {
+
+// Loop invariants that used to be bare asserts. They can only fire on
+// corrupt internal state, but if they ever do, Release builds must fail
+// loudly instead of silently returning a garbage selection (same
+// discipline as internal::ReconstructDp).
+void CheckTopPathInvariant(bool ok, const char* what) {
+  if (!ok) throw std::logic_error(what);
+}
 
 // Returns the node ids of the path from the root of `x`'s current tree down
 // to `x` (top-first). A node's current tree root is its highest unselected
@@ -75,7 +83,8 @@ Selection SizeLTopPath(const OsTree& os, size_t l, SizeLStats* stats) {
         best = v;
       }
     }
-    assert(best != kNoOsNode);
+    CheckTopPathInvariant(best != kNoOsNode,
+                          "SizeLTopPath: no candidate while budget remains");
 
     std::vector<OsNodeId> path = CurrentPath(os, selected, best);
     size_t take = std::min(path.size(), L - selected_count);
@@ -180,14 +189,17 @@ Selection SizeLTopPathMemo(const OsTree& os, size_t l, SizeLStats* stats) {
   size_t selected_count = 0;
 
   while (selected_count < L) {
-    assert(!heap.empty());
+    CheckTopPathInvariant(
+        !heap.empty(), "SizeLTopPathMemo: heap empty while budget remains");
     Entry top = heap.top();
     heap.pop();
     if (selected[top.root] || root_version[top.root] != top.version) {
       continue;  // stale
     }
     std::vector<OsNodeId> path = CurrentPath(os, selected, top.best);
-    assert(path.front() == top.root);
+    CheckTopPathInvariant(
+        path.front() == top.root,
+        "SizeLTopPathMemo: candidate path detached from its root");
     size_t take = std::min(path.size(), L - selected_count);
     for (size_t i = 0; i < take; ++i) {
       selected[path[i]] = true;

@@ -78,6 +78,13 @@ class SizeLSearchEngine {
 
   const gds::Gds& GdsFor(rel::RelationId relation) const;
 
+  /// Snapshot of the context's per-(subject, l) partials memo counters
+  /// ("is the second reuse tier earning its memory?"). Requires
+  /// BuildIndex.
+  core::PartialsMemoMetrics partials_metrics() const {
+    return context().partials_memo().metrics();
+  }
+
  private:
   const rel::Database& db_;
   core::OsBackend* backend_;

@@ -11,10 +11,38 @@
 
 namespace osum::search {
 
+namespace {
+
+// The partials-memo key: exactly what determines the per-subject OS +
+// selection — the subject identity, l (which also drives the generator's
+// depth limit), and, when a selection actually runs (l > 0), the prelim
+// mode and algorithm. Deliberately NOT QueryOptions::CacheKeyFragment():
+// max_results and ranking rank *across* subjects and must not split the
+// memo, or overlapping-keyword queries would stop sharing work.
+std::string PartialsKey(const Hit& hit, const QueryOptions& options) {
+  std::string key;
+  key.reserve(32);
+  key += 'r';
+  key += std::to_string(hit.relation);
+  key += 't';
+  key += std::to_string(hit.tuple);
+  key += 'l';
+  key += std::to_string(options.l);
+  if (options.l > 0) {
+    key += options.use_prelim ? 'p' : 'c';
+    key += 'a';
+    key += std::to_string(static_cast<int>(options.algorithm));
+  }
+  return key;
+}
+
+}  // namespace
+
 SearchContext SearchContext::Build(const rel::Database& db,
                                    core::OsBackend* backend,
                                    std::vector<Subject> subjects) {
   SearchContext ctx(db, backend);
+  ctx.partials_memo_ = std::make_shared<core::PartialsMemo>();
   ctx.subject_order_.reserve(subjects.size());
   for (Subject& s : subjects) {
     assert(s.gds.root_relation() == s.relation);
@@ -65,11 +93,31 @@ std::vector<QueryResult> SearchContext::Query(
 
   std::vector<QueryResult> results;
   results.reserve(hits.size());
+  // One scratch serves every hit of this query: after the first tree the
+  // DP tables reuse the same arena blocks (see core::DpScratch).
+  core::DpScratch scratch;
+  core::PartialsMemo& memo = *partials_memo_;
+  const bool use_memo = memo.enabled();
   for (const Hit& hit : hits) {
     const gds::Gds& gds = subjects_.at(hit.relation);
     QueryResult r;
     r.subject = hit;
     r.subject_importance = db_->relation(hit.relation).importance(hit.tuple);
+
+    std::string memo_key;
+    uint64_t memo_epoch = 0;
+    if (use_memo) {
+      memo_key = PartialsKey(hit, options);
+      if (core::PartialPtr hit_partial = memo.Lookup(memo_key, &memo_epoch)) {
+        // The memoized synopsis is exactly what the compute below would
+        // produce for this (subject, options) — copying it keeps results
+        // byte-identical to the memo-off path.
+        r.os = hit_partial->os;
+        r.selection = hit_partial->selection;
+        results.push_back(std::move(r));
+        continue;
+      }
+    }
 
     core::OsGenOptions gen;
     if (options.l > 0) {
@@ -88,7 +136,15 @@ std::vector<QueryResult> SearchContext::Query(
                                           options.l, gen)
                  : core::GenerateCompleteOs(*db_, gds, backend_, hit.tuple,
                                             gen);
-      r.selection = core::RunSizeL(options.algorithm, r.os, options.l);
+      r.selection = core::RunSizeL(options.algorithm, r.os, options.l,
+                                   &scratch);
+    }
+    if (use_memo) {
+      auto partial = std::make_shared<core::PartialSynopsis>();
+      partial->os = r.os;
+      partial->selection = r.selection;
+      partial->approx_bytes = core::ApproxPartialBytes(*partial);
+      memo.Insert(memo_key, std::move(partial), memo_epoch);
     }
     results.push_back(std::move(r));
   }

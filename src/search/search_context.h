@@ -26,10 +26,16 @@
 //     after their build/annotate phase.
 //   - core::OsBackend: stateless apart from atomic I/O counters (see
 //     os_backend.h).
+//   - core::PartialsMemo: internally synchronized (one lock; see
+//     partials_memo.h) — the one mutable structure the const query path
+//     touches, and deliberately so: memo-on and memo-off answers are
+//     byte-identical, so the memo is observable only through timing and
+//     its own counters.
 //   - SearchContext itself: no non-const member functions after Build().
 #ifndef OSUM_SEARCH_SEARCH_CONTEXT_H_
 #define OSUM_SEARCH_SEARCH_CONTEXT_H_
 
+#include <memory>
 #include <span>
 #include <string>
 #include <string_view>
@@ -40,6 +46,7 @@
 #include "core/os_backend.h"
 #include "core/os_generator.h"
 #include "core/os_tree.h"
+#include "core/partials_memo.h"
 #include "core/size_l.h"
 #include "gds/gds.h"
 #include "search/inverted_index.h"
@@ -138,6 +145,12 @@ class SearchContext {
   const InvertedIndex& index() const { return index_; }
   const gds::Gds& GdsFor(rel::RelationId relation) const;
 
+  /// The per-(subject, l) partials memo the query path consults (see
+  /// partials_memo.h). Non-const through a const context because it is
+  /// internally synchronized and invisible in results; the serving layer
+  /// configures it and bumps its epoch on rebind.
+  core::PartialsMemo& partials_memo() const { return *partials_memo_; }
+
   /// Moves the registered subjects back out in registration order, leaving
   /// the context empty — the deliberate rebuild flow: take the subjects
   /// from a context you are about to discard, extend the set, Build a
@@ -154,6 +167,9 @@ class SearchContext {
   std::unordered_map<rel::RelationId, gds::Gds> subjects_;
   std::vector<rel::RelationId> subject_order_;
   InvertedIndex index_;
+  // shared_ptr, not value: keeps the context movable while the memo's
+  // Mutex stays pinned in place for concurrent queries.
+  std::shared_ptr<core::PartialsMemo> partials_memo_;
 };
 
 }  // namespace osum::search

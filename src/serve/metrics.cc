@@ -34,6 +34,17 @@ std::string FormatMetricsReport(const Metrics& m) {
          static_cast<unsigned long long>(m.sheds_at_admission),
          static_cast<unsigned long long>(m.sheds_at_dequeue),
          static_cast<unsigned long long>(m.pending_misses));
+  append("partials: hits %llu, misses %llu, inserts %llu "
+         "(%llu discarded), evictions %llu | entries %llu (~%llu bytes), "
+         "epoch %llu\n",
+         static_cast<unsigned long long>(m.partials.hits),
+         static_cast<unsigned long long>(m.partials.misses),
+         static_cast<unsigned long long>(m.partials.inserts),
+         static_cast<unsigned long long>(m.partials.discarded_inserts),
+         static_cast<unsigned long long>(m.partials.evictions),
+         static_cast<unsigned long long>(m.partials.entries),
+         static_cast<unsigned long long>(m.partials.approx_bytes),
+         static_cast<unsigned long long>(m.partials.epoch));
   auto line = [&](const char* label, const util::Summary& s) {
     if (s.count() == 0) {
       append("  %-12s (no samples)\n", label);

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <string>
 
+#include "core/partials_memo.h"
 #include "util/stats.h"
 
 namespace osum::serve {
@@ -56,6 +57,10 @@ struct CacheMetrics {
 /// samples), so Percentile stays O(window log window).
 struct Metrics {
   CacheMetrics cache;
+  /// The bound context's per-(subject, l) partials memo — the reuse tier
+  /// under the result cache (core/partials_memo.h). Context-owned, not
+  /// service-owned: rebinds swap which memo is being reported.
+  core::PartialsMemoMetrics partials;
   uint64_t queries = 0;
   /// Overload control (see OverloadOptions): requests answered
   /// kDeadlineExceeded at admission — budget already spent on arrival, or

@@ -63,7 +63,11 @@ QueryService::QueryService(const search::SearchContext& context,
       binding_(new Binding{&context, 0}),
       cache_(options.cache),
       pool_(options.num_threads == 0 ? util::ThreadPool::HardwareThreads()
-                                     : options.num_threads) {}
+                                     : options.num_threads) {
+  if (options_.partials.has_value()) {
+    context.partials_memo().Configure(*options_.partials);
+  }
+}
 
 bool QueryService::AdmitMiss(uint64_t deadline,
                              std::shared_ptr<MissTicket>* ticket_out) {
@@ -467,6 +471,17 @@ void QueryService::RebindContext(const search::SearchContext& context) {
   // rejected (epoch moved) or wiped by the bump's clear — after BumpEpoch
   // returns, stale results are unreachable (see result_cache.h).
   cache_.BumpEpoch();
+  // Same discipline one tier down: flush the per-(subject, l) partials on
+  // both sides of the swap. The old context's memo (it may be rebound
+  // back, or still referenced elsewhere) holds synopses about to go stale
+  // with its data; the new context's memo may hold partials from a life
+  // before an earlier rebind. In-flight queries pinned to the old binding
+  // captured pre-bump memo epochs, so their inserts are discarded.
+  if (options_.partials.has_value()) {
+    context.partials_memo().Configure(*options_.partials);
+  }
+  old->ctx->partials_memo().BumpEpoch();
+  context.partials_memo().BumpEpoch();
   // Drain. No new pin can reach `old` (binding_ no longer points to it),
   // so wait for the in-flight ones to release; only once the count hits
   // zero is the documented "caller may now destroy the old context" safe.
@@ -492,6 +507,12 @@ void QueryService::RecordLatency(bool hit, bool negative, double micros) {
 Metrics QueryService::metrics() const {
   Metrics m;
   m.cache = cache_.metrics();
+  {
+    // Snapshot under context_mu_ so a concurrent rebind cannot swap the
+    // binding mid-read; the memo's own (leaf) lock orders the counters.
+    util::MutexLock lock(context_mu_);
+    m.partials = binding_->ctx->partials_memo().metrics();
+  }
   {
     util::MutexLock lock(pending_mu_);
     m.sheds_at_admission = sheds_at_admission_;

@@ -50,6 +50,7 @@
 #include <future>
 #include <map>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <string_view>
@@ -85,6 +86,12 @@ struct ServiceOptions {
   size_t num_threads = 0;
   ResultCacheOptions cache;
   OverloadOptions overload;
+  /// Sizing knob for the bound context's per-(subject, l) partials memo
+  /// (the finer-grained reuse tier under the result cache; see
+  /// core/partials_memo.h). Applied to the context at construction and to
+  /// every context passed to RebindContext; nullopt leaves each context's
+  /// own configuration untouched.
+  std::optional<core::PartialsMemoOptions> partials;
   /// Per-outcome latency reservoir size (most recent samples kept).
   size_t latency_window = 4096;
 };

@@ -1,0 +1,295 @@
+// core::PartialsMemo: the bounded, epoch-aware per-(subject, l) memo the
+// search query path consults (ISSUE 10). Unit tests pin the LRU/byte
+// budgets, the epoch discipline (a bump clears the memo AND kills
+// in-flight inserts), and the disabled no-op mode; the integration tests
+// pin the load-bearing claim — memo-on and memo-off query answers are
+// byte-identical through DeterministicResultText, so the memo is
+// observable only through its own counters.
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/codec.h"
+#include "core/partials_memo.h"
+#include "db_fixtures.h"
+#include "search/search_context.h"
+
+namespace osum {
+namespace {
+
+using api::DeterministicResultText;
+using core::PartialPtr;
+using core::PartialsMemo;
+using core::PartialsMemoMetrics;
+using core::PartialsMemoOptions;
+using core::PartialSynopsis;
+using osum::testing::ScoredDblp;
+using osum::testing::SmallDblpConfig;
+
+PartialPtr MakePartial(size_t approx_bytes) {
+  auto p = std::make_shared<PartialSynopsis>();
+  p->approx_bytes = approx_bytes;
+  return p;
+}
+
+// Built with += (not operator+) to sidestep a GCC 12 -Wrestrict false
+// positive on short-string concatenation.
+std::string NumberedKey(int i) {
+  std::string key = "k";
+  key += std::to_string(i);
+  return key;
+}
+
+TEST(PartialsMemoTest, LookupReturnsTheInsertedValue) {
+  PartialsMemo memo;
+  uint64_t epoch = 99;
+  EXPECT_EQ(memo.Lookup("k1", &epoch), nullptr);
+  EXPECT_EQ(epoch, 0u);
+
+  PartialPtr value = MakePartial(100);
+  EXPECT_TRUE(memo.Insert("k1", value, epoch));
+  EXPECT_EQ(memo.Lookup("k1"), value);
+
+  PartialsMemoMetrics m = memo.metrics();
+  EXPECT_EQ(m.hits, 1u);
+  EXPECT_EQ(m.misses, 1u);
+  EXPECT_EQ(m.inserts, 1u);
+  EXPECT_EQ(m.entries, 1u);
+  EXPECT_EQ(m.approx_bytes, 100u);
+}
+
+TEST(PartialsMemoTest, EntryBudgetEvictsLeastRecentlyUsed) {
+  PartialsMemoOptions options;
+  options.max_entries = 3;
+  PartialsMemo memo(options);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(memo.Insert(NumberedKey(i), MakePartial(10), 0));
+  }
+  PartialsMemoMetrics m = memo.metrics();
+  EXPECT_EQ(m.entries, 3u);
+  EXPECT_EQ(m.evictions, 2u);
+  EXPECT_EQ(m.approx_bytes, 30u);
+  // The two oldest are gone; the three youngest survive.
+  EXPECT_EQ(memo.Lookup("k0"), nullptr);
+  EXPECT_EQ(memo.Lookup("k1"), nullptr);
+  EXPECT_NE(memo.Lookup("k2"), nullptr);
+  EXPECT_NE(memo.Lookup("k3"), nullptr);
+  EXPECT_NE(memo.Lookup("k4"), nullptr);
+}
+
+TEST(PartialsMemoTest, LookupRefreshesLruPosition) {
+  PartialsMemoOptions options;
+  options.max_entries = 2;
+  PartialsMemo memo(options);
+  ASSERT_TRUE(memo.Insert("old", MakePartial(10), 0));
+  ASSERT_TRUE(memo.Insert("mid", MakePartial(10), 0));
+  // Touch "old" so "mid" becomes the eviction victim.
+  ASSERT_NE(memo.Lookup("old"), nullptr);
+  ASSERT_TRUE(memo.Insert("new", MakePartial(10), 0));
+  EXPECT_NE(memo.Lookup("old"), nullptr);
+  EXPECT_EQ(memo.Lookup("mid"), nullptr);
+  EXPECT_NE(memo.Lookup("new"), nullptr);
+}
+
+TEST(PartialsMemoTest, ByteBudgetEvictsButKeepsTheNewestEntry) {
+  PartialsMemoOptions options;
+  options.max_bytes = 100;
+  PartialsMemo memo(options);
+  ASSERT_TRUE(memo.Insert("a", MakePartial(60), 0));
+  ASSERT_TRUE(memo.Insert("b", MakePartial(60), 0));  // evicts "a"
+  PartialsMemoMetrics m = memo.metrics();
+  EXPECT_EQ(m.entries, 1u);
+  EXPECT_EQ(m.evictions, 1u);
+  EXPECT_EQ(m.approx_bytes, 60u);
+  EXPECT_EQ(memo.Lookup("a"), nullptr);
+
+  // One oversized synopsis may exceed the whole budget, but the insert
+  // must not be a self-defeating no-op: the newest entry always survives.
+  ASSERT_TRUE(memo.Insert("huge", MakePartial(10'000), 0));
+  m = memo.metrics();
+  EXPECT_EQ(m.entries, 1u);
+  EXPECT_NE(memo.Lookup("huge"), nullptr);
+}
+
+TEST(PartialsMemoTest, BumpEpochClearsEntriesAndKillsInFlightInserts) {
+  PartialsMemo memo;
+  uint64_t epoch = 0;
+  memo.Lookup("k1", &epoch);  // miss; captures epoch 0
+  ASSERT_TRUE(memo.Insert("k1", MakePartial(10), epoch));
+
+  memo.BumpEpoch();
+  PartialsMemoMetrics m = memo.metrics();
+  EXPECT_EQ(m.entries, 0u);
+  EXPECT_EQ(m.epoch, 1u);
+  EXPECT_EQ(memo.Lookup("k1"), nullptr);
+
+  // An insert computed against the pre-bump epoch must be discarded, not
+  // resurrected: a stale partial can never decorate a post-rebind answer.
+  EXPECT_FALSE(memo.Insert("k1", MakePartial(10), epoch));
+  m = memo.metrics();
+  EXPECT_EQ(m.entries, 0u);
+  EXPECT_EQ(m.discarded_inserts, 1u);
+  EXPECT_EQ(memo.Lookup("k1"), nullptr);
+}
+
+TEST(PartialsMemoTest, DuplicateInsertLosesToTheExistingEntry) {
+  PartialsMemo memo;
+  PartialPtr first = MakePartial(10);
+  ASSERT_TRUE(memo.Insert("k", first, 0));
+  EXPECT_FALSE(memo.Insert("k", MakePartial(10), 0));
+  PartialsMemoMetrics m = memo.metrics();
+  EXPECT_EQ(m.inserts, 1u);
+  EXPECT_EQ(m.discarded_inserts, 1u);
+  EXPECT_EQ(memo.Lookup("k"), first);
+}
+
+TEST(PartialsMemoTest, ConfigureShrinkEvictsDownToTheNewBudget) {
+  PartialsMemo memo;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(memo.Insert(NumberedKey(i), MakePartial(10), 0));
+  }
+  PartialsMemoOptions smaller;
+  smaller.max_entries = 2;
+  memo.Configure(smaller);
+  PartialsMemoMetrics m = memo.metrics();
+  EXPECT_EQ(m.entries, 2u);
+  EXPECT_EQ(m.evictions, 3u);
+  EXPECT_NE(memo.Lookup("k4"), nullptr);
+  EXPECT_EQ(memo.Lookup("k0"), nullptr);
+}
+
+TEST(PartialsMemoTest, DisabledMemoIsInert) {
+  PartialsMemo memo;
+  ASSERT_TRUE(memo.Insert("k", MakePartial(10), 0));
+
+  PartialsMemoOptions off;
+  off.enabled = false;
+  memo.Configure(off);
+  EXPECT_FALSE(memo.enabled());
+  PartialsMemoMetrics m = memo.metrics();
+  EXPECT_EQ(m.entries, 0u);  // disabling flushes
+
+  // Lookups miss without counting, inserts are no-ops.
+  EXPECT_EQ(memo.Lookup("k"), nullptr);
+  EXPECT_FALSE(memo.Insert("k", MakePartial(10), 0));
+  m = memo.metrics();
+  EXPECT_EQ(m.misses, 0u);
+  EXPECT_EQ(m.inserts, 1u);  // only the pre-disable insert
+  EXPECT_EQ(m.entries, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// SearchContext integration: the memo must be invisible in results.
+
+search::SearchContext BuildDblpContext(const datasets::Dblp& d,
+                                       core::OsBackend* backend) {
+  std::vector<search::SearchContext::Subject> subjects;
+  subjects.push_back({d.author, datasets::DblpAuthorGds(d)});
+  subjects.push_back({d.paper, datasets::DblpPaperGds(d)});
+  return search::SearchContext::Build(d.db, backend, std::move(subjects));
+}
+
+TEST(PartialsMemoIntegration, MemoOnMatchesMemoOffByteForByte) {
+  ScoredDblp f(SmallDblpConfig());
+  search::SearchContext with_memo = BuildDblpContext(f.d, &f.backend);
+  search::SearchContext without_memo = BuildDblpContext(f.d, &f.backend);
+  PartialsMemoOptions off;
+  off.enabled = false;
+  without_memo.partials_memo().Configure(off);
+
+  search::QueryOptions options;
+  options.l = 5;
+  for (const char* keywords :
+       {"databases", "faloutsos", "christos faloutsos"}) {
+    SCOPED_TRACE(keywords);
+    std::string golden =
+        DeterministicResultText(without_memo.Query(keywords, options));
+    // Cold pass populates the memo, warm pass serves from it — both must
+    // match the memo-free context byte for byte.
+    EXPECT_EQ(DeterministicResultText(with_memo.Query(keywords, options)),
+              golden);
+    EXPECT_EQ(DeterministicResultText(with_memo.Query(keywords, options)),
+              golden);
+  }
+  PartialsMemoMetrics on = with_memo.partials_memo().metrics();
+  EXPECT_GT(on.hits, 0u);
+  EXPECT_GT(on.inserts, 0u);
+  PartialsMemoMetrics offm = without_memo.partials_memo().metrics();
+  EXPECT_EQ(offm.hits, 0u);
+  EXPECT_EQ(offm.inserts, 0u);
+}
+
+TEST(PartialsMemoIntegration, OverlappingQueriesShareSubjectWork) {
+  ScoredDblp f(SmallDblpConfig());
+  search::SearchContext ctx = BuildDblpContext(f.d, &f.backend);
+  search::QueryOptions options;
+  options.l = 5;
+
+  ctx.Query("faloutsos", options);
+  PartialsMemoMetrics cold = ctx.partials_memo().metrics();
+  EXPECT_GT(cold.inserts, 0u);
+  EXPECT_EQ(cold.hits, 0u);
+
+  // A different keyword set whose subject hits overlap reuses the
+  // memoized per-subject synopses even though its result-cache key
+  // differs. AND semantics make this query's hits a subset of the
+  // previous one's, so every subject is already memoized.
+  ASSERT_FALSE(ctx.Query("christos faloutsos", options).empty());
+  PartialsMemoMetrics warm = ctx.partials_memo().metrics();
+  EXPECT_GT(warm.hits, 0u);
+}
+
+TEST(PartialsMemoIntegration, BumpEpochForcesRecomputeWithIdenticalResults) {
+  ScoredDblp f(SmallDblpConfig());
+  search::SearchContext ctx = BuildDblpContext(f.d, &f.backend);
+  search::QueryOptions options;
+  options.l = 5;
+
+  std::string golden = DeterministicResultText(ctx.Query("databases", options));
+  PartialsMemoMetrics before = ctx.partials_memo().metrics();
+
+  ctx.partials_memo().BumpEpoch();
+  EXPECT_EQ(ctx.partials_memo().metrics().entries, 0u);
+
+  // Post-bump the query recomputes (misses grow, no new hits) and the
+  // answer is unchanged.
+  EXPECT_EQ(DeterministicResultText(ctx.Query("databases", options)), golden);
+  PartialsMemoMetrics after = ctx.partials_memo().metrics();
+  EXPECT_EQ(after.hits, before.hits);
+  EXPECT_GT(after.misses, before.misses);
+}
+
+TEST(PartialsMemoIntegration, DistinctLAndAlgorithmDoNotCollide) {
+  ScoredDblp f(SmallDblpConfig());
+  search::SearchContext ctx = BuildDblpContext(f.d, &f.backend);
+
+  search::QueryOptions l5;
+  l5.l = 5;
+  search::QueryOptions l3 = l5;
+  l3.l = 3;
+  search::QueryOptions dp = l5;
+  dp.algorithm = core::SizeLAlgorithm::kDp;
+
+  // Golden answers from a memo-free context.
+  search::SearchContext plain = BuildDblpContext(f.d, &f.backend);
+  PartialsMemoOptions off;
+  off.enabled = false;
+  plain.partials_memo().Configure(off);
+
+  // Warm every variant through one shared memo, then check each against
+  // its own golden — a key collision would cross-contaminate.
+  for (int pass = 0; pass < 2; ++pass) {
+    EXPECT_EQ(DeterministicResultText(ctx.Query("databases", l5)),
+              DeterministicResultText(plain.Query("databases", l5)));
+    EXPECT_EQ(DeterministicResultText(ctx.Query("databases", l3)),
+              DeterministicResultText(plain.Query("databases", l3)));
+    EXPECT_EQ(DeterministicResultText(ctx.Query("databases", dp)),
+              DeterministicResultText(plain.Query("databases", dp)));
+  }
+}
+
+}  // namespace
+}  // namespace osum

@@ -287,6 +287,73 @@ TEST(QueryServiceEpoch, RebindAfterRebuildNeverServesStaleResults) {
   EXPECT_EQ(service.metrics().cache.misses, 2u);
 }
 
+// The partials-memo half of the rebind contract (ISSUE 10): rebinding
+// flushes the memos on BOTH sides of the swap — the outgoing context (it
+// may be rebound again later) and the incoming one (it may carry partials
+// computed before the rebind) — and metrics() follows the bound context.
+TEST(QueryServiceEpoch, RebindFlushesThePartialsMemo) {
+  ScoredDblp f(SmallDblpConfig());
+  search::SearchContext old_ctx = BuildDblpContext(f.d, &f.backend);
+  search::SearchContext new_ctx = BuildDblpContext(f.d, &f.backend);
+
+  QueryService service(old_ctx, SmallService());
+  search::QueryOptions options;
+  options.l = 8;
+
+  // Warm the bound context's memo through the service.
+  service.Query("databases", options);
+  Metrics before = service.metrics();
+  EXPECT_GT(before.partials.inserts, 0u);
+  EXPECT_GT(before.partials.entries, 0u);
+  EXPECT_EQ(before.partials.epoch, 0u);
+
+  // Seed the NEW context's memo before it is bound — rebind must flush
+  // this side too, not just the outgoing one.
+  new_ctx.Query("databases", options);
+  ASSERT_GT(new_ctx.partials_memo().metrics().entries, 0u);
+
+  service.RebindContext(new_ctx);
+
+  core::PartialsMemoMetrics old_memo = old_ctx.partials_memo().metrics();
+  EXPECT_EQ(old_memo.entries, 0u);
+  EXPECT_EQ(old_memo.epoch, 1u);
+  Metrics after = service.metrics();  // now snapshots new_ctx's memo
+  EXPECT_EQ(after.partials.entries, 0u);
+  EXPECT_EQ(after.partials.epoch, 1u);
+
+  // Post-rebind queries recompute from scratch with unchanged answers.
+  ResultPtr fresh = service.Query("databases", options);
+  ASSERT_NE(fresh, nullptr);
+  EXPECT_EQ(DeterministicResultText(fresh->results),
+            DeterministicResultText(new_ctx.Query("databases", options)));
+  EXPECT_GT(service.metrics().partials.misses, after.partials.misses);
+}
+
+// ServiceOptions::partials applies to the context bound at construction
+// and to every context bound by RebindContext afterwards.
+TEST(QueryServiceEpoch, PartialsOptionConfiguresEveryBoundContext) {
+  ScoredDblp f(SmallDblpConfig());
+  search::SearchContext ctx1 = BuildDblpContext(f.d, &f.backend);
+  search::SearchContext ctx2 = BuildDblpContext(f.d, &f.backend);
+
+  ServiceOptions o = SmallService();
+  core::PartialsMemoOptions off;
+  off.enabled = false;
+  o.partials = off;
+  QueryService service(ctx1, o);
+  search::QueryOptions options;
+  options.l = 8;
+
+  service.Query("databases", options);
+  EXPECT_EQ(service.metrics().partials.inserts, 0u);
+  EXPECT_FALSE(ctx1.partials_memo().enabled());
+
+  service.RebindContext(ctx2);
+  EXPECT_FALSE(ctx2.partials_memo().enabled());
+  service.Query("databases", options);
+  EXPECT_EQ(service.metrics().partials.inserts, 0u);
+}
+
 // The lifetime half of the RebindContext contract: it must not return
 // while a query is still executing against the old context, because the
 // caller is entitled to destroy that context the moment it returns.
@@ -708,6 +775,13 @@ TEST(QueryServicePolicy, ExpiryRecomputesOnceAndRebindBeatsTtl) {
   so.cache.clock = clock;
   so.cache.policy.ttl_micros = 1000;
   so.cache.policy.negative_ttl_micros = 100;
+  // The partials memo would serve the post-expiry recompute without
+  // touching the (gated) backend — correct, but it would decouple the
+  // gate from the stampede this test proves. Disable it through the
+  // service knob so the recompute demonstrably reaches the backend.
+  core::PartialsMemoOptions no_partials;
+  no_partials.enabled = false;
+  so.partials = no_partials;
   QueryService service(ctx, so);
 
   search::QueryOptions options;
@@ -1060,6 +1134,14 @@ TEST(MetricsReport, ShapePinnedForTheCli) {
   m.sheds_at_admission = 3;
   m.sheds_at_dequeue = 1;
   m.pending_misses = 2;
+  m.partials.hits = 12;
+  m.partials.misses = 9;
+  m.partials.inserts = 8;
+  m.partials.discarded_inserts = 1;
+  m.partials.evictions = 2;
+  m.partials.entries = 6;
+  m.partials.approx_bytes = 2048;
+  m.partials.epoch = 1;
   for (double v : {1.0, 2.0, 4.0}) m.latency_us.Add(v);
   for (double v : {1.0, 2.0}) m.hit_latency_us.Add(v);
   m.miss_latency_us.Add(4.0);
@@ -1071,6 +1153,8 @@ TEST(MetricsReport, ShapePinnedForTheCli) {
             "8 positive + 9 negative\n"
             "overload: sheds 3 at admission + 1 at dequeue, "
             "2 misses pending\n"
+            "partials: hits 12, misses 9, inserts 8 (1 discarded), "
+            "evictions 2 | entries 6 (~2048 bytes), epoch 1\n"
             "  latency      p50 2.0 us, p99 4.0 us, max 4.0 us\n"
             "    hits       p50 1.5 us, p99 2.0 us, max 2.0 us\n"
             "    neg hits   (no samples)\n"

@@ -2,9 +2,11 @@
 // 4-6), optimality lemmas, cross-algorithm equivalences, and randomized
 // property sweeps against the brute-force oracle.
 #include <algorithm>
+#include <stdexcept>
 
 #include <gtest/gtest.h>
 
+#include "core/dp_internal.h"
 #include "core/size_l.h"
 #include "tree_fixtures.h"
 
@@ -280,6 +282,74 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<BigSweepParam>& info) {
       return "n" + std::to_string(info.param.n);
     });
+
+// ---------------------------------------------- DP hot path (ISSUE 10)
+
+// An l beyond the computed tables' budget must fail loudly in every build
+// type — the old bare assert made Release silently reconstruct garbage.
+TEST(DpInternal, ReconstructRejectsLBeyondTables) {
+  OsTree os = PaperFigure4Tree();
+  DpScratch scratch;
+  const size_t L = 4;
+  internal::DpTables tables = internal::ComputeDpTables(os, L, &scratch);
+  EXPECT_THROW(internal::ReconstructDp(os, tables, L + 1),
+               std::invalid_argument);
+  EXPECT_THROW(internal::ReconstructDp(os, tables, 0), std::invalid_argument);
+  // In-range l still works against the same tables.
+  Selection ok = internal::ReconstructDp(os, tables, L);
+  EXPECT_TRUE(IsValidSelection(os, ok, L));
+}
+
+// Regression (ISSUE 10): EnumState::Solve used to memoize `cell = value`
+// even when the op budget aborted mid-Enumerate, poisoning the cell with a
+// truncated-search value. An aborted run must report aborted + an empty
+// (not wrong) selection, and the same scratch must then produce the exact
+// answer on a full-budget rerun — nothing poisoned may survive.
+TEST(SizeLDpEnumerate, AbortDoesNotPoisonTheMemo) {
+  util::Rng rng(5);
+  OsTree os = RandomTree(&rng, 200);
+  Selection golden = SizeLDpEnumerate(os, 12, /*op_budget=*/50'000'000);
+  ASSERT_FALSE(golden.nodes.empty());
+
+  DpScratch scratch;
+  for (uint64_t budget : {5u, 50u, 500u, 5000u}) {  // aborts mid-tree
+    SizeLStats st;
+    Selection s = SizeLDpEnumerate(os, 12, budget, &scratch, &st);
+    ASSERT_TRUE(st.aborted) << "budget " << budget << " did not abort";
+    EXPECT_TRUE(s.nodes.empty());
+  }
+  SizeLStats st;
+  Selection after = SizeLDpEnumerate(os, 12, /*op_budget=*/50'000'000,
+                                     &scratch, &st);
+  EXPECT_FALSE(st.aborted);
+  EXPECT_EQ(after.nodes, golden.nodes);
+  EXPECT_DOUBLE_EQ(after.importance, golden.importance);
+}
+
+// The arena contract: a batch of same-shaped queries through one scratch
+// stops allocating once warm — the O(1)-large-allocations claim.
+TEST(DpScratchTest, BatchReusesArenaBlocks) {
+  util::Rng rng(11);
+  std::vector<OsTree> forest;
+  for (int i = 0; i < 12; ++i) forest.push_back(RandomTree(&rng, 400));
+
+  DpScratch scratch;
+  Selection warm = SizeLDp(forest[0], 25, &scratch);
+  EXPECT_TRUE(IsValidSelection(forest[0], warm, 25));
+  const uint64_t warm_blocks = scratch.arena.block_allocations();
+  const uint64_t warm_bytes = scratch.arena.bytes_reserved();
+  EXPECT_GT(warm_blocks, 0u);
+
+  for (const OsTree& os : forest) {
+    Selection shared = SizeLDp(os, 25, &scratch);
+    Selection fresh = SizeLDp(os, 25);
+    EXPECT_EQ(shared.nodes, fresh.nodes);
+    EXPECT_DOUBLE_EQ(shared.importance, fresh.importance);
+  }
+  // Same-shaped trees after warm-up: zero new blocks, zero new bytes.
+  EXPECT_EQ(scratch.arena.block_allocations(), warm_blocks);
+  EXPECT_EQ(scratch.arena.bytes_reserved(), warm_bytes);
+}
 
 // Stats sanity: operation counters reflect expected asymptotics loosely.
 TEST(SizeLStatsTest, CountersPopulated) {
